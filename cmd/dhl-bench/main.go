@@ -1,0 +1,271 @@
+// Command dhl-bench regenerates the tables and figures of the DHL paper's
+// evaluation section from the simulated testbed and prints them in the
+// paper's layout.
+//
+// Usage:
+//
+//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|all]
+//
+// With no argument it runs everything. Full-fidelity windows take a few
+// minutes of wall time; pass -quick for shorter measurement windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use short measurement windows")
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	if err := run(targets, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "dhl-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(targets []string, quick bool) error {
+	want := make(map[string]bool)
+	for _, t := range targets {
+		want[strings.ToLower(t)] = true
+	}
+	all := want["all"]
+	type step struct {
+		name string
+		fn   func(bool) error
+	}
+	steps := []step{
+		{"table1", runTable1},
+		{"fig4", runFig4},
+		{"fig6", runFig6},
+		{"fig7", runFig7},
+		{"table5", runTable5},
+		{"table6", runTable6},
+		{"table7", runTable7},
+		{"ablation", runAblation},
+	}
+	known := make(map[string]bool, len(steps))
+	for _, s := range steps {
+		known[s.name] = true
+	}
+	for t := range want {
+		if t != "all" && !known[t] {
+			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|all)", t)
+		}
+	}
+	for _, s := range steps {
+		if all || want[s.name] {
+			if err := s.fn(quick); err != nil {
+				return fmt.Errorf("%s: %w", s.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func singleCfg(quick bool, cfg harness.SingleNFConfig) harness.SingleNFConfig {
+	if quick {
+		cfg.Warmup = 2 * eventsim.Millisecond
+		cfg.Window = 6 * eventsim.Millisecond
+	}
+	return cfg
+}
+
+func runTable1(bool) error {
+	header("Table I: performance of DPDK with one CPU core (64B, 10G NIC)")
+	rows, err := harness.RunTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-24s %s\n", "Network Function", "Latency (cpu cycles)", "Throughput")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-24.0f %.2f Gbps (wire %.2f)\n",
+			r.NF, r.CyclesPerPkt, r.Throughput.InputBps/1e9, r.Throughput.WireBps/1e9)
+	}
+	return nil
+}
+
+func runFig4(bool) error {
+	header("Figure 4: packet DMA engine performance (PCIe Gen3 x8)")
+	results, err := harness.RunFigure4(nil)
+	if err != nil {
+		return err
+	}
+	bySeries := map[harness.DMAVariant][]harness.DMAResult{}
+	for _, r := range results {
+		bySeries[r.Variant] = append(bySeries[r.Variant], r)
+	}
+	order := []harness.DMAVariant{harness.DMAInKernel, harness.DMARemoteNUMA, harness.DMALocalNUMA}
+	fmt.Printf("%-10s", "size")
+	for _, v := range order {
+		fmt.Printf(" | %-22v", v)
+	}
+	fmt.Printf("\n%-10s", "")
+	for range order {
+		fmt.Printf(" | %10s %11s", "Gbps", "RTT(us)")
+	}
+	fmt.Println()
+	for i := range bySeries[order[0]] {
+		fmt.Printf("%-10s", sizeLabel(bySeries[order[0]][i].TransferSize))
+		for _, v := range order {
+			r := bySeries[v][i]
+			fmt.Printf(" | %10.2f %11.2f", r.ThroughputBps/1e9, r.LatencyUs)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func sizeLabel(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%dKB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func runFig6(quick bool) error {
+	header("Figure 6: single NF throughput and latency (40G NIC, 4 cores)")
+	for _, kind := range []harness.NFKind{harness.IPsecGateway, harness.NIDS} {
+		fmt.Printf("\n-- %v --\n", kind)
+		fmt.Printf("%-7s | %-21s | %-21s | %-12s\n", "size", "CPU-only", "DHL", "I/O")
+		fmt.Printf("%-7s | %9s %11s | %9s %11s | %9s\n", "", "Gbps", "lat(us)", "Gbps", "lat(us)", "Gbps")
+		for _, size := range harness.FrameSizes {
+			cpuThr, cpuLat, err := harness.MeasureSingleNF(singleCfg(quick, harness.SingleNFConfig{
+				Kind: kind, Mode: harness.CPUOnly, FrameSize: size}))
+			if err != nil {
+				return err
+			}
+			dhlThr, dhlLat, err := harness.MeasureSingleNF(singleCfg(quick, harness.SingleNFConfig{
+				Kind: kind, Mode: harness.DHL, FrameSize: size}))
+			if err != nil {
+				return err
+			}
+			ioThr, err := harness.RunSingleNF(singleCfg(quick, harness.SingleNFConfig{
+				Kind: kind, Mode: harness.IOOnly, FrameSize: size}))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7d | %9.2f %11.2f | %9.2f %11.2f | %9.2f\n",
+				size,
+				cpuThr.Throughput.InputBps/1e9, cpuLat.Latency.MeanUs,
+				dhlThr.Throughput.InputBps/1e9, dhlLat.Latency.MeanUs,
+				ioThr.Throughput.InputBps/1e9)
+		}
+	}
+	fmt.Println("\nClickNP comparison (reported values, Fig. 6(a)/(b)): ~37-40 Gbps across sizes,")
+	fmt.Println("latency higher than DHL's; not reproducible (closed source), see EXPERIMENTS.md.")
+	return nil
+}
+
+func runFig7(quick bool) error {
+	header("Figure 7: multiple NFs (4x10G ports, shared FPGA)")
+	win := 20 * eventsim.Millisecond
+	if quick {
+		win = 8 * eventsim.Millisecond
+	}
+	fmt.Printf("%-7s | %-23s | %-23s\n", "size", "(a) IPsec1 / IPsec2", "(b) IPsec / NIDS")
+	for _, size := range harness.FrameSizes {
+		a, err := harness.RunMultiNF(harness.MultiNFConfig{SharedAccelerator: true, FrameSize: size, Window: win})
+		if err != nil {
+			return err
+		}
+		b, err := harness.RunMultiNF(harness.MultiNFConfig{SharedAccelerator: false, FrameSize: size, Window: win})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7d | %9.2f / %9.2f   | %9.2f / %9.2f   (Gbps wire)\n",
+			size, a.NF1.WireBps/1e9, a.NF2.WireBps/1e9, b.NF1.WireBps/1e9, b.NF2.WireBps/1e9)
+	}
+	return nil
+}
+
+func runTable5(bool) error {
+	header("Table V: reconfiguration time of accelerator modules")
+	rows, err := harness.RunTable5()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-18s %-10s %s\n", "Accelerator", "PR Bitstream", "PR Time", "Running NF (before -> during)")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-18s %-10s %.2f -> %.2f Gbps\n",
+			r.Module, fmt.Sprintf("%.1f MB", float64(r.BitstreamBytes)/1024/1024),
+			fmt.Sprintf("%.0f ms", r.PRTimeMs),
+			r.RunningNFBeforeBps/1e9, r.RunningNFDuringBps/1e9)
+	}
+	return nil
+}
+
+func runTable6(bool) error {
+	header("Table VI: accelerator modules and static region utilization")
+	res, err := harness.RunTable6()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-18s %-18s %-12s %s\n", "Module", "LUTs", "BRAM", "Throughput", "Delay")
+	for _, r := range res.Rows {
+		thr, delay := "N/A", "N/A"
+		if r.Gbps > 0 {
+			thr = fmt.Sprintf("%.2f Gbps", r.Gbps)
+			delay = fmt.Sprintf("%d cycles", r.DelayCycles)
+		}
+		fmt.Printf("%-18s %-18s %-18s %-12s %s\n", r.Name,
+			fmt.Sprintf("%d (%.2f%%)", r.LUTs, r.LUTsPct),
+			fmt.Sprintf("%d (%.2f%%)", r.BRAM, r.BRAMPct), thr, delay)
+	}
+	fmt.Printf("packing bound: %d x ipsec-crypto or %d x pattern-matching per board\n",
+		res.MaxIPsecCrypto, res.MaxPatternMatching)
+	return nil
+}
+
+func runTable7(bool) error {
+	header("Table VII: lines of code to shift the CPU-only NF into DHL")
+	for _, r := range harness.RunTable7() {
+		fmt.Printf("%-18s %d LoC\n", r.Module, r.LoC)
+	}
+	return nil
+}
+
+func runAblation(bool) error {
+	header("Ablation A1: transfer batching policy (DHL IPsec, 512B frames)")
+	rows, err := harness.RunBatchingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-8s %-12s %-12s\n", "policy", "load", "Gbps", "lat(us)")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-8s %-12.2f %-12.2f\n", r.Label,
+			fmt.Sprintf("%.0f%%", r.OfferedPct), r.Throughput.InputBps/1e9, r.Latency.MeanUs)
+	}
+
+	header("Ablation A2: driver mode / NUMA placement (DHL IPsec, 512B)")
+	drv, err := harness.RunDriverAblation()
+	if err != nil {
+		return err
+	}
+	for _, r := range drv {
+		fmt.Printf("%-20s %8.2f Gbps   %8.2f us\n", r.Label, r.Throughput.InputBps/1e9, r.Latency.MeanUs)
+	}
+
+	header("Ablation A3: vertical scaling (§VI.1)")
+	vert, err := harness.RunVerticalScaling()
+	if err != nil {
+		return err
+	}
+	for _, r := range vert {
+		fmt.Printf("%-22s %8.2f Gbps aggregate DMA ceiling\n", r.Label, r.AggregateGbps)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command dhl-inspect stands up a simulated DHL system, loads accelerator
+// modules, and dumps the FPGA floorplan, resource utilization and the
+// hardware function table — the operator's view of Figure 2.
+//
+// Usage:
+//
+//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill]
+//
+// -fill keeps loading copies of the first module until the board rejects
+// the next one, demonstrating the §V-F packing bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	dhl "github.com/opencloudnext/dhl-go"
+)
+
+func main() {
+	modules := flag.String("modules", "ipsec-crypto,pattern-matching", "comma-separated hardware function names to load")
+	fill := flag.Bool("fill", false, "load copies of the first module until the board is full")
+	flag.Parse()
+	if err := run(*modules, *fill); err != nil {
+		fmt.Fprintln(os.Stderr, "dhl-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modules string, fill bool) error {
+	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+	if err != nil {
+		return err
+	}
+	names := strings.Split(modules, ",")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		acc, lerr := sys.SearchByName(name, 0)
+		if lerr != nil {
+			return fmt.Errorf("load %q: %w", name, lerr)
+		}
+		fmt.Printf("loaded %q as acc_id %d\n", name, acc)
+	}
+	if fill && len(names) > 0 {
+		first := strings.TrimSpace(names[0])
+		n := 1
+		for {
+			if _, lerr := sys.LoadPR(first, 0); lerr != nil {
+				fmt.Printf("board full after %d instance(s) of %q: %v\n", n, first, lerr)
+				break
+			}
+			n++
+		}
+	}
+	sys.Settle()
+
+	fmt.Println("\nHardware function table:")
+	for _, row := range sys.HFTable() {
+		fmt.Println(" ", row)
+	}
+	fmt.Println()
+	dev, err := sys.Device(0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dev.Floorplan())
+	return nil
+}

@@ -1,0 +1,252 @@
+package dhl
+
+import (
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/hwfunc"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/ring"
+)
+
+// Identifier types from the paper's data plane tags.
+type (
+	// NFID is an nf_id assigned by Register.
+	NFID = core.NFID
+	// AccID is an acc_id resolved by SearchByName/LoadPR.
+	AccID = core.AccID
+)
+
+// Packet is the rte_mbuf-style packet buffer NFs exchange with the
+// runtime. See the mbuf methods for header/payload manipulation.
+type Packet = mbuf.Mbuf
+
+// Pool is a pre-allocated packet-buffer pool.
+type Pool = mbuf.Pool
+
+// Queue is the lockless ring type backing IBQs and OBQs.
+type Queue = ring.Ring[*mbuf.Mbuf]
+
+// Module is the functional interface a custom accelerator module
+// implements (§IV-C "self-built accelerator modules").
+type Module = fpga.Module
+
+// ModuleSpec describes an accelerator module for the database.
+type ModuleSpec = fpga.ModuleSpec
+
+// BatchingMode selects fixed or adaptive transfer batching.
+type BatchingMode = core.BatchingMode
+
+// Batching policies.
+const (
+	FixedBatching    = core.FixedBatching
+	AdaptiveBatching = core.AdaptiveBatching
+)
+
+// Stock hardware function names shipped in the accelerator module
+// database.
+const (
+	// IPsecCrypto is the AES-256-CTR + HMAC-SHA1 module (Table VI).
+	IPsecCrypto = hwfunc.IPsecCryptoName
+	// PatternMatching is the multi-pipeline AC-DFA module (Table VI).
+	PatternMatching = hwfunc.PatternMatchingName
+	// Loopback is the DMA benchmarking module (§IV-A3).
+	Loopback = hwfunc.LoopbackName
+	// IPsecDecrypt is the decryption-direction module (§IV-C catalogue).
+	IPsecDecrypt = hwfunc.IPsecDecryptName
+	// MD5Auth is the MD5 authentication module (§IV-C catalogue).
+	MD5Auth = hwfunc.MD5AuthName
+	// RegexClassifier is the regex DPI module (§IV-C catalogue).
+	RegexClassifier = hwfunc.RegexClassifierName
+	// DataCompression is the flow-compression module (§IV-C catalogue).
+	DataCompression = hwfunc.DataCompressionName
+)
+
+// SystemConfig parameterizes NewSystem.
+type SystemConfig struct {
+	// Nodes is the NUMA node count. Zero selects 1.
+	Nodes int
+	// FPGAsPerNode is the number of VC709-class boards per node. Zero
+	// selects 1.
+	FPGAsPerNode int
+	// PoolCapacity is the shared mbuf pool size. Zero selects 16384.
+	PoolCapacity int
+	// Batching selects the Packer policy (default FixedBatching at 6 KB).
+	Batching BatchingMode
+	// BatchBytes overrides the 6 KB transfer batching size.
+	BatchBytes int
+	// InKernelDriver swaps the UIO poll-mode driver for the in-kernel
+	// baseline (only useful for comparison runs).
+	InKernelDriver bool
+	// CoreHz is the simulated CPU clock. Zero selects the testbed's
+	// 2.1 GHz.
+	CoreHz float64
+}
+
+// System bundles a complete simulated DHL deployment: the discrete-event
+// simulation, an mbuf pool, one or more FPGAs with DMA engines, and the
+// DHL Runtime with its transfer cores attached.
+type System struct {
+	sim     *eventsim.Sim
+	pool    *mbuf.Pool
+	rt      *core.Runtime
+	devices []*fpga.Device
+	engines []*pcie.Engine
+	coreHz  float64
+	coreID  int
+}
+
+// NewSystem builds a System with the full accelerator module catalogue
+// (ipsec-crypto, pattern-matching, loopback, ipsec-decrypt, md5-auth,
+// regex-classifier, data-compression) pre-registered in the database.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.FPGAsPerNode == 0 {
+		cfg.FPGAsPerNode = 1
+	}
+	if cfg.PoolCapacity == 0 {
+		cfg.PoolCapacity = 16384
+	}
+	if cfg.CoreHz == 0 {
+		cfg.CoreHz = perf.TestbedCoreHz
+	}
+	sim := eventsim.New()
+	pool, err := mbuf.NewPool(mbuf.PoolConfig{Name: "dhl-system", Capacity: cfg.PoolCapacity})
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{sim: sim, pool: pool, coreHz: cfg.CoreHz}
+
+	var attachments []core.FPGAAttachment
+	id := 0
+	for node := 0; node < cfg.Nodes; node++ {
+		for i := 0; i < cfg.FPGAsPerNode; i++ {
+			dev, derr := fpga.NewDevice(sim, fpga.Config{ID: id, Node: node})
+			if derr != nil {
+				return nil, derr
+			}
+			mode := pcie.UIOPoll
+			if cfg.InKernelDriver {
+				mode = pcie.InKernel
+			}
+			dma := pcie.NewEngine(sim, pcie.Config{Mode: mode})
+			sys.devices = append(sys.devices, dev)
+			sys.engines = append(sys.engines, dma)
+			attachments = append(attachments, core.FPGAAttachment{Device: dev, DMA: dma})
+			id++
+		}
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Sim:        sim,
+		Nodes:      cfg.Nodes,
+		FPGAs:      attachments,
+		Batching:   cfg.Batching,
+		BatchBytes: cfg.BatchBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range hwfunc.AllSpecs() {
+		if rerr := rt.RegisterModule(spec); rerr != nil {
+			return nil, rerr
+		}
+	}
+	sys.rt = rt
+	for node := 0; node < cfg.Nodes; node++ {
+		if aerr := rt.AttachCores(node, sys.NewCore(node), sys.NewCore(node), pool); aerr != nil {
+			return nil, aerr
+		}
+	}
+	return sys, nil
+}
+
+// Sim exposes the simulation clock/event loop so applications can build
+// their own actors (I/O cores, generators) and advance virtual time.
+func (s *System) Sim() *eventsim.Sim { return s.sim }
+
+// Pool exposes the system's packet-buffer pool.
+func (s *System) Pool() *mbuf.Pool { return s.pool }
+
+// Runtime exposes the underlying DHL runtime for advanced wiring.
+func (s *System) Runtime() *core.Runtime { return s.rt }
+
+// Device returns FPGA board i for inspection (floorplans, stats).
+func (s *System) Device(i int) (*fpga.Device, error) {
+	if i < 0 || i >= len(s.devices) {
+		return nil, fmt.Errorf("dhl: device %d out of range [0,%d)", i, len(s.devices))
+	}
+	return s.devices[i], nil
+}
+
+// Devices reports the number of attached boards.
+func (s *System) Devices() int { return len(s.devices) }
+
+// NewCore allocates a simulated CPU core on a NUMA node.
+func (s *System) NewCore(node int) *eventsim.Core {
+	c := eventsim.NewCore(s.sim, s.coreID, node, s.coreHz)
+	s.coreID++
+	return c
+}
+
+// Settle advances virtual time by 100 ms so outstanding partial
+// reconfigurations complete before the data path starts.
+func (s *System) Settle() {
+	s.sim.Run(s.sim.Now() + 100*eventsim.Millisecond)
+}
+
+// --- Table II API -------------------------------------------------------
+
+// Register implements DHL_register().
+func (s *System) Register(name string, node int) (NFID, error) {
+	return s.rt.Register(name, node)
+}
+
+// Unregister withdraws an NF; in-flight data destined for it is discarded.
+func (s *System) Unregister(id NFID) error { return s.rt.Unregister(id) }
+
+// SearchByName implements DHL_search_by_name(), loading the module's PR
+// bitstream on a miss.
+func (s *System) SearchByName(hfName string, node int) (AccID, error) {
+	return s.rt.SearchByName(hfName, node)
+}
+
+// LoadPR implements DHL_load_pr() explicitly.
+func (s *System) LoadPR(hfName string, node int) (AccID, error) {
+	return s.rt.LoadPR(hfName, node)
+}
+
+// AccConfigure implements DHL_acc_configure().
+func (s *System) AccConfigure(acc AccID, params []byte) error {
+	return s.rt.AccConfigure(acc, params)
+}
+
+// SharedIBQ implements DHL_get_shared_IBQ().
+func (s *System) SharedIBQ(node int) (*Queue, error) { return s.rt.SharedIBQ(node) }
+
+// PrivateOBQ implements DHL_get_private_OBQ().
+func (s *System) PrivateOBQ(id NFID) (*Queue, error) { return s.rt.PrivateOBQ(id) }
+
+// SendPackets implements DHL_send_packets(); it returns how many packets
+// the shared IBQ accepted.
+func (s *System) SendPackets(id NFID, pkts []*Packet) (int, error) {
+	return s.rt.SendPackets(id, pkts)
+}
+
+// ReceivePackets implements DHL_receive_packets().
+func (s *System) ReceivePackets(id NFID, dst []*Packet) (int, error) {
+	return s.rt.ReceivePackets(id, dst)
+}
+
+// RegisterModule adds a self-built accelerator module to the database.
+func (s *System) RegisterModule(spec ModuleSpec) error {
+	return s.rt.RegisterModule(spec)
+}
+
+// HFTable renders the hardware function table for inspection.
+func (s *System) HFTable() []string { return s.rt.HFTable() }

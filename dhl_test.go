@@ -1,0 +1,207 @@
+package dhl_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	dhl "github.com/opencloudnext/dhl-go"
+	"github.com/opencloudnext/dhl-go/internal/dhlproto"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Devices() != 1 {
+		t.Errorf("devices %d", sys.Devices())
+	}
+	if _, err := sys.Device(0); err != nil {
+		t.Errorf("device 0: %v", err)
+	}
+	if _, err := sys.Device(5); err == nil {
+		t.Error("bad device index accepted")
+	}
+	if sys.Sim() == nil || sys.Pool() == nil || sys.Runtime() == nil {
+		t.Error("accessors returned nil")
+	}
+	// Stock database registered.
+	for _, name := range []string{dhl.IPsecCrypto, dhl.PatternMatching, dhl.Loopback} {
+		if _, err := sys.SearchByName(name, 0); err != nil {
+			t.Errorf("stock module %q: %v", name, err)
+		}
+	}
+}
+
+func TestSystemMultiNodeMultiFPGA(t *testing.T) {
+	sys, err := dhl.NewSystem(dhl.SystemConfig{Nodes: 2, FPGAsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Devices() != 4 {
+		t.Errorf("devices %d", sys.Devices())
+	}
+	// Each node resolves its own accelerator instance.
+	a0, err := sys.SearchByName(dhl.IPsecCrypto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := sys.SearchByName(dhl.IPsecCrypto, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a0 == a1 {
+		t.Error("nodes share one acc entry; hardware function table keys on (hf_name, socket_id)")
+	}
+	if _, err := sys.SharedIBQ(1); err != nil {
+		t.Errorf("node 1 IBQ: %v", err)
+	}
+}
+
+func TestSystemTableIIRoundTrip(t *testing.T) {
+	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfID, err := sys.Register("api-test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accID, err := sys.SearchByName(dhl.Loopback, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AccConfigure(accID, nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+
+	if _, err := sys.SharedIBQ(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.PrivateOBQ(nfID); err != nil {
+		t.Fatal(err)
+	}
+
+	pkts := make([]*dhl.Packet, 4)
+	for i := range pkts {
+		m, aerr := sys.Pool().Alloc()
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		if aerr := m.AppendBytes([]byte{byte(i), 0xAB}); aerr != nil {
+			t.Fatal(aerr)
+		}
+		m.AccID = uint16(accID)
+		pkts[i] = m
+	}
+	n, err := sys.SendPackets(nfID, pkts)
+	if err != nil || n != 4 {
+		t.Fatalf("send %d %v", n, err)
+	}
+	sys.Sim().Run(sys.Sim().Now() + 100*eventsim.Microsecond)
+	out := make([]*dhl.Packet, 8)
+	got, err := sys.ReceivePackets(nfID, out)
+	if err != nil || got != 4 {
+		t.Fatalf("receive %d %v", got, err)
+	}
+	for i := 0; i < got; i++ {
+		if !bytes.Equal(out[i].Data(), []byte{byte(i), 0xAB}) {
+			t.Errorf("loopback pkt %d: %v", i, out[i].Data())
+		}
+		_ = sys.Pool().Free(out[i])
+	}
+	if err := sys.Unregister(nfID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SendPackets(nfID, nil); err == nil {
+		t.Error("send after unregister accepted")
+	}
+}
+
+func TestSystemCustomModule(t *testing.T) {
+	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dhl.ModuleSpec{
+		Name: "xor-mask", LUTs: 2000, BRAM: 4, ThroughputBps: 40e9,
+		DelayCycles: 8, BitstreamBytes: 1 << 20,
+		New: func() dhl.Module { return &xorModule{} },
+	}
+	if err := sys.RegisterModule(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterModule(spec); err == nil {
+		t.Error("duplicate module registration accepted")
+	}
+	nfID, _ := sys.Register("xor-nf", 0)
+	acc, err := sys.SearchByName("xor-mask", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AccConfigure(acc, []byte{0x5A}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+	m, _ := sys.Pool().Alloc()
+	_ = m.AppendBytes([]byte{0x00, 0xFF})
+	m.AccID = uint16(acc)
+	if _, err := sys.SendPackets(nfID, []*dhl.Packet{m}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Sim().Run(sys.Sim().Now() + 100*eventsim.Microsecond)
+	out := make([]*dhl.Packet, 1)
+	if n, _ := sys.ReceivePackets(nfID, out); n != 1 {
+		t.Fatal("no packet returned")
+	}
+	if !bytes.Equal(out[0].Data(), []byte{0x5A, 0xA5}) {
+		t.Errorf("xor output %v", out[0].Data())
+	}
+	_ = sys.Pool().Free(out[0])
+}
+
+// xorModule is a trivial custom accelerator for API tests.
+type xorModule struct{ mask byte }
+
+func (x *xorModule) Configure(p []byte) error {
+	if len(p) != 1 {
+		return errors.New("xor: want 1 mask byte")
+	}
+	x.mask = p[0]
+	return nil
+}
+
+func (x *xorModule) ProcessBatch(in []byte) ([]byte, error) {
+	var out []byte
+	err := dhlproto.Walk(in, func(r dhlproto.Record) error {
+		p := make([]byte, len(r.Payload))
+		for i, b := range r.Payload {
+			p[i] = b ^ x.mask
+		}
+		var aerr error
+		out, aerr = dhlproto.AppendRecord(out, r.NFID, r.AccID, p)
+		return aerr
+	})
+	return out, err
+}
+
+func TestSystemHFTable(t *testing.T) {
+	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.HFTable()) != 0 {
+		t.Error("hf table not empty before loads")
+	}
+	if _, err := sys.LoadPR(dhl.PatternMatching, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows := sys.HFTable()
+	if len(rows) != 1 || !strings.Contains(rows[0], dhl.PatternMatching) {
+		t.Errorf("hf table %v", rows)
+	}
+}

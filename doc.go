@@ -1,0 +1,38 @@
+// Package dhl is a faithful, fully-simulated reproduction of DHL ("DHL:
+// Enabling Flexible Software Network Functions with FPGA Acceleration",
+// ICDCS 2018) — a CPU-FPGA co-design framework in which software network
+// functions keep their control logic and shallow packet processing on CPU
+// cores and offload deep packet processing (encryption, pattern matching)
+// to accelerator modules on an FPGA, abstracted as *hardware functions*.
+//
+// Because the original system requires a Xilinx VC709 board, 40G NICs and
+// DPDK, this reproduction replaces the hardware with a deterministic
+// discrete-event simulation whose components are functionally real (bytes
+// are really encrypted with AES-256-CTR + HMAC-SHA1, really scanned with
+// an Aho-Corasick DFA) and temporally calibrated against the paper's
+// published numbers (see DESIGN.md and internal/perf).
+//
+// # Programming model
+//
+// The public API mirrors the paper's Table II one-for-one:
+//
+//	sys, _ := dhl.NewSystem(dhl.SystemConfig{})
+//	nfID, _ := sys.Register("my-nf", 0)                  // DHL_register()
+//	accID, _ := sys.SearchByName("ipsec-crypto", 0)      // DHL_search_by_name()
+//	_ = sys.AccConfigure(accID, cfgBlob)                 // DHL_acc_configure()
+//	sys.Settle()                                         // wait out partial reconfiguration
+//
+//	// data path (typically from simulated I/O cores):
+//	pkt.AccID = uint16(accID)
+//	sys.SendPackets(nfID, pkts)                          // DHL_send_packets()
+//	n, _ := sys.ReceivePackets(nfID, out)                // DHL_receive_packets()
+//
+// Custom accelerator modules can be added to the accelerator module
+// database with RegisterModule, exactly as §IV-C allows for self-built
+// modules that follow the base design's interface specification.
+//
+// The runnable examples under examples/ and the experiment harness
+// (internal/harness, driven by cmd/dhl-bench and the root benchmarks)
+// regenerate every table and figure of the paper's evaluation; see
+// EXPERIMENTS.md for the measured-vs-published comparison.
+package dhl

@@ -1,0 +1,49 @@
+// Multi-NF example: the Figure 7 scenario — multiple software NFs sharing
+// one FPGA, with data isolation between them (§IV-B).
+//
+// Case (a): two IPsec gateway instances call the *same* accelerator module
+// (ipsec-crypto). Case (b): an IPsec gateway and an NIDS call *different*
+// accelerator modules on the same board. Each NF owns two 10G ports. The
+// example also prints the isolation cross-check: the number of packets
+// whose returned nf_id did not match their owner (must be zero).
+//
+// Run with: go run ./examples/multi-nf
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/opencloudnext/dhl-go/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("(a) two IPsec gateways sharing the ipsec-crypto module:")
+	fmt.Printf("%-8s %-14s %-14s %s\n", "size", "IPsec1 (Gbps)", "IPsec2 (Gbps)", "nf_id mismatches")
+	for _, size := range []int{64, 256, 1024, 1500} {
+		r, err := harness.RunMultiNF(harness.MultiNFConfig{SharedAccelerator: true, FrameSize: size})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-14.2f %-14.2f %d\n", size, r.NF1.WireBps/1e9, r.NF2.WireBps/1e9, r.NFIDMismatches)
+	}
+
+	fmt.Println("\n(b) IPsec gateway + NIDS with different accelerator modules:")
+	fmt.Printf("%-8s %-14s %-14s %s\n", "size", "IPsec (Gbps)", "NIDS (Gbps)", "nf_id mismatches")
+	for _, size := range []int{64, 256, 1024, 1500} {
+		r, err := harness.RunMultiNF(harness.MultiNFConfig{SharedAccelerator: false, FrameSize: size})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-14.2f %-14.2f %d\n", size, r.NF1.WireBps/1e9, r.NF2.WireBps/1e9, r.NFIDMismatches)
+	}
+	fmt.Println("\n(the paper reports both instances reaching their 2x10G port ceiling of")
+	fmt.Println(" 20 Gbps; a zero mismatch count demonstrates the §IV-B data isolation)")
+	return nil
+}

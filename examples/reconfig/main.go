@@ -1,0 +1,46 @@
+// Reconfig example: partial reconfiguration on the fly (§IV-C, §V-E,
+// Table V).
+//
+// An IPsec gateway runs at full load while a second NF's accelerator
+// module (pattern-matching) is loaded into a free reconfigurable part
+// through ICAP. The example reports the reconfiguration time of each
+// module and verifies the running NF's throughput is untouched.
+//
+// Run with: go run ./examples/reconfig
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/opencloudnext/dhl-go/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rows, err := harness.RunTable5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("partial reconfiguration while the other NF keeps running:")
+	fmt.Printf("%-18s %-14s %-10s %s\n", "new module", "bitstream", "PR time", "running NF throughput")
+	for _, r := range rows {
+		degradation := 0.0
+		if r.RunningNFBeforeBps > 0 {
+			degradation = 100 * (1 - r.RunningNFDuringBps/r.RunningNFBeforeBps)
+		}
+		fmt.Printf("%-18s %-14s %-10s %.2f -> %.2f Gbps (degradation %.2f%%)\n",
+			r.Module,
+			fmt.Sprintf("%.1f MB", float64(r.BitstreamBytes)/1024/1024),
+			fmt.Sprintf("%.0f ms", r.PRTimeMs),
+			r.RunningNFBeforeBps/1e9, r.RunningNFDuringBps/1e9, degradation)
+	}
+	fmt.Println("\n(Table V reports 23 ms for ipsec-crypto's 5.6 MB bitstream and 35 ms for")
+	fmt.Println(" pattern-matching's 6.8 MB; §V-E reports zero throughput degradation)")
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/opencloudnext/dhl-go
+
+go 1.22

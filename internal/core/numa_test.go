@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+)
+
+// newTwoNodeRig builds the Figure 3 topology: two NUMA nodes, one FPGA on
+// each node's PCIe root, a shared IBQ and a TX/RX core pair per node.
+func newTwoNodeRig(t *testing.T) *rig {
+	t.Helper()
+	sim := eventsim.New()
+	pool, err := mbuf.NewPool(mbuf.PoolConfig{Name: "numa", Capacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atts []FPGAAttachment
+	for node := 0; node < 2; node++ {
+		dev, derr := fpga.NewDevice(sim, fpga.Config{ID: node, Node: node})
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		atts = append(atts, FPGAAttachment{Device: dev, DMA: pcie.NewEngine(sim, pcie.Config{})})
+	}
+	rt, err := NewRuntime(Config{Sim: sim, Nodes: 2, FPGAs: atts, FlushTimeout: 5 * eventsim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterModule(moduleSpec("rev", func() fpga.Module { return reverseModule{} })); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 2; node++ {
+		if err := rt.AttachCores(node,
+			eventsim.NewCore(sim, node*2, node, 2.1e9),
+			eventsim.NewCore(sim, node*2+1, node, 2.1e9), pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &rig{sim: sim, pool: pool, rt: rt}
+}
+
+func TestTwoNodeLocalPlacement(t *testing.T) {
+	r := newTwoNodeRig(t)
+	// Searching on each node must land on that node's board (NUMA-aware
+	// placement, §IV-A2).
+	acc0, err := r.rt.SearchByName("rev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc1, err := r.rt.SearchByName("rev", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc0 == acc1 {
+		t.Fatal("both nodes resolved the same accelerator instance")
+	}
+	e0 := r.rt.hfByAcc[acc0]
+	e1 := r.rt.hfByAcc[acc1]
+	if e0.fpgaIdx != 0 || e1.fpgaIdx != 1 {
+		t.Errorf("placement: node0 -> fpga%d, node1 -> fpga%d", e0.fpgaIdx, e1.fpgaIdx)
+	}
+}
+
+func TestTwoNodeDataPathsIndependent(t *testing.T) {
+	r := newTwoNodeRig(t)
+	nf0, _ := r.rt.Register("nf-node0", 0)
+	nf1, _ := r.rt.Register("nf-node1", 1)
+	acc0, _ := r.rt.SearchByName("rev", 0)
+	acc1, _ := r.rt.SearchByName("rev", 1)
+	r.settle()
+
+	mk := func(acc AccID, payload string) *mbuf.Mbuf {
+		m, err := r.pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = m.AppendBytes([]byte(payload))
+		m.AccID = uint16(acc)
+		return m
+	}
+	if _, err := r.rt.SendPackets(nf0, []*mbuf.Mbuf{mk(acc0, "node0-data")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.rt.SendPackets(nf1, []*mbuf.Mbuf{mk(acc1, "node1-data")}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Run(r.sim.Now() + eventsim.Millisecond)
+
+	out := make([]*mbuf.Mbuf, 4)
+	n0, _ := r.rt.ReceivePackets(nf0, out)
+	if n0 != 1 || !bytes.Equal(out[0].Data(), []byte("atad-0edon")) {
+		t.Errorf("node0 got %d pkts, data %q", n0, out[0].Data())
+	}
+	_ = r.pool.Free(out[0])
+	n1, _ := r.rt.ReceivePackets(nf1, out)
+	if n1 != 1 || !bytes.Equal(out[0].Data(), []byte("atad-1edon")) {
+		t.Errorf("node1 got %d pkts, data %q", n1, out[0].Data())
+	}
+	_ = r.pool.Free(out[0])
+
+	// Per-node transfer stats are independent.
+	ts0, _ := r.rt.Stats(0)
+	ts1, _ := r.rt.Stats(1)
+	if ts0.PktsPacked != 1 || ts1.PktsPacked != 1 {
+		t.Errorf("per-node packed counts %d/%d", ts0.PktsPacked, ts1.PktsPacked)
+	}
+	if r.pool.InUse() != 0 {
+		t.Errorf("leak: %d in use", r.pool.InUse())
+	}
+}
+
+func TestTwoNodeFallbackToRemoteBoard(t *testing.T) {
+	// One board only, on node 0; an NF on node 1 must still resolve the
+	// hardware function (remote placement fallback).
+	sim := eventsim.New()
+	pool, _ := mbuf.NewPool(mbuf.PoolConfig{Name: "fallback", Capacity: 64})
+	dev, _ := fpga.NewDevice(sim, fpga.Config{ID: 0, Node: 0})
+	rt, err := NewRuntime(Config{
+		Sim: sim, Nodes: 2,
+		FPGAs: []FPGAAttachment{{Device: dev, DMA: pcie.NewEngine(sim, pcie.Config{RemoteNUMA: true})}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.RegisterModule(moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	for node := 0; node < 2; node++ {
+		if err := rt.AttachCores(node,
+			eventsim.NewCore(sim, node*2, node, 2.1e9),
+			eventsim.NewCore(sim, node*2+1, node, 2.1e9), pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := rt.SearchByName("rev", 1)
+	if err != nil {
+		t.Fatalf("remote fallback failed: %v", err)
+	}
+	if rt.hfByAcc[acc].fpgaIdx != 0 {
+		t.Errorf("resolved to fpga %d", rt.hfByAcc[acc].fpgaIdx)
+	}
+}
+
+func TestNoFPGAAtAll(t *testing.T) {
+	sim := eventsim.New()
+	rt, err := NewRuntime(Config{Sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.RegisterModule(moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	if _, err := rt.SearchByName("rev", 0); !errors.Is(err, ErrNoFPGA) {
+		t.Errorf("no-FPGA search: %v", err)
+	}
+}
+
+func TestMultiFPGASameNodeSpillover(t *testing.T) {
+	// Two boards on node 0; a module too big to fit twice on one board
+	// must spill onto the second board when the first is full.
+	sim := eventsim.New()
+	pool, _ := mbuf.NewPool(mbuf.PoolConfig{Name: "spill", Capacity: 64})
+	var atts []FPGAAttachment
+	for i := 0; i < 2; i++ {
+		dev, err := fpga.NewDevice(sim, fpga.Config{ID: i, Node: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		atts = append(atts, FPGAAttachment{Device: dev, DMA: pcie.NewEngine(sim, pcie.Config{})})
+	}
+	rt, err := NewRuntime(Config{Sim: sim, FPGAs: atts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := fpga.ModuleSpec{
+		Name: "huge", LUTs: 1000, BRAM: 800, ThroughputBps: 1e9,
+		DelayCycles: 1, BitstreamBytes: 1 << 20, New: func() fpga.Module { return reverseModule{} },
+	}
+	if err := rt.RegisterModule(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachCores(0, eventsim.NewCore(sim, 0, 0, 2.1e9), eventsim.NewCore(sim, 1, 0, 2.1e9), pool); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := rt.LoadPR("huge", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := rt.LoadPR("huge", 0)
+	if err != nil {
+		t.Fatalf("second instance should spill to board 2: %v", err)
+	}
+	if rt.hfByAcc[a1].fpgaIdx == rt.hfByAcc[a2].fpgaIdx {
+		t.Error("both instances on the same board despite capacity")
+	}
+	if _, err := rt.LoadPR("huge", 0); !errors.Is(err, ErrCapacity) {
+		t.Errorf("third instance: %v", err)
+	}
+}

@@ -1,0 +1,447 @@
+// Package core implements the DHL Runtime, the paper's primary
+// contribution (§III-C, Figure 2): the Controller that manages NF
+// registration, the hardware function table and the accelerator module
+// database; the shared input buffer queues and private output buffer
+// queues that isolate NFs from one another; and the data transfer layer
+// (Packer, Distributor, poll-mode TX/RX cores) that batches packets over
+// the DMA engine to accelerator modules on FPGAs.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/ring"
+)
+
+// NFID identifies a registered network function (paper: nf_id).
+type NFID uint16
+
+// AccID identifies a loaded accelerator module instance (paper: acc_id).
+type AccID uint16
+
+// Errors returned by the runtime.
+var (
+	ErrUnknownHF      = errors.New("core: hardware function not in accelerator module database")
+	ErrUnknownNF      = errors.New("core: unknown nf_id")
+	ErrUnknownAcc     = errors.New("core: unknown acc_id")
+	ErrNoFPGA         = errors.New("core: no FPGA available on the requested NUMA node")
+	ErrNFClosed       = errors.New("core: nf has unregistered")
+	ErrDuplicateHF    = errors.New("core: module already registered in database")
+	ErrNoCores        = errors.New("core: runtime cores not attached for node")
+	ErrCapacity       = errors.New("core: FPGA capacity exhausted")
+	ErrBadBatchConfig = errors.New("core: invalid batching configuration")
+)
+
+// BatchingMode selects the Packer's batch sizing policy.
+type BatchingMode int
+
+// Batching policies.
+const (
+	// FixedBatching always aggregates to Config.BatchBytes (the paper's
+	// prototype: "the maximum batching size is limited at 6 KB", §IV-A3).
+	FixedBatching BatchingMode = iota + 1
+	// AdaptiveBatching implements the §VI.2 future-work design: the batch
+	// target shrinks when traffic is light (flushes triggered by timeout)
+	// and grows back toward BatchBytes when traffic is heavy.
+	AdaptiveBatching
+)
+
+// String names the mode.
+func (m BatchingMode) String() string {
+	switch m {
+	case FixedBatching:
+		return "fixed"
+	case AdaptiveBatching:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("BatchingMode(%d)", int(m))
+	}
+}
+
+// FPGAAttachment pairs an FPGA device with its DMA engine.
+type FPGAAttachment struct {
+	Device *fpga.Device
+	DMA    *pcie.Engine
+}
+
+// Config parameterizes the Runtime.
+type Config struct {
+	// Sim is the discrete-event simulation the runtime's actors run on.
+	Sim *eventsim.Sim
+	// Nodes is the number of NUMA nodes (Figure 3's topology). Zero
+	// selects 1.
+	Nodes int
+	// FPGAs lists the attached boards with their DMA engines.
+	FPGAs []FPGAAttachment
+	// BatchBytes is the maximum DMA batch size. Zero selects the paper's
+	// 6 KB.
+	BatchBytes int
+	// MinBatchBytes is the adaptive-batching floor. Zero selects 512.
+	MinBatchBytes int
+	// Batching selects fixed (default) or adaptive batch sizing.
+	Batching BatchingMode
+	// FlushTimeout bounds how long a partially filled batch may wait
+	// before being forced out. Zero selects 20us.
+	FlushTimeout eventsim.Time
+	// IBQSize is the shared input buffer queue capacity per node (power of
+	// two). Zero selects 256.
+	IBQSize int
+	// OBQSize is each private output buffer queue's capacity. Zero
+	// selects 1024.
+	OBQSize int
+	// DMABacklogCap is how much H2C backlog the TX core tolerates before
+	// pausing IBQ dequeue (back-pressure). Zero selects 15us.
+	DMABacklogCap eventsim.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Sim == nil {
+		return c, errors.New("core: Config.Sim is required")
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = perf.DefaultBatchBytes
+	}
+	if c.MinBatchBytes == 0 {
+		c.MinBatchBytes = 512
+	}
+	if c.MinBatchBytes > c.BatchBytes {
+		return c, fmt.Errorf("%w: min %d > max %d", ErrBadBatchConfig, c.MinBatchBytes, c.BatchBytes)
+	}
+	if c.Batching == 0 {
+		c.Batching = FixedBatching
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = 20 * eventsim.Microsecond
+	}
+	if c.IBQSize == 0 {
+		c.IBQSize = 256
+	}
+	if c.OBQSize == 0 {
+		c.OBQSize = 1024
+	}
+	if c.DMABacklogCap == 0 {
+		c.DMABacklogCap = 15 * eventsim.Microsecond
+	}
+	return c, nil
+}
+
+// hfEntry is one hardware function table row (Figure 2: hf.name, s.id,
+// a.id, f.id).
+type hfEntry struct {
+	name      string
+	node      int
+	accID     AccID
+	fpgaIdx   int
+	regionIdx int
+	ready     bool
+	pendingCf [][]byte // AccConfigure blobs queued while PR is in flight
+}
+
+// nfEntry is the Controller's per-NF state.
+type nfEntry struct {
+	name   string
+	node   int
+	obq    *ring.Ring[*mbuf.Mbuf]
+	closed bool
+
+	sent     uint64
+	returned uint64
+	obqDrops uint64
+}
+
+// Runtime is the DHL Runtime.
+type Runtime struct {
+	sim *eventsim.Sim
+	cfg Config
+
+	db      map[string]fpga.ModuleSpec
+	hfByKey map[hfKey]*hfEntry
+	hfByAcc map[AccID]*hfEntry
+	nextAcc AccID
+
+	nfs    []*nfEntry // index = NFID-1
+	ibqs   []*ring.Ring[*mbuf.Mbuf]
+	nodeTx []*txEngine
+	nodeRx []*rxEngine
+}
+
+type hfKey struct {
+	name string
+	node int
+}
+
+// NewRuntime builds a Runtime with the stock accelerator module database
+// empty; call RegisterModule (or install hwfunc.Specs()) before NFs search
+// for hardware functions.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		sim:     cfg.Sim,
+		cfg:     cfg,
+		db:      make(map[string]fpga.ModuleSpec),
+		hfByKey: make(map[hfKey]*hfEntry),
+		hfByAcc: make(map[AccID]*hfEntry),
+		nodeTx:  make([]*txEngine, cfg.Nodes),
+		nodeRx:  make([]*rxEngine, cfg.Nodes),
+	}
+	for node := 0; node < cfg.Nodes; node++ {
+		ibq, rerr := ring.New[*mbuf.Mbuf](fmt.Sprintf("ibq-node%d", node),
+			nextPow2(cfg.IBQSize), ring.SingleConsumer)
+		if rerr != nil {
+			return nil, rerr
+		}
+		r.ibqs = append(r.ibqs, ibq)
+	}
+	return r, nil
+}
+
+func nextPow2(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Sim exposes the runtime's simulation (for NF actors).
+func (r *Runtime) Sim() *eventsim.Sim { return r.sim }
+
+// RegisterModule adds a module spec to the accelerator module database.
+// Per §IV-C, software developers may add self-built accelerator modules as
+// long as they follow the design specification.
+func (r *Runtime) RegisterModule(spec fpga.ModuleSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("core: module spec has no name")
+	}
+	if _, dup := r.db[spec.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateHF, spec.Name)
+	}
+	r.db[spec.Name] = spec
+	return nil
+}
+
+// ModuleDB lists the registered hardware function names.
+func (r *Runtime) ModuleDB() []string {
+	names := make([]string, 0, len(r.db))
+	for n := range r.db {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Register implements DHL_register(): it admits an NF, assigns its nf_id
+// and creates its private OBQ (§III-C).
+func (r *Runtime) Register(name string, node int) (NFID, error) {
+	if node < 0 || node >= r.cfg.Nodes {
+		return 0, fmt.Errorf("core: node %d out of range [0,%d)", node, r.cfg.Nodes)
+	}
+	// Single producer (the Distributor); multiple consumers are allowed so
+	// an NF may drain its OBQ from one core per port (§V-D's wiring).
+	obq, err := ring.New[*mbuf.Mbuf](fmt.Sprintf("obq-%s", name),
+		nextPow2(r.cfg.OBQSize), ring.SingleProducer)
+	if err != nil {
+		return 0, err
+	}
+	r.nfs = append(r.nfs, &nfEntry{name: name, node: node, obq: obq})
+	return NFID(len(r.nfs)), nil
+}
+
+// Unregister removes an NF. Its OBQ is drained (mbufs freed by the caller
+// owning the pool is not possible here, so entries are simply dropped for
+// the distributor to skip) and any data still in flight for it is
+// discarded on return — the isolation guarantee that a departing NF cannot
+// receive another NF's packets, nor leak its own to a successor nf_id.
+func (r *Runtime) Unregister(id NFID) error {
+	nf, err := r.nf(id)
+	if err != nil {
+		return err
+	}
+	nf.closed = true
+	return nil
+}
+
+func (r *Runtime) nf(id NFID) (*nfEntry, error) {
+	if id == 0 || int(id) > len(r.nfs) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNF, id)
+	}
+	nf := r.nfs[id-1]
+	if nf.closed {
+		return nil, fmt.Errorf("%w: %d", ErrNFClosed, id)
+	}
+	return nf, nil
+}
+
+// SearchByName implements DHL_search_by_name(): it resolves hf_name on the
+// NF's NUMA node via the hardware function table; on a miss it consults
+// the accelerator module database and triggers DHL_load_pr() itself, as
+// described in §IV-C. The returned acc_id is usable immediately — batches
+// destined for a still-reconfiguring region are held by the Packer until
+// the region comes up.
+func (r *Runtime) SearchByName(name string, node int) (AccID, error) {
+	if e, ok := r.hfByKey[hfKey{name, node}]; ok {
+		return e.accID, nil
+	}
+	return r.LoadPR(name, node)
+}
+
+// LoadPR implements DHL_load_pr(): it selects an FPGA on the NF's node
+// (falling back to any board), reserves a reconfigurable part, and streams
+// the PR bitstream through ICAP without disturbing other running regions.
+func (r *Runtime) LoadPR(name string, node int) (AccID, error) {
+	spec, ok := r.db[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownHF, name)
+	}
+	var entry *hfEntry
+	// Prefer a board on the NF's NUMA node (§IV-A2), then fall back to any
+	// board with room.
+	for pass := 0; pass < 2 && entry == nil; pass++ {
+		for i := range r.cfg.FPGAs {
+			local := r.cfg.FPGAs[i].Device.Node() == node
+			if (pass == 0) != local {
+				continue
+			}
+			if e, err := r.tryLoad(i, spec); err == nil {
+				entry = e
+				break
+			}
+		}
+	}
+	if entry == nil {
+		if len(r.cfg.FPGAs) == 0 {
+			return 0, ErrNoFPGA
+		}
+		return 0, fmt.Errorf("%w: %q does not fit on any board", ErrCapacity, name)
+	}
+	entry.name = name
+	entry.node = node
+	r.nextAcc++
+	entry.accID = r.nextAcc
+	r.hfByKey[hfKey{name, node}] = entry
+	r.hfByAcc[entry.accID] = entry
+	return entry.accID, nil
+}
+
+func (r *Runtime) tryLoad(fpgaIdx int, spec fpga.ModuleSpec) (*hfEntry, error) {
+	e := &hfEntry{fpgaIdx: fpgaIdx}
+	dev := r.cfg.FPGAs[fpgaIdx].Device
+	regionIdx, err := dev.LoadPR(spec, func(int) {
+		e.ready = true
+		for _, blob := range e.pendingCf {
+			// A bad blob is the NF's own configuration error; the module
+			// rejects it and later traffic fails visibly in its stats.
+			_ = dev.Configure(e.regionIdx, blob)
+		}
+		e.pendingCf = nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.regionIdx = regionIdx
+	return e, nil
+}
+
+// AccConfigure implements DHL_acc_configure(): it forwards an NF-supplied
+// parameter blob to the accelerator module (via the FPGA's Config module).
+// Blobs sent while the region is still reconfiguring are applied when the
+// PR completes.
+func (r *Runtime) AccConfigure(acc AccID, params []byte) error {
+	e, ok := r.hfByAcc[acc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	if !e.ready {
+		cp := make([]byte, len(params))
+		copy(cp, params)
+		e.pendingCf = append(e.pendingCf, cp)
+		return nil
+	}
+	return r.cfg.FPGAs[e.fpgaIdx].Device.Configure(e.regionIdx, params)
+}
+
+// SharedIBQ implements DHL_get_shared_IBQ(): the per-NUMA-node
+// multi-producer single-consumer ingress ring (§IV-A4).
+func (r *Runtime) SharedIBQ(node int) (*ring.Ring[*mbuf.Mbuf], error) {
+	if node < 0 || node >= len(r.ibqs) {
+		return nil, fmt.Errorf("core: node %d out of range [0,%d)", node, len(r.ibqs))
+	}
+	return r.ibqs[node], nil
+}
+
+// PrivateOBQ implements DHL_get_private_OBQ(): the NF's single-producer
+// single-consumer egress ring.
+func (r *Runtime) PrivateOBQ(id NFID) (*ring.Ring[*mbuf.Mbuf], error) {
+	nf, err := r.nf(id)
+	if err != nil {
+		return nil, err
+	}
+	return nf.obq, nil
+}
+
+// SendPackets implements DHL_send_packets(): the NF enqueues tagged
+// packets onto its node's shared IBQ. It returns how many were accepted;
+// the caller owns (and typically frees) the rest, mirroring
+// rte_ring_enqueue_burst semantics.
+func (r *Runtime) SendPackets(id NFID, pkts []*mbuf.Mbuf) (int, error) {
+	nf, err := r.nf(id)
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range pkts {
+		m.NFID = uint16(id)
+	}
+	n := r.ibqs[nf.node].EnqueueBurst(pkts)
+	nf.sent += uint64(n)
+	return n, nil
+}
+
+// ReceivePackets implements DHL_receive_packets(): the NF polls its
+// private OBQ for post-processed packets.
+func (r *Runtime) ReceivePackets(id NFID, dst []*mbuf.Mbuf) (int, error) {
+	nf, err := r.nf(id)
+	if err != nil {
+		return 0, err
+	}
+	return nf.obq.DequeueBurst(dst), nil
+}
+
+// NFStats reports a registered NF's counters: packets accepted into the
+// IBQ, packets returned to its OBQ, and packets dropped because its OBQ
+// was full.
+func (r *Runtime) NFStats(id NFID) (sent, returned, obqDrops uint64, err error) {
+	if id == 0 || int(id) > len(r.nfs) {
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrUnknownNF, id)
+	}
+	nf := r.nfs[id-1]
+	return nf.sent, nf.returned, nf.obqDrops, nil
+}
+
+// HFTable renders the hardware function table (Figure 2) for inspection.
+func (r *Runtime) HFTable() []string {
+	rows := make([]string, 0, len(r.hfByAcc))
+	for acc := AccID(1); acc <= r.nextAcc; acc++ {
+		e, ok := r.hfByAcc[acc]
+		if !ok {
+			continue
+		}
+		state := "loading"
+		if e.ready {
+			state = "ready"
+		}
+		rows = append(rows, fmt.Sprintf("hf=%-18s s.id=%d a.id=%d f.id=%d region=%d (%s)",
+			e.name, e.node, e.accID, e.fpgaIdx, e.regionIdx, state))
+	}
+	return rows
+}

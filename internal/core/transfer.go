@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/dhlproto"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/ring"
+)
+
+// TransferStats are the data transfer layer's lifetime counters for one
+// NUMA node's TX/RX core pair.
+type TransferStats struct {
+	PktsPacked      uint64
+	BatchesSent     uint64
+	BytesSent       uint64
+	FlushBySize     uint64
+	FlushByTimeout  uint64
+	DispatchErrors  uint64
+	PktsDistributed uint64
+	NFIDMismatches  uint64
+	CompletionDrops uint64
+	IBQDrained      uint64
+}
+
+// accState is the Packer's per-accelerator staging area plus the adaptive
+// batch-size controller state.
+type accState struct {
+	buf      []byte
+	mbufs    []*mbuf.Mbuf
+	firstAt  eventsim.Time
+	effBatch int
+}
+
+// completedBatch pairs a response batch from the FPGA with the ordered
+// originals it was built from. Record order is preserved end-to-end
+// (Packer -> DMA -> Dispatcher -> module -> DMA), so the Distributor zips
+// records with originals positionally and verifies nf_id as a cross-check.
+type completedBatch struct {
+	out  []byte
+	meta []*mbuf.Mbuf
+	pool *mbuf.Pool
+}
+
+// txEngine is one node's TX poll core: shared-IBQ dequeue + Packer + DMA
+// posting (Figure 2's input data flow).
+type txEngine struct {
+	r       *Runtime
+	node    int
+	pool    *mbuf.Pool
+	loop    *eventsim.PollLoop
+	staging map[AccID]*accState
+	order   []AccID // deterministic staging iteration order
+	stats   TransferStats
+	scratch []*mbuf.Mbuf
+}
+
+// rxEngine is one node's RX poll core: DMA completion polling +
+// Distributor + private-OBQ enqueue (Figure 2's output data flow).
+type rxEngine struct {
+	r           *Runtime
+	node        int
+	completions *ring.Ring[*completedBatch]
+	loop        *eventsim.PollLoop
+	stats       TransferStats
+	scratch     []*completedBatch
+}
+
+// AttachCores binds a TX and an RX poll core to a NUMA node and starts the
+// data transfer layer there (Table IV: "2 cores for DHL Runtime that one
+// for sending data to FPGA, and the other for receiving data from FPGA").
+// pool supplies nothing on the TX path (packets arrive via the IBQ) but is
+// where the Distributor returns dropped packets.
+func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbuf.Pool) error {
+	if node < 0 || node >= r.cfg.Nodes {
+		return fmt.Errorf("core: node %d out of range [0,%d)", node, r.cfg.Nodes)
+	}
+	completions, err := ring.New[*completedBatch](fmt.Sprintf("dma-cq-node%d", node),
+		1024, ring.SingleProducerConsumer)
+	if err != nil {
+		return err
+	}
+	rx := &rxEngine{
+		r:           r,
+		node:        node,
+		completions: completions,
+		scratch:     make([]*completedBatch, 8),
+	}
+	rx.loop = eventsim.NewPollLoop(r.sim, rxCore, perf.PollIdleCycles, rx.body)
+	tx := &txEngine{
+		r:       r,
+		node:    node,
+		pool:    pool,
+		staging: make(map[AccID]*accState),
+		scratch: make([]*mbuf.Mbuf, 64),
+	}
+	tx.loop = eventsim.NewPollLoop(r.sim, txCore, perf.PollIdleCycles, tx.body)
+	r.nodeTx[node] = tx
+	r.nodeRx[node] = rx
+	tx.loop.Start()
+	rx.loop.Start()
+	return nil
+}
+
+// Stats aggregates the transfer-layer counters of one node.
+func (r *Runtime) Stats(node int) (TransferStats, error) {
+	if node < 0 || node >= r.cfg.Nodes || r.nodeTx[node] == nil {
+		return TransferStats{}, ErrNoCores
+	}
+	s := r.nodeTx[node].stats
+	rxs := r.nodeRx[node].stats
+	s.PktsDistributed = rxs.PktsDistributed
+	s.NFIDMismatches = rxs.NFIDMismatches
+	s.CompletionDrops = rxs.CompletionDrops
+	return s, nil
+}
+
+// StopCores halts both poll loops (used by tests that re-wire a testbed).
+func (r *Runtime) StopCores(node int) {
+	if node < 0 || node >= r.cfg.Nodes {
+		return
+	}
+	if r.nodeTx[node] != nil {
+		r.nodeTx[node].loop.Stop()
+	}
+	if r.nodeRx[node] != nil {
+		r.nodeRx[node].loop.Stop()
+	}
+}
+
+// --- TX path -----------------------------------------------------------
+
+func (t *txEngine) body() (float64, func()) {
+	cycles := 0.0
+	now := t.r.sim.Now()
+	var sends []func()
+
+	// Deadline pass: force out batches that have waited FlushTimeout.
+	for _, acc := range t.order {
+		st := t.staging[acc]
+		if len(st.mbufs) > 0 && now-st.firstAt >= t.r.cfg.FlushTimeout {
+			if send := t.flush(acc, st, false); send != nil {
+				sends = append(sends, send)
+				cycles += perf.RuntimeTxCyclesPerBatch
+			}
+		}
+	}
+
+	commit := func() {
+		for _, send := range sends {
+			send()
+		}
+	}
+
+	// Back-pressure: when the DMA engines are booked out past the cap,
+	// leave packets in the IBQ so producers see the queue fill up.
+	congested := false
+	for i := range t.r.cfg.FPGAs {
+		if t.r.cfg.FPGAs[i].DMA.Backlog(pcie.H2C) > t.r.cfg.DMABacklogCap {
+			congested = true
+			break
+		}
+	}
+	if congested {
+		return cycles + perf.PollIdleCycles, commit
+	}
+
+	n := t.r.ibqs[t.node].DequeueBurst(t.scratch)
+	if n == 0 {
+		return cycles, commit
+	}
+	t.stats.IBQDrained += uint64(n)
+	for _, m := range t.scratch[:n] {
+		acc := AccID(m.AccID)
+		st, ok := t.staging[acc]
+		if !ok {
+			st = &accState{effBatch: t.r.cfg.BatchBytes}
+			t.staging[acc] = st
+			t.order = append(t.order, acc)
+		}
+		recLen := dhlproto.RecordOverhead + m.Len()
+		if len(st.buf)+recLen > st.effBatch && len(st.mbufs) > 0 {
+			if send := t.flush(acc, st, true); send != nil {
+				sends = append(sends, send)
+				cycles += perf.RuntimeTxCyclesPerBatch
+			}
+		}
+		if len(st.mbufs) == 0 {
+			st.firstAt = t.r.sim.Now()
+		}
+		var err error
+		st.buf, err = dhlproto.AppendRecord(st.buf, m.NFID, m.AccID, m.Data())
+		if err != nil {
+			// Oversized record: cannot be transported; drop it.
+			_ = t.pool.Free(m)
+			continue
+		}
+		st.mbufs = append(st.mbufs, m)
+		t.stats.PktsPacked++
+		cycles += perf.RuntimeTxCyclesPerPkt
+		if len(st.buf) >= st.effBatch {
+			if send := t.flush(acc, st, true); send != nil {
+				sends = append(sends, send)
+				cycles += perf.RuntimeTxCyclesPerBatch
+			}
+		}
+	}
+	return cycles, commit
+}
+
+// flush prepares one staged batch for the DMA engine, returning a send
+// closure the poll loop commits when the core has finished packing (or nil
+// when nothing is sendable — the region may still be reconfiguring, in
+// which case the batch stays staged).
+func (t *txEngine) flush(acc AccID, st *accState, bySize bool) func() {
+	e, ok := t.r.hfByAcc[acc]
+	if !ok || len(st.mbufs) == 0 {
+		// Unknown acc_id: nothing routable; drop the staged packets.
+		for _, m := range st.mbufs {
+			_ = t.pool.Free(m)
+		}
+		st.buf, st.mbufs = nil, nil
+		return nil
+	}
+	if !e.ready {
+		return nil // hold until partial reconfiguration completes
+	}
+
+	// Adaptive batching controller (§VI.2): grow on size-triggered
+	// flushes, shrink on timeout-triggered ones.
+	if t.r.cfg.Batching == AdaptiveBatching {
+		if bySize {
+			st.effBatch = min(st.effBatch*2, t.r.cfg.BatchBytes)
+		} else {
+			st.effBatch = max(st.effBatch/2, t.r.cfg.MinBatchBytes)
+		}
+	}
+	if bySize {
+		t.stats.FlushBySize++
+	} else {
+		t.stats.FlushByTimeout++
+	}
+
+	batch := st.buf
+	meta := st.mbufs
+	st.buf = nil
+	st.mbufs = nil
+
+	att := t.r.cfg.FPGAs[e.fpgaIdx]
+	rx := t.r.nodeRx[t.node]
+	regionIdx := e.regionIdx
+	t.stats.BatchesSent++
+	t.stats.BytesSent += uint64(len(batch))
+	return func() {
+		_, err := att.DMA.Transfer(pcie.H2C, len(batch), func() {
+			_, derr := att.Device.Dispatch(regionIdx, batch, func(out []byte, merr error) {
+				if merr != nil {
+					t.stats.DispatchErrors++
+					t.dropBatch(meta)
+					return
+				}
+				_, cerr := att.DMA.Transfer(pcie.C2H, len(out), func() {
+					cb := &completedBatch{out: out, meta: meta, pool: t.pool}
+					if !rx.completions.Enqueue(cb) {
+						rx.stats.CompletionDrops++
+						t.dropBatch(meta)
+					}
+				})
+				if cerr != nil {
+					t.stats.DispatchErrors++
+					t.dropBatch(meta)
+				}
+			})
+			if derr != nil {
+				t.stats.DispatchErrors++
+				t.dropBatch(meta)
+			}
+		})
+		if err != nil {
+			t.stats.DispatchErrors++
+			t.dropBatch(meta)
+		}
+	}
+}
+
+func (t *txEngine) dropBatch(meta []*mbuf.Mbuf) {
+	for _, m := range meta {
+		_ = t.pool.Free(m)
+	}
+}
+
+// --- RX path -----------------------------------------------------------
+
+func (x *rxEngine) body() (float64, func()) {
+	n := x.completions.DequeueBurst(x.scratch)
+	if n == 0 {
+		return 0, nil
+	}
+	cycles := 0.0
+	batches := make([]*completedBatch, n)
+	copy(batches, x.scratch[:n])
+	for _, cb := range batches {
+		cycles += perf.RuntimeRxCyclesPerBatch
+		cycles += float64(len(cb.meta)) * perf.RuntimeRxCyclesPerPkt
+	}
+	return cycles, func() {
+		for _, cb := range batches {
+			x.distribute(cb)
+		}
+	}
+}
+
+// distribute is the Distributor (§IV-A3): it decapsulates the returned
+// batch and routes each record to the owning NF's private OBQ by nf_id.
+func (x *rxEngine) distribute(cb *completedBatch) {
+	i := 0
+	err := dhlproto.Walk(cb.out, func(rec dhlproto.Record) error {
+		if i >= len(cb.meta) {
+			x.stats.NFIDMismatches++
+			return dhlproto.ErrCorrupt
+		}
+		m := cb.meta[i]
+		i++
+		if rec.NFID != m.NFID {
+			// Isolation violation: never deliver another NF's data.
+			x.stats.NFIDMismatches++
+			_ = cb.pool.Free(m)
+			return nil
+		}
+		// Overwrite the original mbuf with the post-processed payload.
+		if err := m.SetLen(len(rec.Payload)); err != nil {
+			_ = cb.pool.Free(m)
+			return nil
+		}
+		copy(m.Data(), rec.Payload)
+		x.deliver(NFID(rec.NFID), m, cb.pool)
+		x.stats.PktsDistributed++
+		return nil
+	})
+	if err != nil {
+		// Remaining originals cannot be matched; free them.
+		for ; i < len(cb.meta); i++ {
+			_ = cb.pool.Free(cb.meta[i])
+		}
+	}
+}
+
+func (x *rxEngine) deliver(id NFID, m *mbuf.Mbuf, pool *mbuf.Pool) {
+	if id == 0 || int(id) > len(x.r.nfs) {
+		_ = pool.Free(m)
+		return
+	}
+	nf := x.r.nfs[id-1]
+	if nf.closed {
+		_ = pool.Free(m)
+		return
+	}
+	if nf.obq.Enqueue(m) {
+		nf.returned++
+		return
+	}
+	nf.obqDrops++
+	_ = pool.Free(m)
+}

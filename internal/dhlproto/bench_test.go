@@ -1,0 +1,24 @@
+package dhlproto
+
+import "testing"
+
+// BenchmarkPackUnpack measures the Packer/Distributor codec cost for a
+// paper-sized batch (96 x 64B records ~= 6 KB).
+func BenchmarkPackUnpack(b *testing.B) {
+	payload := make([]byte, 64)
+	b.SetBytes(96 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var batch []byte
+		for r := 0; r < 96; r++ {
+			var err error
+			batch, err = AppendRecord(batch, 1, 2, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := Walk(batch, func(Record) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

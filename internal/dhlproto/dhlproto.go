@@ -1,0 +1,89 @@
+// Package dhlproto defines the on-DMA batch encoding shared by the DHL
+// Runtime's Packer/Distributor on the host side and the Dispatcher on the
+// FPGA side.
+//
+// Per paper §IV-A3, the Packer groups packets by acc_id and "encodes the
+// 2-Byte tag pair (nf_id, acc_id) into the header of the data field" before
+// batching them into one DMA transfer; the FPGA Dispatcher routes records
+// by acc_id and the host Distributor demultiplexes returned records to
+// private OBQs by nf_id.
+package dhlproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RecordOverhead is the per-record header size: nf_id(2) + acc_id(2) +
+// payload length(2).
+const RecordOverhead = 6
+
+// Errors returned by the codec.
+var (
+	// ErrCorrupt reports a malformed batch.
+	ErrCorrupt = errors.New("dhlproto: corrupt batch")
+	// ErrRecordTooLarge reports a payload over 64 KB-RecordOverhead.
+	ErrRecordTooLarge = errors.New("dhlproto: record too large")
+)
+
+// Record is one packet inside a batch.
+type Record struct {
+	NFID    uint16
+	AccID   uint16
+	Payload []byte
+}
+
+// EncodedLen reports the batch bytes record payloads of the given sizes
+// will occupy.
+func EncodedLen(payloadLens ...int) int {
+	total := 0
+	for _, n := range payloadLens {
+		total += RecordOverhead + n
+	}
+	return total
+}
+
+// AppendRecord appends one encoded record to batch and returns the
+// extended slice.
+func AppendRecord(batch []byte, nfID, accID uint16, payload []byte) ([]byte, error) {
+	if len(payload) > 0xffff {
+		return batch, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(payload))
+	}
+	var hdr [RecordOverhead]byte
+	binary.BigEndian.PutUint16(hdr[0:2], nfID)
+	binary.BigEndian.PutUint16(hdr[2:4], accID)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(payload)))
+	batch = append(batch, hdr[:]...)
+	return append(batch, payload...), nil
+}
+
+// Walk decodes batch record by record, invoking fn for each. The payload
+// slice aliases batch. Walk stops early if fn returns an error.
+func Walk(batch []byte, fn func(Record) error) error {
+	off := 0
+	for off < len(batch) {
+		if len(batch)-off < RecordOverhead {
+			return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(batch)-off)
+		}
+		nfID := binary.BigEndian.Uint16(batch[off : off+2])
+		accID := binary.BigEndian.Uint16(batch[off+2 : off+4])
+		plen := int(binary.BigEndian.Uint16(batch[off+4 : off+6]))
+		off += RecordOverhead
+		if len(batch)-off < plen {
+			return fmt.Errorf("%w: record wants %d bytes, %d remain", ErrCorrupt, plen, len(batch)-off)
+		}
+		if err := fn(Record{NFID: nfID, AccID: accID, Payload: batch[off : off+plen]}); err != nil {
+			return err
+		}
+		off += plen
+	}
+	return nil
+}
+
+// Count reports the number of records in a batch, validating framing.
+func Count(batch []byte) (int, error) {
+	n := 0
+	err := Walk(batch, func(Record) error { n++; return nil })
+	return n, err
+}

@@ -1,0 +1,120 @@
+package dhlproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var batch []byte
+	var err error
+	payloads := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma-gamma")}
+	for i, p := range payloads {
+		batch, err = AppendRecord(batch, uint16(i+1), uint16(10+i), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := EncodedLen(5, 0, 11); len(batch) != want {
+		t.Errorf("batch len %d, want %d", len(batch), want)
+	}
+	var got []Record
+	if err := Walk(batch, func(r Record) error {
+		cp := r
+		cp.Payload = append([]byte(nil), r.Payload...)
+		got = append(got, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("records %d", len(got))
+	}
+	for i, r := range got {
+		if r.NFID != uint16(i+1) || r.AccID != uint16(10+i) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Errorf("record %d: %+v", i, r)
+		}
+	}
+	n, err := Count(batch)
+	if err != nil || n != 3 {
+		t.Errorf("count %d err %v", n, err)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	if _, err := AppendRecord(nil, 1, 1, make([]byte, 70000)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("oversized: %v", err)
+	}
+}
+
+func TestCorruptBatches(t *testing.T) {
+	// Truncated header.
+	if _, err := Count([]byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: %v", err)
+	}
+	// Length field pointing past the end.
+	batch, _ := AppendRecord(nil, 1, 1, []byte("abcdef"))
+	if _, err := Count(batch[:len(batch)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated payload: %v", err)
+	}
+	// Empty batch is valid (zero records).
+	if n, err := Count(nil); err != nil || n != 0 {
+		t.Errorf("empty batch: %d %v", n, err)
+	}
+}
+
+func TestWalkStopsOnCallbackError(t *testing.T) {
+	var batch []byte
+	batch, _ = AppendRecord(batch, 1, 1, []byte("a"))
+	batch, _ = AppendRecord(batch, 2, 2, []byte("b"))
+	calls := 0
+	sentinel := errors.New("stop")
+	err := Walk(batch, func(Record) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Errorf("walk: calls=%d err=%v", calls, err)
+	}
+}
+
+// TestQuickCodecRoundTrip property-checks encode->walk identity for
+// arbitrary record sequences.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(recs []struct {
+		NF, Acc uint16
+		Payload []byte
+	}) bool {
+		var batch []byte
+		var err error
+		for _, r := range recs {
+			p := r.Payload
+			if len(p) > 4000 {
+				p = p[:4000]
+			}
+			batch, err = AppendRecord(batch, r.NF, r.Acc, p)
+			if err != nil {
+				return false
+			}
+		}
+		i := 0
+		err = Walk(batch, func(got Record) error {
+			want := recs[i]
+			p := want.Payload
+			if len(p) > 4000 {
+				p = p[:4000]
+			}
+			if got.NFID != want.NF || got.AccID != want.Acc || !bytes.Equal(got.Payload, p) {
+				return errors.New("mismatch")
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package eventsim
+
+import "testing"
+
+// BenchmarkEventLoop measures raw simulator event throughput, the wall-
+// clock cost driver of every experiment.
+func BenchmarkEventLoop(b *testing.B) {
+	s := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.RunAll()
+}
+
+// BenchmarkPollLoop measures the poll-loop actor overhead.
+func BenchmarkPollLoop(b *testing.B) {
+	s := New()
+	c := NewCore(s, 0, 0, 2.1e9)
+	n := 0
+	var loop *PollLoop
+	loop = NewPollLoop(s, c, 60, func() (float64, func()) {
+		n++
+		if n >= b.N {
+			loop.Stop()
+		}
+		return 100, nil
+	})
+	b.ResetTimer()
+	loop.Start()
+	s.RunAll()
+}

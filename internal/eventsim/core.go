@@ -1,0 +1,131 @@
+package eventsim
+
+import "fmt"
+
+// Core models one simulated CPU hardware thread.
+//
+// Work is accounted in cycles at the core's clock frequency. A core is a
+// serial resource: tasks queued on it execute back-to-back, mirroring a
+// DPDK-style run-to-completion poll-mode core.
+type Core struct {
+	sim    *Sim
+	id     int
+	node   int // NUMA node
+	hz     float64
+	freeAt Time
+
+	busy Time // total busy time, for utilization accounting
+}
+
+// NewCore creates a simulated core on NUMA node "node" clocked at hz Hz.
+func NewCore(sim *Sim, id, node int, hz float64) *Core {
+	return &Core{sim: sim, id: id, node: node, hz: hz}
+}
+
+// ID reports the core's identifier.
+func (c *Core) ID() int { return c.id }
+
+// Node reports the core's NUMA node.
+func (c *Core) Node() int { return c.node }
+
+// Hz reports the core's clock frequency.
+func (c *Core) Hz() float64 { return c.hz }
+
+// CycleTime converts a cycle count into virtual time at this core's clock.
+func (c *Core) CycleTime(cycles float64) Time {
+	if cycles <= 0 {
+		return 0
+	}
+	return Time(cycles * 1e12 / c.hz)
+}
+
+// Cycles converts a virtual-time span into cycles at this core's clock.
+func (c *Core) Cycles(d Time) float64 {
+	return float64(d) * c.hz / 1e12
+}
+
+// FreeAt reports when the core finishes all currently queued work.
+func (c *Core) FreeAt() Time { return c.freeAt }
+
+// Utilization reports the fraction of [0, horizon] this core spent busy.
+func (c *Core) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(horizon)
+}
+
+// Exec occupies the core for "cycles" cycles starting no earlier than now,
+// then invokes done (which may be nil). It returns the completion time.
+func (c *Core) Exec(cycles float64, done func()) Time {
+	start := c.sim.Now()
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	d := c.CycleTime(cycles)
+	c.freeAt = start + d
+	c.busy += d
+	if done != nil {
+		c.sim.At(c.freeAt, done)
+	}
+	return c.freeAt
+}
+
+// String identifies the core for diagnostics.
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d(node%d @%.2fGHz)", c.id, c.node, c.hz/1e9)
+}
+
+// PollBody is one poll-loop iteration. It returns the cycles the iteration
+// consumed and an optional commit callback that runs when the core has
+// actually spent those cycles — downstream hand-offs (ring enqueues, NIC
+// TX, DMA posts) belong in commit so that pipeline latency includes the
+// stage's processing time. Inputs may be consumed at iteration start
+// (matching when rx_burst/ring dequeue returns).
+type PollBody func() (cycles float64, commit func())
+
+// PollLoop runs a poll-mode body on a core forever (until the simulation
+// horizon). If the body reports 0 cycles the loop charges idleCycles
+// instead, modelling the cost of a wasted poll. This mirrors a DPDK
+// while(1) { rx_burst(); ... } core.
+type PollLoop struct {
+	sim        *Sim
+	core       *Core
+	body       PollBody
+	idleCycles float64
+	stopped    bool
+	iterations uint64
+}
+
+// NewPollLoop creates (but does not start) a poll loop on core.
+func NewPollLoop(sim *Sim, core *Core, idleCycles float64, body PollBody) *PollLoop {
+	return &PollLoop{sim: sim, core: core, body: body, idleCycles: idleCycles}
+}
+
+// Start schedules the first iteration at the current time.
+func (p *PollLoop) Start() {
+	p.sim.After(0, p.iterate)
+}
+
+// Stop halts the loop after the current iteration.
+func (p *PollLoop) Stop() { p.stopped = true }
+
+// Iterations reports how many poll iterations have run.
+func (p *PollLoop) Iterations() uint64 { return p.iterations }
+
+func (p *PollLoop) iterate() {
+	if p.stopped {
+		return
+	}
+	p.iterations++
+	cycles, commit := p.body()
+	if cycles <= 0 {
+		cycles = p.idleCycles
+	}
+	p.core.Exec(cycles, func() {
+		if commit != nil {
+			commit()
+		}
+		p.iterate()
+	})
+}

@@ -1,0 +1,259 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromDuration(time.Microsecond) != Microsecond {
+		t.Errorf("FromDuration(1us) = %d", FromDuration(time.Microsecond))
+	}
+	if d := (3 * Millisecond).Duration(); d != 3*time.Millisecond {
+		t.Errorf("Duration() = %v", d)
+	}
+	if s := Second.Seconds(); s != 1.0 {
+		t.Errorf("Seconds() = %v", s)
+	}
+	if us := (2500 * Nanosecond).Micros(); us != 2.5 {
+		t.Errorf("Micros() = %v", us)
+	}
+	if got := FromSeconds(0.5); got != 500*Millisecond {
+		t.Errorf("FromSeconds(0.5) = %v", got)
+	}
+	if (1500 * Nanosecond).String() != "1.500us" {
+		t.Errorf("String() = %q", (1500 * Nanosecond).String())
+	}
+}
+
+func TestSimRunsEventsInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30*Nanosecond, func() { got = append(got, 3) })
+	s.At(10*Nanosecond, func() { got = append(got, 1) })
+	s.At(20*Nanosecond, func() { got = append(got, 2) })
+	n := s.RunAll()
+	if n != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestSimFIFOAtEqualTimes(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5*Microsecond, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestSimAfterAndNow(t *testing.T) {
+	s := New()
+	var at Time
+	s.After(7*Microsecond, func() {
+		at = s.Now()
+		s.After(3*Microsecond, func() { at = s.Now() })
+	})
+	s.RunAll()
+	if at != 10*Microsecond {
+		t.Errorf("nested After landed at %v", at)
+	}
+}
+
+func TestSimPastSchedulingClampsToNow(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10*Microsecond, func() {
+		s.At(5*Microsecond, func() { // in the past
+			ran = true
+			if s.Now() != 10*Microsecond {
+				t.Errorf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.RunAll()
+	if !ran {
+		t.Error("past-scheduled event never ran")
+	}
+}
+
+func TestSimRunHorizonStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(5*Microsecond, func() { ran++ })
+	s.At(50*Microsecond, func() { ran++ })
+	s.Run(10 * Microsecond)
+	if ran != 1 {
+		t.Fatalf("ran %d events before horizon, want 1", ran)
+	}
+	if s.Now() != 10*Microsecond {
+		t.Errorf("clock at %v after horizon run", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending %d", s.Pending())
+	}
+	s.RunAll()
+	if ran != 2 {
+		t.Errorf("second event never ran")
+	}
+}
+
+func TestSimStop(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(1, func() { ran++; s.Stop() })
+	s.At(2, func() { ran++ })
+	s.RunAll()
+	if ran != 1 {
+		t.Errorf("Stop did not halt the loop: ran %d", ran)
+	}
+}
+
+func TestSimNilAndNegative(t *testing.T) {
+	s := New()
+	s.At(5, nil) // must not panic or enqueue
+	if s.Pending() != 0 {
+		t.Error("nil event enqueued")
+	}
+	ran := false
+	s.After(-5, func() { ran = true })
+	s.RunAll()
+	if !ran {
+		t.Error("negative delay event never ran")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	// Two identical simulations must produce identical traces.
+	run := func() []Time {
+		s := New()
+		var trace []Time
+		var rec func(depth int)
+		seed := Time(1)
+		rec = func(depth int) {
+			trace = append(trace, s.Now())
+			if depth > 6 {
+				return
+			}
+			seed = seed*1103515245 + 12345
+			d := seed % 97
+			if d < 0 {
+				d = -d
+			}
+			s.After(d, func() { rec(depth + 1) })
+			s.After(d/2, func() { rec(depth + 1) })
+		}
+		s.After(0, func() { rec(0) })
+		s.RunAll()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCoreExecSerializes(t *testing.T) {
+	s := New()
+	c := NewCore(s, 0, 0, 1e9) // 1 GHz: 1 cycle = 1 ns
+	var done []Time
+	s.After(0, func() {
+		c.Exec(100, func() { done = append(done, s.Now()) })
+		c.Exec(50, func() { done = append(done, s.Now()) })
+	})
+	s.RunAll()
+	if len(done) != 2 {
+		t.Fatalf("completions: %d", len(done))
+	}
+	if done[0] != 100*Nanosecond || done[1] != 150*Nanosecond {
+		t.Errorf("serialized completions at %v", done)
+	}
+	if c.Utilization(150*Nanosecond) != 1.0 {
+		t.Errorf("utilization %v", c.Utilization(150*Nanosecond))
+	}
+}
+
+func TestCoreCycleTimeRoundTrip(t *testing.T) {
+	s := New()
+	c := NewCore(s, 3, 1, 2.1e9)
+	if c.ID() != 3 || c.Node() != 1 || c.Hz() != 2.1e9 {
+		t.Errorf("core identity: %v", c)
+	}
+	err := quick.Check(func(n uint16) bool {
+		cycles := float64(n)
+		back := c.Cycles(c.CycleTime(cycles))
+		return back >= cycles-1 && back <= cycles+1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	if c.CycleTime(-5) != 0 {
+		t.Error("negative cycles should cost zero time")
+	}
+}
+
+func TestPollLoopIdleChargesAndCommitOrder(t *testing.T) {
+	s := New()
+	c := NewCore(s, 0, 0, 1e9)
+	iterations := 0
+	commits := 0
+	var loop *PollLoop
+	loop = NewPollLoop(s, c, 10, func() (float64, func()) {
+		iterations++
+		if iterations == 5 {
+			return 100, func() {
+				commits++
+				// 4 idle iterations at 10 cycles + 100 busy cycles @1GHz.
+				if s.Now() != Time(4*10+100)*Nanosecond {
+					t.Errorf("commit at %v", s.Now())
+				}
+				loop.Stop()
+			}
+		}
+		return 0, nil // idle
+	})
+	loop.Start()
+	s.RunAll()
+	if commits != 1 {
+		t.Errorf("commits = %d", commits)
+	}
+	if loop.Iterations() != 5 {
+		t.Errorf("iterations = %d", loop.Iterations())
+	}
+}
+
+func TestPollLoopStop(t *testing.T) {
+	s := New()
+	c := NewCore(s, 0, 0, 1e9)
+	n := 0
+	var loop *PollLoop
+	loop = NewPollLoop(s, c, 10, func() (float64, func()) {
+		n++
+		if n == 3 {
+			loop.Stop()
+		}
+		return 10, nil
+	})
+	loop.Start()
+	s.RunAll()
+	if n != 3 {
+		t.Errorf("loop ran %d iterations after Stop", n)
+	}
+}

@@ -1,0 +1,392 @@
+// Package fpga models the DHL FPGA board: a Xilinx VC709-class device with
+// a static region (DMA engine, Dispatcher, Config and Reconfig modules) and
+// a set of partially-reconfigurable parts that host accelerator modules
+// (paper §IV-C, Figure 2).
+//
+// The model is functional *and* temporal: accelerator modules really
+// transform the bytes they are given (encryption, pattern matching), while
+// service times come from the published per-module specifications
+// (Table VI) and reconfiguration times from the ICAP bandwidth model
+// (Table V). Resource accounting (LUTs/BRAM) enforces the packing limits
+// the paper reports ("enough resource to place 5 ipsec-crypto or 2
+// pattern-matching in an FPGA", §V-F).
+package fpga
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+)
+
+// Errors returned by device operations.
+var (
+	ErrNoFreeRegion   = errors.New("fpga: no free reconfigurable part")
+	ErrInsufficient   = errors.New("fpga: insufficient LUT/BRAM resources")
+	ErrRegionBusy     = errors.New("fpga: reconfigurable part is busy")
+	ErrUnknownAcc     = errors.New("fpga: unknown accelerator (no module at acc slot)")
+	ErrNotLoaded      = errors.New("fpga: module not loaded")
+	ErrBadSpec        = errors.New("fpga: invalid module spec")
+	ErrReconfiguring  = errors.New("fpga: region is reconfiguring")
+	ErrDeviceShutdown = errors.New("fpga: device is shut down")
+)
+
+// Module is the functional behaviour of an accelerator module. The
+// Dispatcher hands each module the encoded request batch for its
+// reconfigurable part and forwards the returned response batch to the DMA
+// engine (paper §IV-B2).
+type Module interface {
+	// ProcessBatch consumes an encoded request batch (dhlproto format) and
+	// produces the encoded response batch.
+	ProcessBatch(in []byte) ([]byte, error)
+	// Configure applies an NF-supplied parameter blob
+	// (DHL_acc_configure(), e.g. cipher keys or a pattern rule set).
+	Configure(params []byte) error
+}
+
+// ModuleSpec describes an accelerator module in the accelerator module
+// database: its resource footprint, service model and factory.
+type ModuleSpec struct {
+	// Name is the hardware function name NFs search for (hf_name).
+	Name string
+	// LUTs and BRAM are the module's resource footprint (Table VI).
+	LUTs int
+	BRAM int
+	// ThroughputBps is the module's sustained processing rate (Table VI).
+	ThroughputBps float64
+	// DelayCycles is the module's pipeline depth in FPGA clock cycles
+	// (Table VI "Delay (Cycles)").
+	DelayCycles int
+	// BitstreamBytes is the PR bitstream size (Table V).
+	BitstreamBytes int
+	// New constructs the functional engine for one loaded instance.
+	New func() Module
+}
+
+func (s ModuleSpec) validate() error {
+	if s.Name == "" || s.LUTs <= 0 || s.BRAM < 0 || s.ThroughputBps <= 0 ||
+		s.DelayCycles < 0 || s.BitstreamBytes <= 0 || s.New == nil {
+		return fmt.Errorf("%w: %+v", ErrBadSpec, s)
+	}
+	return nil
+}
+
+// RegionState is the lifecycle state of a reconfigurable part.
+type RegionState int
+
+// Region lifecycle states.
+const (
+	// RegionEmpty has no module loaded ("blank with data and configuration
+	// interfaces defined").
+	RegionEmpty RegionState = iota + 1
+	// RegionReconfiguring is being written through ICAP.
+	RegionReconfiguring
+	// RegionLoaded hosts a running accelerator module.
+	RegionLoaded
+)
+
+// String names the state.
+func (s RegionState) String() string {
+	switch s {
+	case RegionEmpty:
+		return "empty"
+	case RegionReconfiguring:
+		return "reconfiguring"
+	case RegionLoaded:
+		return "loaded"
+	default:
+		return fmt.Sprintf("RegionState(%d)", int(s))
+	}
+}
+
+// Region is one reconfigurable part of the device.
+type Region struct {
+	idx    int
+	state  RegionState
+	spec   ModuleSpec
+	module Module
+
+	// freeAt is when the module's ingress pipeline can accept the next
+	// batch (throughput serialization); the pipeline delay adds latency on
+	// top of it.
+	freeAt eventsim.Time
+
+	batches uint64
+	bytes   uint64
+	busyPs  eventsim.Time
+}
+
+// Index reports the region's floorplan slot.
+func (r *Region) Index() int { return r.idx }
+
+// State reports the region's lifecycle state.
+func (r *Region) State() RegionState { return r.state }
+
+// Spec reports the loaded module's spec (zero value when empty).
+func (r *Region) Spec() ModuleSpec { return r.spec }
+
+// Config parameterizes a Device.
+type Config struct {
+	// ID identifies the board (fpga_id).
+	ID int
+	// Node is the NUMA node whose PCIe root the board hangs off.
+	Node int
+	// TotalLUTs/TotalBRAM default to the XC7VX690T values.
+	TotalLUTs int
+	TotalBRAM int
+	// StaticLUTs/StaticBRAM default to the Table VI static region.
+	StaticLUTs int
+	StaticBRAM int
+	// Regions is the number of reconfigurable parts in the base design
+	// floorplan. Zero selects 8.
+	Regions int
+	// ClockHz defaults to the 250 MHz base-design clock.
+	ClockHz float64
+	// ICAPBytesPerSec defaults to the calibrated ICAP bandwidth.
+	ICAPBytesPerSec float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalLUTs == 0 {
+		c.TotalLUTs = perf.FPGATotalLUTs
+	}
+	if c.TotalBRAM == 0 {
+		c.TotalBRAM = perf.FPGATotalBRAM
+	}
+	if c.StaticLUTs == 0 {
+		c.StaticLUTs = perf.StaticRegionLUTs
+	}
+	if c.StaticBRAM == 0 {
+		c.StaticBRAM = perf.StaticRegionBRAM
+	}
+	if c.Regions == 0 {
+		c.Regions = 8
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = perf.FPGAClockHz
+	}
+	if c.ICAPBytesPerSec == 0 {
+		c.ICAPBytesPerSec = perf.ICAPBytesPerSec
+	}
+	return c
+}
+
+// Device is one simulated FPGA board.
+type Device struct {
+	sim     *eventsim.Sim
+	cfg     Config
+	regions []Region
+
+	usedLUTs int
+	usedBRAM int
+
+	dispatched uint64
+	dropped    uint64
+}
+
+// NewDevice creates a device with an empty floorplan.
+func NewDevice(sim *eventsim.Sim, cfg Config) (*Device, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StaticLUTs > cfg.TotalLUTs || cfg.StaticBRAM > cfg.TotalBRAM {
+		return nil, fmt.Errorf("%w: static region exceeds device", ErrInsufficient)
+	}
+	d := &Device{sim: sim, cfg: cfg, regions: make([]Region, cfg.Regions)}
+	for i := range d.regions {
+		d.regions[i] = Region{idx: i, state: RegionEmpty}
+	}
+	return d, nil
+}
+
+// ID reports the board identifier.
+func (d *Device) ID() int { return d.cfg.ID }
+
+// Node reports the board's NUMA node.
+func (d *Device) Node() int { return d.cfg.Node }
+
+// Regions reports the floorplan size.
+func (d *Device) Regions() int { return len(d.regions) }
+
+// Region returns the region at idx for inspection.
+func (d *Device) Region(idx int) (*Region, error) {
+	if idx < 0 || idx >= len(d.regions) {
+		return nil, fmt.Errorf("fpga: region %d out of range [0,%d)", idx, len(d.regions))
+	}
+	return &d.regions[idx], nil
+}
+
+// AvailableLUTs reports LUTs not consumed by the static region or loaded
+// modules.
+func (d *Device) AvailableLUTs() int {
+	return d.cfg.TotalLUTs - d.cfg.StaticLUTs - d.usedLUTs
+}
+
+// AvailableBRAM reports BRAM blocks not consumed by the static region or
+// loaded modules.
+func (d *Device) AvailableBRAM() int {
+	return d.cfg.TotalBRAM - d.cfg.StaticBRAM - d.usedBRAM
+}
+
+// UtilizationLUTs reports the fraction of device LUTs in use (static +
+// modules), the Table VI percentage.
+func (d *Device) UtilizationLUTs() float64 {
+	return float64(d.cfg.StaticLUTs+d.usedLUTs) / float64(d.cfg.TotalLUTs)
+}
+
+// UtilizationBRAM reports the fraction of device BRAM in use.
+func (d *Device) UtilizationBRAM() float64 {
+	return float64(d.cfg.StaticBRAM+d.usedBRAM) / float64(d.cfg.TotalBRAM)
+}
+
+// PRTime reports the modeled partial-reconfiguration time for a bitstream
+// of the given size (Table V: proportional to bitstream size).
+func (d *Device) PRTime(bitstreamBytes int) eventsim.Time {
+	return eventsim.Time(float64(bitstreamBytes) / d.cfg.ICAPBytesPerSec * 1e12)
+}
+
+// LoadPR starts partial reconfiguration of a free region with spec and
+// invokes done (optionally nil) with the region index when the ICAP write
+// completes. Running modules in other regions are untouched — the paper's
+// §V-E "no throughput degradation of the running NF" property holds by
+// construction, since only the targeted Region's state changes.
+func (d *Device) LoadPR(spec ModuleSpec, done func(regionIdx int)) (int, error) {
+	if err := spec.validate(); err != nil {
+		return -1, err
+	}
+	idx := -1
+	for i := range d.regions {
+		if d.regions[i].state == RegionEmpty {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return -1, ErrNoFreeRegion
+	}
+	if spec.LUTs > d.AvailableLUTs() || spec.BRAM > d.AvailableBRAM() {
+		return -1, fmt.Errorf("%w: %s needs %d LUT/%d BRAM, have %d/%d",
+			ErrInsufficient, spec.Name, spec.LUTs, spec.BRAM, d.AvailableLUTs(), d.AvailableBRAM())
+	}
+	r := &d.regions[idx]
+	r.state = RegionReconfiguring
+	r.spec = spec
+	d.usedLUTs += spec.LUTs
+	d.usedBRAM += spec.BRAM
+	d.sim.After(d.PRTime(spec.BitstreamBytes), func() {
+		r.module = spec.New()
+		r.state = RegionLoaded
+		r.freeAt = d.sim.Now()
+		if done != nil {
+			done(idx)
+		}
+	})
+	return idx, nil
+}
+
+// Unload frees a loaded region, returning its resources to the pool.
+func (d *Device) Unload(regionIdx int) error {
+	r, err := d.Region(regionIdx)
+	if err != nil {
+		return err
+	}
+	switch r.state {
+	case RegionReconfiguring:
+		return ErrReconfiguring
+	case RegionEmpty:
+		return ErrNotLoaded
+	}
+	d.usedLUTs -= r.spec.LUTs
+	d.usedBRAM -= r.spec.BRAM
+	r.state = RegionEmpty
+	r.spec = ModuleSpec{}
+	r.module = nil
+	return nil
+}
+
+// Configure forwards an NF parameter blob to a loaded region's module via
+// the static Config module (Figure 2's "Config" block).
+func (d *Device) Configure(regionIdx int, params []byte) error {
+	r, err := d.Region(regionIdx)
+	if err != nil {
+		return err
+	}
+	if r.state != RegionLoaded {
+		return ErrNotLoaded
+	}
+	return r.module.Configure(params)
+}
+
+// Dispatch models the static-region Dispatcher: it routes one encoded
+// request batch to the region's module, applies the module's temporal
+// model (throughput serialization + pipeline delay), and delivers the
+// encoded response batch to done at the completion time.
+//
+// The returned time is when the response is ready at the FPGA's TX DMA
+// channel; the caller (the runtime's transfer layer) then schedules the
+// C2H transfer.
+func (d *Device) Dispatch(regionIdx int, batch []byte, done func(out []byte, err error)) (eventsim.Time, error) {
+	r, err := d.Region(regionIdx)
+	if err != nil {
+		return 0, err
+	}
+	if r.state != RegionLoaded {
+		return 0, ErrUnknownAcc
+	}
+	start := d.sim.Now()
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	// Ingress serialization at the module's sustained rate.
+	occ := eventsim.Time(float64(len(batch)) * 8 / r.spec.ThroughputBps * 1e12)
+	r.freeAt = start + occ
+	r.busyPs += occ
+	r.batches++
+	r.bytes += uint64(len(batch))
+	d.dispatched++
+	// Pipeline latency on top of serialization.
+	delay := eventsim.Time(float64(r.spec.DelayCycles) / d.cfg.ClockHz * 1e12)
+	complete := r.freeAt + delay
+	module := r.module
+	d.sim.At(complete, func() {
+		out, perr := module.ProcessBatch(batch)
+		if perr != nil {
+			d.dropped++
+		}
+		if done != nil {
+			done(out, perr)
+		}
+	})
+	return complete, nil
+}
+
+// RegionStats reports a region's lifetime counters.
+func (d *Device) RegionStats(regionIdx int) (batches, bytes uint64, busy eventsim.Time, err error) {
+	r, rerr := d.Region(regionIdx)
+	if rerr != nil {
+		return 0, 0, 0, rerr
+	}
+	return r.batches, r.bytes, r.busyPs, nil
+}
+
+// Floorplan renders a human-readable summary (cmd/dhl-inspect).
+func (d *Device) Floorplan() string {
+	s := fmt.Sprintf("FPGA %d (node %d): %d/%d LUTs, %d/%d BRAM in use (%.2f%% / %.2f%%)\n",
+		d.cfg.ID, d.cfg.Node,
+		d.cfg.StaticLUTs+d.usedLUTs, d.cfg.TotalLUTs,
+		d.cfg.StaticBRAM+d.usedBRAM, d.cfg.TotalBRAM,
+		100*d.UtilizationLUTs(), 100*d.UtilizationBRAM())
+	s += fmt.Sprintf("  static region: %d LUTs (%.2f%%), %d BRAM (%.2f%%)\n",
+		d.cfg.StaticLUTs, 100*float64(d.cfg.StaticLUTs)/float64(d.cfg.TotalLUTs),
+		d.cfg.StaticBRAM, 100*float64(d.cfg.StaticBRAM)/float64(d.cfg.TotalBRAM))
+	for i := range d.regions {
+		r := &d.regions[i]
+		if r.state == RegionEmpty {
+			s += fmt.Sprintf("  part %d: empty\n", i)
+			continue
+		}
+		s += fmt.Sprintf("  part %d: %-18s %s  %d LUTs, %d BRAM, %.2f Gbps, %d cycles\n",
+			i, r.spec.Name, r.state, r.spec.LUTs, r.spec.BRAM,
+			r.spec.ThroughputBps/1e9, r.spec.DelayCycles)
+	}
+	return s
+}

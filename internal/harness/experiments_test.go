@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/hwfunc"
+)
+
+func TestFigure4Shape(t *testing.T) {
+	// Spot-check the calibration anchors from §IV-A3 / Figure 4.
+	small, err := RunDMALoopback(DMALocalNUMA, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.LatencyUs > 2.5 {
+		t.Errorf("uio 64B RTT %.2fus, paper reports ~2us", small.LatencyUs)
+	}
+	big, err := RunDMALoopback(DMALocalNUMA, 6144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ThroughputBps < 41e9 || big.ThroughputBps > 45e9 {
+		t.Errorf("uio 6KB throughput %.1f Gbps, paper reports ~42 Gbps", big.ThroughputBps/1e9)
+	}
+	if big.LatencyUs < 3.0 || big.LatencyUs > 4.5 {
+		t.Errorf("uio 6KB RTT %.2fus, paper reports 3.8us", big.LatencyUs)
+	}
+	smallKernel, err := RunDMALoopback(DMAInKernel, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallKernel.LatencyUs < 5000 {
+		t.Errorf("in-kernel 64B RTT %.0fus, paper reports ~10ms", smallKernel.LatencyUs)
+	}
+	remote, err := RunDMALoopback(DMARemoteNUMA, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := remote.LatencyUs - small.LatencyUs
+	if delta < 0.3 || delta > 0.6 {
+		t.Errorf("NUMA penalty %.2fus, paper reports ~0.4us", delta)
+	}
+	// Throughput is unaffected by NUMA placement (Fig. 4(a) finding).
+	remoteBig, err := RunDMALoopback(DMARemoteNUMA, 6144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := remoteBig.ThroughputBps / big.ThroughputBps
+	if rel < 0.99 || rel > 1.01 {
+		t.Errorf("NUMA-remote throughput ratio %.3f, paper reports no degradation", rel)
+	}
+	// Small transfers must be far below the 42 Gbps ceiling.
+	if small.ThroughputBps > 15e9 {
+		t.Errorf("uio 64B throughput %.1f Gbps should be far below the 42 Gbps ceiling", small.ThroughputBps/1e9)
+	}
+	t.Logf("64B: %.2f Gbps / %.2fus; 6KB: %.2f Gbps / %.2fus; kernel 64B: %.2fms",
+		small.ThroughputBps/1e9, small.LatencyUs, big.ThroughputBps/1e9, big.LatencyUs, smallKernel.LatencyUs/1e3)
+}
+
+func TestFigure7Shape(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		for _, size := range []int{64, 512, 1500} {
+			res, err := RunMultiNF(MultiNFConfig{SharedAccelerator: shared, FrameSize: size})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nf1 := res.NF1.WireBps / 1e9
+			nf2 := res.NF2.WireBps / 1e9
+			t.Logf("shared=%v %4dB: NF1 %.2f Gbps wire, NF2 %.2f Gbps wire (mismatches %d)",
+				shared, size, nf1, nf2, res.NFIDMismatches)
+			if res.NFIDMismatches != 0 {
+				t.Errorf("isolation violated: %d nf_id mismatches", res.NFIDMismatches)
+			}
+			if size >= 512 {
+				// Paper: both instances reach their 2x10G port ceiling.
+				if nf1 < 19 || nf1 > 20.5 || nf2 < 19 || nf2 > 20.5 {
+					t.Errorf("shared=%v %dB: expected ~20 Gbps per instance, got %.2f / %.2f", shared, size, nf1, nf2)
+				}
+			}
+			// Fair sharing: neither NF starves the other.
+			if nf2 > 0 && (nf1/nf2 > 1.5 || nf2/nf1 > 1.5) {
+				t.Errorf("shared=%v %dB: unfair split %.2f vs %.2f Gbps", shared, size, nf1, nf2)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[NFName]Table1Result{}
+	for _, r := range rows {
+		byName[r.NF] = r
+		t.Logf("%-14s %6.0f cycles  %5.2f Gbps wire  %5.2f Gbps input",
+			r.NF, r.CyclesPerPkt, r.Throughput.WireBps/1e9, r.Throughput.InputBps/1e9)
+	}
+	// L2fwd and L3fwd saturate the 10G wire (paper: 9.95 / 9.72 Gbps).
+	for _, name := range []NFName{"L2fwd", "L3fwd-lpm"} {
+		if w := byName[name].Throughput.WireBps / 1e9; w < 9.5 || w > 10.05 {
+			t.Errorf("%s wire throughput %.2f Gbps, paper reports ~9.7-9.95", name, w)
+		}
+	}
+	// IPsec is compute-bound near 1.47 Gbps goodput.
+	if g := byName["IPsec-gateway"].Throughput.InputBps / 1e9; g < 1.3 || g > 1.7 {
+		t.Errorf("IPsec-gateway goodput %.2f Gbps, paper reports 1.47", g)
+	}
+	if c := byName["IPsec-gateway"].CyclesPerPkt; c != 796 {
+		t.Errorf("IPsec-gateway cycles %f, Table I reports 796", c)
+	}
+	if c := byName["L2fwd"].CyclesPerPkt; c != 36 {
+		t.Errorf("L2fwd cycles %f, Table I reports 36", c)
+	}
+	if c := byName["L3fwd-lpm"].CyclesPerPkt; c != 60 {
+		t.Errorf("L3fwd-lpm cycles %f, Table I reports 60", c)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, err := RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-18s %5.1f MB bitstream -> %5.1f ms PR; running NF %.2f -> %.2f Gbps",
+			r.Module, float64(r.BitstreamBytes)/1024/1024, r.PRTimeMs,
+			r.RunningNFBeforeBps/1e9, r.RunningNFDuringBps/1e9)
+		if r.PRTimeMs < 10 || r.PRTimeMs > 60 {
+			t.Errorf("%s: PR time %.1fms outside the paper's tens-of-ms band (23-35ms)", r.Module, r.PRTimeMs)
+		}
+		// §V-E: "There is no throughput degradation of the running NF".
+		if r.RunningNFBeforeBps > 0 {
+			rel := r.RunningNFDuringBps / r.RunningNFBeforeBps
+			if rel < 0.99 {
+				t.Errorf("%s: running NF degraded to %.1f%% during PR", r.Module, rel*100)
+			}
+		}
+	}
+	// PR time proportional to bitstream size (Table V).
+	if rows[0].BitstreamBytes < rows[1].BitstreamBytes && rows[0].PRTimeMs >= rows[1].PRTimeMs {
+		t.Errorf("PR time not proportional to bitstream size: %+v", rows)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	res, err := RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		t.Logf("%-18s %6d LUTs (%5.2f%%)  %4d BRAM (%5.2f%%)  %6.2f Gbps  %3d cycles",
+			row.Name, row.LUTs, row.LUTsPct, row.BRAM, row.BRAMPct, row.Gbps, row.DelayCycles)
+	}
+	// §V-F packing bounds.
+	if res.MaxIPsecCrypto != 5 {
+		t.Errorf("ipsec-crypto packing bound %d, paper reports 5", res.MaxIPsecCrypto)
+	}
+	if res.MaxPatternMatching != 2 {
+		t.Errorf("pattern-matching packing bound %d, paper reports 2", res.MaxPatternMatching)
+	}
+	// Table VI percentages.
+	ipsec := res.Rows[0]
+	if ipsec.Name != hwfunc.IPsecCryptoName || ipsec.LUTs != 9464 || ipsec.BRAM != 242 {
+		t.Errorf("ipsec-crypto row mismatch: %+v", ipsec)
+	}
+	if ipsec.LUTsPct < 2.1 || ipsec.LUTsPct > 2.3 {
+		t.Errorf("ipsec-crypto LUT%% = %.2f, paper reports 2.18", ipsec.LUTsPct)
+	}
+}
+
+func TestTable7Counts(t *testing.T) {
+	rows := RunTable7()
+	for _, r := range rows {
+		t.Logf("%-18s %d LoC", r.Module, r.LoC)
+		if r.LoC < 5 || r.LoC > 40 {
+			t.Errorf("%s: %d LoC outside the paper's tens-of-lines band", r.Module, r.LoC)
+		}
+	}
+}

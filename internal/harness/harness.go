@@ -1,0 +1,150 @@
+// Package harness assembles the paper's testbed (Table III) inside the
+// discrete-event simulator and regenerates every table and figure of the
+// evaluation section. Each experiment returns structured rows so that the
+// root-level benchmarks and cmd/dhl-bench print the same series the paper
+// plots.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/hwfunc"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+)
+
+// NFKind selects the evaluated network function.
+type NFKind int
+
+// Evaluated NFs (§V-B).
+const (
+	IPsecGateway NFKind = iota + 1
+	NIDS
+)
+
+// String names the NF.
+func (k NFKind) String() string {
+	switch k {
+	case IPsecGateway:
+		return "ipsec-gateway"
+	case NIDS:
+		return "nids"
+	default:
+		return fmt.Sprintf("NFKind(%d)", int(k))
+	}
+}
+
+// Mode selects the implementation variant.
+type Mode int
+
+// Implementation variants compared in Figure 6.
+const (
+	// CPUOnly is the pure-software DPDK pipeline build.
+	CPUOnly Mode = iota + 1
+	// DHL offloads deep packet processing to the FPGA.
+	DHL
+	// IOOnly is the Figure 6 "I/O" baseline: two cores forwarding without
+	// any computation.
+	IOOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case CPUOnly:
+		return "cpu-only"
+	case DHL:
+		return "dhl"
+	case IOOnly:
+		return "io"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FrameSizes is the x-axis of Figures 6 and 7.
+var FrameSizes = []int{64, 128, 256, 512, 1024, 1500}
+
+// Throughput is a measured throughput triple.
+type Throughput struct {
+	// GoodBps counts transmitted frame bits (output frames, which for the
+	// IPsec gateway have grown by the 20 B ESP overhead).
+	GoodBps float64
+	// WireBps adds the 24 B/frame preamble+IFG+FCS overhead, the
+	// convention the paper uses for line-rate-bound numbers.
+	WireBps float64
+	// InputBps counts packets times the *input* frame size — the
+	// convention the paper's Figure 6/7 y-axes use (throughput is plotted
+	// against the generated packet size).
+	InputBps float64
+	// Pkts is the number of frames measured.
+	Pkts uint64
+}
+
+// Latency is a measured latency summary in microseconds.
+type Latency struct {
+	MeanUs float64
+	P50Us  float64
+	P99Us  float64
+	MaxUs  float64
+}
+
+// testbed carries the common simulated components of one run.
+type testbed struct {
+	sim  *eventsim.Sim
+	pool *mbuf.Pool
+
+	nextCore int
+}
+
+func newTestbed(poolSize int) (*testbed, error) {
+	if poolSize == 0 {
+		poolSize = 16384
+	}
+	sim := eventsim.New()
+	pool, err := mbuf.NewPool(mbuf.PoolConfig{Name: "testbed", Capacity: poolSize})
+	if err != nil {
+		return nil, err
+	}
+	return &testbed{sim: sim, pool: pool}, nil
+}
+
+// core allocates the next simulated CPU core on node 0 at the testbed
+// clock (Table III: Xeon Silver 4116 @ 2.1 GHz).
+func (tb *testbed) core() *eventsim.Core {
+	c := eventsim.NewCore(tb.sim, tb.nextCore, 0, perf.TestbedCoreHz)
+	tb.nextCore++
+	return c
+}
+
+// newRuntime stands up a DHL runtime with one FPGA (VC709-class), its DMA
+// engine and the stock accelerator module database.
+func (tb *testbed) newRuntime(dmaCfg pcie.Config, coreCfg core.Config) (*core.Runtime, *fpga.Device, *pcie.Engine, error) {
+	dev, err := fpga.NewDevice(tb.sim, fpga.Config{ID: 0, Node: 0})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dma := pcie.NewEngine(tb.sim, dmaCfg)
+	coreCfg.Sim = tb.sim
+	coreCfg.FPGAs = []core.FPGAAttachment{{Device: dev, DMA: dma}}
+	rt, err := core.NewRuntime(coreCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, spec := range hwfunc.Specs() {
+		if err := rt.RegisterModule(spec); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return rt, dev, dma, nil
+}
+
+// settle runs the simulation forward (e.g. across partial reconfiguration)
+// before traffic starts.
+func (tb *testbed) settle(d eventsim.Time) {
+	tb.sim.Run(tb.sim.Now() + d)
+}

@@ -1,0 +1,499 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/netdev"
+	"github.com/opencloudnext/dhl-go/internal/nf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/ring"
+)
+
+// SingleNFConfig parameterizes the Figure 6 experiment: one NF instance on
+// a 40G NIC with the Table IV core assignment.
+type SingleNFConfig struct {
+	Kind NFKind
+	Mode Mode
+	// FrameSize in bytes (64..1500).
+	FrameSize int
+	// NICRateBps defaults to 40G (Intel XL710-QDA2).
+	NICRateBps float64
+	// OfferedWireBps defaults to line rate.
+	OfferedWireBps float64
+	// Warmup and Window bound the measurement (defaults 4 ms and 20 ms of
+	// virtual time).
+	Warmup eventsim.Time
+	Window eventsim.Time
+	// Batching / BatchBytes / FlushTimeout override the DHL runtime's
+	// transfer batching (ablations A1).
+	Batching     core.BatchingMode
+	BatchBytes   int
+	FlushTimeout eventsim.Time
+	// Driver / RemoteNUMA select the DMA model variant (ablation A2).
+	Driver     pcie.DriverMode
+	RemoteNUMA bool
+	// MatchFraction is the fraction of NIDS traffic carrying a
+	// rule-matching payload. Default 1/256.
+	MatchFraction float64
+	// Flows is the number of generated 5-tuples.
+	Flows int
+	// PoolCapacity overrides the testbed mbuf pool size (failure
+	// injection runs use a starved pool).
+	PoolCapacity int
+}
+
+func (c SingleNFConfig) withDefaults() SingleNFConfig {
+	if c.NICRateBps == 0 {
+		c.NICRateBps = perf.NIC40GBps
+	}
+	if c.OfferedWireBps == 0 {
+		c.OfferedWireBps = c.NICRateBps
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 4 * eventsim.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = 20 * eventsim.Millisecond
+	}
+	if c.MatchFraction == 0 {
+		c.MatchFraction = 1.0 / 256
+	}
+	return c
+}
+
+// SingleNFResult is one Figure 6 data point.
+type SingleNFResult struct {
+	Config     SingleNFConfig
+	Throughput Throughput
+	Latency    Latency
+
+	RxDropped uint64
+	TxDropped uint64
+	// NFDropped counts packets the NF itself dropped (no SA / NIDS drop
+	// rule / queue overflow at the NF boundary).
+	NFDropped uint64
+	// Transfer carries the DHL runtime's data-transfer-layer counters
+	// (zero value in CPU-only and I/O modes).
+	Transfer core.TransferStats
+}
+
+// swProcessor is satisfied by the CPU-only NFs (and the Table I
+// forwarders).
+type swProcessor interface {
+	Process(*mbuf.Mbuf) (nf.Verdict, float64)
+}
+
+// dhlNF adapts the two DHL-version NFs to a common pre/post shape.
+type dhlNF interface {
+	PreProcess(*mbuf.Mbuf) (nf.Verdict, float64)
+	PostProcess(*mbuf.Mbuf) (nf.Verdict, float64)
+	ID() core.NFID
+}
+
+type ipsecDHLAdapter struct{ *nf.IPsecGatewayDHL }
+
+func (a ipsecDHLAdapter) ID() core.NFID { return a.NFID }
+
+type nidsDHLAdapter struct{ *nf.NIDSDHL }
+
+func (a nidsDHLAdapter) ID() core.NFID { return a.NFID }
+
+// nidsPayload returns a PayloadFn embedding an alert-rule pattern in every
+// 1/fraction-th packet.
+func nidsPayload(fraction float64) netdev.PayloadFn {
+	if fraction <= 0 {
+		return nil
+	}
+	interval := uint64(1 / fraction)
+	if interval == 0 {
+		interval = 1
+	}
+	pattern := []byte("wget http") // sid 1008, alert action
+	return func(i uint64, payload []byte) {
+		if i%interval == 0 && len(payload) >= len(pattern) {
+			copy(payload, pattern)
+		}
+	}
+}
+
+// RunSingleNF runs one Figure 6 data point and reports throughput and
+// latency measured at the TX port (§V-C measurement protocol).
+func RunSingleNF(cfg SingleNFConfig) (SingleNFResult, error) {
+	cfg = cfg.withDefaults()
+	tb, err := newTestbed(cfg.PoolCapacity)
+	if err != nil {
+		return SingleNFResult{}, err
+	}
+	rxPort, err := netdev.NewPort(tb.sim, netdev.PortConfig{ID: 0, RateBps: cfg.NICRateBps, RxQueues: 2, RxQueueDepth: 512})
+	if err != nil {
+		return SingleNFResult{}, err
+	}
+	txPort, err := netdev.NewPort(tb.sim, netdev.PortConfig{ID: 1, RateBps: cfg.NICRateBps})
+	if err != nil {
+		return SingleNFResult{}, err
+	}
+
+	res := SingleNFResult{Config: cfg}
+	var payload netdev.PayloadFn
+	if cfg.Kind == NIDS {
+		payload = nidsPayload(cfg.MatchFraction)
+	}
+
+	var nfDropped *uint64 = &res.NFDropped
+	var rt *core.Runtime
+	switch cfg.Mode {
+	case IOOnly:
+		wireIOOnly(tb, rxPort, txPort, nfDropped)
+	case CPUOnly:
+		proc, perr := buildSWNF(cfg.Kind)
+		if perr != nil {
+			return res, perr
+		}
+		if err := wireCPUOnly(tb, rxPort, txPort, proc, nfDropped); err != nil {
+			return res, err
+		}
+	case DHL:
+		var derr error
+		rt, derr = wireDHL(tb, rxPort, txPort, cfg, nfDropped)
+		if derr != nil {
+			return res, derr
+		}
+		// Let partial reconfiguration finish before traffic starts.
+		tb.settle(60 * eventsim.Millisecond)
+	default:
+		return res, fmt.Errorf("harness: unknown mode %v", cfg.Mode)
+	}
+
+	gen, err := netdev.NewGenerator(tb.sim, netdev.GeneratorConfig{
+		Port:           rxPort,
+		Pool:           tb.pool,
+		FrameSize:      cfg.FrameSize,
+		OfferedWireBps: cfg.OfferedWireBps,
+		Flows:          cfg.Flows,
+		Payload:        payload,
+	})
+	if err != nil {
+		return res, err
+	}
+	start := tb.sim.Now()
+	measStart := start + cfg.Warmup
+	measEnd := measStart + cfg.Window
+	txPort.SetMeasureWindow(measStart, measEnd)
+	gen.Start()
+	tb.sim.Run(measEnd)
+	gen.Stop()
+
+	good, wire, pkts, lat := txPort.Measured(measEnd)
+	inputBps := float64(pkts) * float64(cfg.FrameSize) * 8 / cfg.Window.Seconds()
+	res.Throughput = Throughput{GoodBps: good, WireBps: wire, InputBps: inputBps, Pkts: pkts}
+	res.Latency = Latency{
+		MeanUs: lat.Mean() / 1e6,
+		P50Us:  lat.Percentile(50) / 1e6,
+		P99Us:  lat.Percentile(99) / 1e6,
+		MaxUs:  lat.Max() / 1e6,
+	}
+	res.RxDropped = rxPort.Stats().RxDropped
+	res.TxDropped = txPort.Stats().TxDropped
+	if rt != nil {
+		if ts, terr := rt.Stats(0); terr == nil {
+			res.Transfer = ts
+		}
+	}
+	return res, nil
+}
+
+// MeasureSingleNF runs the two-phase protocol used for the Figure 6 plots:
+// throughput at offered line rate, then latency at 80% of the measured
+// capacity so queueing reflects operating conditions rather than overload
+// (see EXPERIMENTS.md, E3/E4 notes).
+func MeasureSingleNF(cfg SingleNFConfig) (thr SingleNFResult, lat SingleNFResult, err error) {
+	thr, err = RunSingleNF(cfg)
+	if err != nil {
+		return thr, lat, err
+	}
+	latCfg := cfg
+	latCfg.OfferedWireBps = thr.Throughput.WireBps * 0.8
+	if latCfg.OfferedWireBps <= 0 {
+		return thr, thr, fmt.Errorf("harness: zero measured throughput for %v/%v", cfg.Kind, cfg.Mode)
+	}
+	lat, err = RunSingleNF(latCfg)
+	return thr, lat, err
+}
+
+func buildSWNF(kind NFKind) (swProcessor, error) {
+	switch kind {
+	case IPsecGateway:
+		sadb := nf.NewSADB()
+		if err := sadb.AddDefaultSA(); err != nil {
+			return nil, err
+		}
+		return nf.NewIPsecGatewaySW(sadb)
+	case NIDS:
+		rules, err := nf.NewRuleSet(nf.DefaultSnortRules())
+		if err != nil {
+			return nil, err
+		}
+		return nf.NewNIDSSW(rules), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown NF kind %v", kind)
+	}
+}
+
+// wireIOOnly builds the Figure 6 "I/O" baseline: rx core -> ring -> tx
+// core, no computation.
+func wireIOOnly(tb *testbed, rxPort, txPort *netdev.Port, dropped *uint64) {
+	hand := ring.MustNew[*mbuf.Mbuf]("io-hand", 512, ring.SingleProducerConsumer)
+	rxCore := tb.core()
+	txCore := tb.core()
+
+	rxBuf := make([]*mbuf.Mbuf, 64)
+	eventsim.NewPollLoop(tb.sim, rxCore, perf.PollIdleCycles, func() (float64, func()) {
+		cycles := 0.0
+		got := 0
+		for q := 0; q < rxPort.Queues() && got+32 <= len(rxBuf); q++ {
+			n := rxPort.RxBurst(q, rxBuf[got:got+32])
+			got += n
+		}
+		if got == 0 {
+			return 0, nil
+		}
+		now := int64(tb.sim.Now())
+		for _, m := range rxBuf[:got] {
+			m.RxTimestamp = now
+		}
+		cycles = float64(got) * (perf.IORxCycles + perf.RingOpCycles)
+		batch := make([]*mbuf.Mbuf, got)
+		copy(batch, rxBuf[:got])
+		return cycles, func() {
+			acc := hand.EnqueueBurst(batch)
+			for _, m := range batch[acc:] {
+				*dropped++
+				_ = tb.pool.Free(m)
+			}
+		}
+	}).Start()
+
+	txBuf := make([]*mbuf.Mbuf, 32)
+	eventsim.NewPollLoop(tb.sim, txCore, perf.PollIdleCycles, func() (float64, func()) {
+		n := hand.DequeueBurst(txBuf)
+		if n == 0 {
+			return 0, nil
+		}
+		batch := make([]*mbuf.Mbuf, n)
+		copy(batch, txBuf[:n])
+		return float64(n) * (perf.RingOpCycles + perf.IOTxCycles), func() {
+			txPort.TxBurst(batch, tb.pool)
+		}
+	}).Start()
+}
+
+// wireCPUOnly builds the DPDK pipeline-mode CPU-only variant (§V-B):
+// 2 I/O cores (one RX, one TX) and 2 worker cores around rte_rings.
+func wireCPUOnly(tb *testbed, rxPort, txPort *netdev.Port, proc swProcessor, dropped *uint64) error {
+	workerIn, err := ring.New[*mbuf.Mbuf]("worker-in", 128, ring.SingleProducer)
+	if err != nil {
+		return err
+	}
+	txRing, err := ring.New[*mbuf.Mbuf]("tx-ring", 512, ring.SingleConsumer)
+	if err != nil {
+		return err
+	}
+
+	rxCore := tb.core()
+	txCore := tb.core()
+
+	rxBuf := make([]*mbuf.Mbuf, 64)
+	eventsim.NewPollLoop(tb.sim, rxCore, perf.PollIdleCycles, func() (float64, func()) {
+		got := 0
+		for q := 0; q < rxPort.Queues() && got+32 <= len(rxBuf); q++ {
+			got += rxPort.RxBurst(q, rxBuf[got:got+32])
+		}
+		if got == 0 {
+			return 0, nil
+		}
+		now := int64(tb.sim.Now())
+		for _, m := range rxBuf[:got] {
+			m.RxTimestamp = now
+		}
+		batch := make([]*mbuf.Mbuf, got)
+		copy(batch, rxBuf[:got])
+		return float64(got) * (perf.IORxCycles + perf.RingOpCycles), func() {
+			acc := workerIn.EnqueueBurst(batch)
+			for _, m := range batch[acc:] {
+				*dropped++
+				_ = tb.pool.Free(m)
+			}
+		}
+	}).Start()
+
+	for w := 0; w < 2; w++ {
+		workerCore := tb.core()
+		buf := make([]*mbuf.Mbuf, 32)
+		eventsim.NewPollLoop(tb.sim, workerCore, perf.PollIdleCycles, func() (float64, func()) {
+			n := workerIn.DequeueBurst(buf)
+			if n == 0 {
+				return 0, nil
+			}
+			cycles := float64(n) * 2 * perf.RingOpCycles
+			fwd := make([]*mbuf.Mbuf, 0, n)
+			for _, m := range buf[:n] {
+				verdict, c := proc.Process(m)
+				cycles += c
+				if verdict != nf.VerdictForward {
+					*dropped++
+					_ = tb.pool.Free(m)
+					continue
+				}
+				fwd = append(fwd, m)
+			}
+			return cycles, func() {
+				acc := txRing.EnqueueBurst(fwd)
+				for _, m := range fwd[acc:] {
+					*dropped++
+					_ = tb.pool.Free(m)
+				}
+			}
+		}).Start()
+	}
+
+	txBuf := make([]*mbuf.Mbuf, 32)
+	eventsim.NewPollLoop(tb.sim, txCore, perf.PollIdleCycles, func() (float64, func()) {
+		n := txRing.DequeueBurst(txBuf)
+		if n == 0 {
+			return 0, nil
+		}
+		batch := make([]*mbuf.Mbuf, n)
+		copy(batch, txBuf[:n])
+		return float64(n) * (perf.RingOpCycles + perf.IOTxCycles), func() {
+			txPort.TxBurst(batch, tb.pool)
+		}
+	}).Start()
+	return nil
+}
+
+// wireDHL builds the DHL variant (Table IV single-NF row): one I/O core on
+// the RX+shallow path, one on the OBQ+TX path, and the runtime's own
+// TX/RX transfer cores.
+func wireDHL(tb *testbed, rxPort, txPort *netdev.Port, cfg SingleNFConfig, dropped *uint64) (*core.Runtime, error) {
+	rt, _, _, err := tb.newRuntime(
+		pcie.Config{Mode: cfg.Driver, RemoteNUMA: cfg.RemoteNUMA},
+		core.Config{Batching: cfg.Batching, BatchBytes: cfg.BatchBytes, FlushTimeout: cfg.FlushTimeout},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.AttachCores(0, tb.core(), tb.core(), tb.pool); err != nil {
+		return nil, err
+	}
+
+	var app dhlNF
+	switch cfg.Kind {
+	case IPsecGateway:
+		sadb := nf.NewSADB()
+		if err := sadb.AddDefaultSA(); err != nil {
+			return nil, err
+		}
+		gw, gerr := nf.NewIPsecGatewayDHL(rt, sadb, "ipsec-gw", 0)
+		if gerr != nil {
+			return nil, gerr
+		}
+		app = ipsecDHLAdapter{gw}
+	case NIDS:
+		rules, rerr := nf.NewRuleSet(nf.DefaultSnortRules())
+		if rerr != nil {
+			return nil, rerr
+		}
+		ids, ierr := nf.NewNIDSDHL(rt, rules, "nids", 0)
+		if ierr != nil {
+			return nil, ierr
+		}
+		app = nidsDHLAdapter{ids}
+	default:
+		return nil, fmt.Errorf("harness: unknown NF kind %v", cfg.Kind)
+	}
+
+	wireDHLIngressCounted(tb, rt, app, rxPort, dropped)
+	wireDHLEgressCounted(tb, rt, app, txPort, dropped)
+	return rt, nil
+}
+
+var discardCounter uint64
+
+// wireDHLIngress starts an I/O core on the RX + shallow-processing + IBQ
+// path of a DHL NF.
+func wireDHLIngress(tb *testbed, rt *core.Runtime, app dhlNF, rxPort *netdev.Port) {
+	wireDHLIngressCounted(tb, rt, app, rxPort, &discardCounter)
+}
+
+// wireDHLEgress starts an I/O core on the OBQ + post-processing + TX path.
+func wireDHLEgress(tb *testbed, rt *core.Runtime, app dhlNF, txPort *netdev.Port) {
+	wireDHLEgressCounted(tb, rt, app, txPort, &discardCounter)
+}
+
+func wireDHLIngressCounted(tb *testbed, rt *core.Runtime, app dhlNF, rxPort *netdev.Port, dropped *uint64) {
+	ingressCore := tb.core()
+	rxBuf := make([]*mbuf.Mbuf, 64)
+	eventsim.NewPollLoop(tb.sim, ingressCore, perf.PollIdleCycles, func() (float64, func()) {
+		got := 0
+		for q := 0; q < rxPort.Queues() && got+32 <= len(rxBuf); q++ {
+			got += rxPort.RxBurst(q, rxBuf[got:got+32])
+		}
+		if got == 0 {
+			return 0, nil
+		}
+		cycles := 0.0
+		now := int64(tb.sim.Now())
+		send := make([]*mbuf.Mbuf, 0, got)
+		for _, m := range rxBuf[:got] {
+			m.RxTimestamp = now
+			verdict, c := app.PreProcess(m)
+			cycles += perf.IORxCycles + c
+			if verdict != nf.VerdictForward {
+				*dropped++
+				_ = tb.pool.Free(m)
+				continue
+			}
+			send = append(send, m)
+		}
+		return cycles, func() {
+			acc, serr := rt.SendPackets(app.ID(), send)
+			if serr != nil {
+				acc = 0
+			}
+			for _, m := range send[acc:] {
+				*dropped++
+				_ = tb.pool.Free(m)
+			}
+		}
+	}).Start()
+}
+
+func wireDHLEgressCounted(tb *testbed, rt *core.Runtime, app dhlNF, txPort *netdev.Port, dropped *uint64) {
+	egressCore := tb.core()
+	obqBuf := make([]*mbuf.Mbuf, 32)
+	eventsim.NewPollLoop(tb.sim, egressCore, perf.PollIdleCycles, func() (float64, func()) {
+		n, rerr := rt.ReceivePackets(app.ID(), obqBuf)
+		if rerr != nil || n == 0 {
+			return 0, nil
+		}
+		cycles := 0.0
+		txBatch := make([]*mbuf.Mbuf, 0, n)
+		for _, m := range obqBuf[:n] {
+			verdict, c := app.PostProcess(m)
+			cycles += perf.OBQPollCycles + c + perf.IOTxCycles
+			if verdict != nf.VerdictForward {
+				*dropped++
+				_ = tb.pool.Free(m)
+				continue
+			}
+			txBatch = append(txBatch, m)
+		}
+		return cycles, func() {
+			txPort.TxBurst(txBatch, tb.pool)
+		}
+	}).Start()
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+)
+
+// short returns a config with a reduced window so unit tests stay fast;
+// calibration-grade runs use the defaults.
+func short(cfg SingleNFConfig) SingleNFConfig {
+	cfg.Warmup = 2 * eventsim.Millisecond
+	cfg.Window = 8 * eventsim.Millisecond
+	return cfg
+}
+
+func TestSingleNFCalibrationShape(t *testing.T) {
+	type point struct {
+		kind    NFKind
+		mode    Mode
+		size    int
+		paper   float64 // Gbps from Figure 6 (input-frame convention)
+		minGbps float64
+		maxGbps float64
+	}
+	// Shape targets from Figure 6 (paper values with tolerance; exact
+	// comparisons live in EXPERIMENTS.md).
+	points := []point{
+		{kind: IPsecGateway, mode: CPUOnly, size: 64, paper: 2.5, minGbps: 1.8, maxGbps: 3.2},
+		{kind: IPsecGateway, mode: CPUOnly, size: 1500, paper: 7.3, minGbps: 6.0, maxGbps: 8.5},
+		{kind: IPsecGateway, mode: DHL, size: 64, paper: 19.4, minGbps: 15, maxGbps: 23},
+		{kind: IPsecGateway, mode: DHL, size: 1500, paper: 39.6, minGbps: 35, maxGbps: 41},
+		{kind: NIDS, mode: CPUOnly, size: 64, paper: 2.2, minGbps: 1.6, maxGbps: 2.9},
+		{kind: NIDS, mode: CPUOnly, size: 1500, paper: 7.7, minGbps: 6.3, maxGbps: 9.0},
+		{kind: NIDS, mode: DHL, size: 64, paper: 18.3, minGbps: 14, maxGbps: 22},
+		{kind: NIDS, mode: DHL, size: 1500, paper: 31.1, minGbps: 27, maxGbps: 34},
+		{kind: IPsecGateway, mode: IOOnly, size: 64, paper: 22, minGbps: 18, maxGbps: 27},
+	}
+	for _, p := range points {
+		res, err := RunSingleNF(short(SingleNFConfig{Kind: p.kind, Mode: p.mode, FrameSize: p.size}))
+		if err != nil {
+			t.Fatalf("%v/%v/%dB: %v", p.kind, p.mode, p.size, err)
+		}
+		g := res.Throughput.InputBps / 1e9
+		t.Logf("%v %v %4dB: input %.2f Gbps (paper %.1f), tx-good %.2f, wire %.2f, pkts %d, lat mean %.2fus p99 %.2fus",
+			p.kind, p.mode, p.size, g, p.paper, res.Throughput.GoodBps/1e9, res.Throughput.WireBps/1e9,
+			res.Throughput.Pkts, res.Latency.MeanUs, res.Latency.P99Us)
+		if g < p.minGbps || g > p.maxGbps {
+			t.Errorf("%v/%v/%dB: input-goodput %.2f Gbps outside [%v, %v] (paper %.1f)",
+				p.kind, p.mode, p.size, g, p.minGbps, p.maxGbps, p.paper)
+		}
+	}
+}
+
+func TestSingleNFDHLBeatsCPUOnly(t *testing.T) {
+	// The headline claim: same 4 CPU cores, DHL delivers up to ~7.7x the
+	// IPsec throughput and ~8.3x the NIDS throughput of CPU-only.
+	for _, kind := range []NFKind{IPsecGateway, NIDS} {
+		cpu, err := RunSingleNF(short(SingleNFConfig{Kind: kind, Mode: CPUOnly, FrameSize: 64}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dhl, err := RunSingleNF(short(SingleNFConfig{Kind: kind, Mode: DHL, FrameSize: 64}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := dhl.Throughput.InputBps / cpu.Throughput.InputBps
+		t.Logf("%v: DHL/CPU throughput ratio at 64B = %.1fx", kind, ratio)
+		if ratio < 4 {
+			t.Errorf("%v: expected DHL to dominate CPU-only by >=4x at 64B, got %.1fx", kind, ratio)
+		}
+	}
+}
+
+func TestSingleNFLatencyAtOperatingPoint(t *testing.T) {
+	// Figure 6(b)(d): DHL latency stays below ~10us at every packet size
+	// while CPU-only grows far beyond it at large sizes.
+	for _, size := range []int{64, 1500} {
+		_, lat, err := MeasureSingleNF(short(SingleNFConfig{Kind: IPsecGateway, Mode: DHL, FrameSize: size}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("dhl ipsec %4dB latency: mean %.2fus p99 %.2fus", size, lat.Latency.MeanUs, lat.Latency.P99Us)
+		if lat.Latency.MeanUs > 12 {
+			t.Errorf("dhl ipsec %dB: mean latency %.2fus exceeds paper's <10us envelope", size, lat.Latency.MeanUs)
+		}
+	}
+	_, cpuLat, err := MeasureSingleNF(short(SingleNFConfig{Kind: IPsecGateway, Mode: CPUOnly, FrameSize: 1500}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cpu-only ipsec 1500B latency: mean %.2fus p99 %.2fus", cpuLat.Latency.MeanUs, cpuLat.Latency.P99Us)
+	if cpuLat.Latency.MeanUs < 12 {
+		t.Errorf("cpu-only ipsec 1500B latency %.2fus implausibly below DHL envelope", cpuLat.Latency.MeanUs)
+	}
+}

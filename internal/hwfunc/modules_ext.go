@@ -1,0 +1,394 @@
+package hwfunc
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/hmac"
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/opencloudnext/dhl-go/internal/dhlproto"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/redfa"
+)
+
+// Extended accelerator module names. §IV-C lists the module families DHL's
+// base design hosts: "Encryption, Decryption, MD5 authentication, Regex
+// Classifier, Data Compression, etc". The paper's evaluation exercises
+// ipsec-crypto and pattern-matching; the remaining families are provided
+// here so the library covers the full catalogue. Their resource footprints
+// are representative values consistent with the base-design specification
+// (256-bit AXI4-stream @ 250 MHz), not published figures.
+const (
+	IPsecDecryptName    = "ipsec-decrypt"
+	MD5AuthName         = "md5-auth"
+	RegexClassifierName = "regex-classifier"
+	DataCompressionName = "data-compression"
+)
+
+// MD5DigestSize is the md5-auth response trailer length.
+const MD5DigestSize = md5.Size
+
+// RegexTrailer is the regex-classifier response trailer: 2-byte rule match
+// bitmap (rules 0..15) + 2-byte first-matching-rule id (0xffff for none).
+const RegexTrailer = 4
+
+// PatternMatchingMaxStates is the AC-DFA state budget implied by the
+// module's BRAM allocation (Table VI: 524 x 36Kb blocks; each state needs
+// a 256-entry next-state row of 4 B in the multi-pipeline AC-DFA [35]).
+// §V-F: "If we decrease the size of the AC-DFA pipeline, it can put more
+// pattern-matching accelerator modules."
+const PatternMatchingMaxStates = perf.PatternMatchingBRAM * (36 * 1024 / 8) / (256 * 4)
+
+// RegexClassifierMaxStates is the aggregate DFA state budget of the
+// regex-classifier module's state memory.
+const RegexClassifierMaxStates = 2048
+
+// ExtendedSpecs returns the catalogue of additional accelerator modules.
+// Merge with Specs() for the full database.
+func ExtendedSpecs() map[string]fpga.ModuleSpec {
+	return map[string]fpga.ModuleSpec{
+		IPsecDecryptName: {
+			Name: IPsecDecryptName,
+			// The decrypt direction mirrors ipsec-crypto's pipeline.
+			LUTs:           perf.IPsecCryptoLUTs,
+			BRAM:           perf.IPsecCryptoBRAM,
+			ThroughputBps:  perf.IPsecCryptoGbps * 1e9,
+			DelayCycles:    perf.IPsecCryptoDelayCycles,
+			BitstreamBytes: perf.IPsecCryptoBitstreamBytes,
+			New:            func() fpga.Module { return &IPsecDecrypt{} },
+		},
+		MD5AuthName: {
+			Name:           MD5AuthName,
+			LUTs:           5200,
+			BRAM:           48,
+			ThroughputBps:  40e9,
+			DelayCycles:    66,
+			BitstreamBytes: 3 * 1024 * 1024,
+			New:            func() fpga.Module { return &MD5Auth{} },
+		},
+		RegexClassifierName: {
+			Name:           RegexClassifierName,
+			LUTs:           11300,
+			BRAM:           380,
+			ThroughputBps:  20e9,
+			DelayCycles:    70,
+			BitstreamBytes: 6 * 1024 * 1024,
+			New:            func() fpga.Module { return &RegexClassifier{} },
+		},
+		DataCompressionName: {
+			Name:           DataCompressionName,
+			LUTs:           14200,
+			BRAM:           96,
+			ThroughputBps:  25e9,
+			DelayCycles:    180,
+			BitstreamBytes: 4 * 1024 * 1024,
+			New:            func() fpga.Module { return &DataCompression{} },
+		},
+	}
+}
+
+// AllSpecs merges the stock and extended catalogues.
+func AllSpecs() map[string]fpga.ModuleSpec {
+	all := Specs()
+	for k, v := range ExtendedSpecs() {
+		all[k] = v
+	}
+	return all
+}
+
+// --- ipsec-decrypt -------------------------------------------------------
+
+// IPsecDecrypt reverses IPsecCrypto: request records carry a 2-byte offset
+// prefix plus an encrypted frame ([hdr][iv:8][ct][icv:12]); the response
+// is the decrypted frame ([hdr][plaintext]). Records failing
+// authentication are returned with an empty payload after the offset so
+// the NF can count and drop them (hardware signals the ICV failure
+// in-band).
+type IPsecDecrypt struct {
+	inner IPsecCrypto
+}
+
+var _ fpga.Module = (*IPsecDecrypt)(nil)
+
+// Configure installs keys from an EncodeIPsecCryptoConfig blob.
+func (m *IPsecDecrypt) Configure(params []byte) error { return m.inner.Configure(params) }
+
+// ProcessBatch authenticates and decrypts every record.
+func (m *IPsecDecrypt) ProcessBatch(in []byte) ([]byte, error) {
+	if m.inner.engine == nil {
+		return nil, ErrNotConfigured
+	}
+	out := make([]byte, 0, len(in))
+	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+		if len(rec.Payload) < IPsecReqPrefix {
+			return fmt.Errorf("%w: %d-byte decrypt record", ErrBadRecord, len(rec.Payload))
+		}
+		off := int(binary.BigEndian.Uint16(rec.Payload[:2]))
+		frame := rec.Payload[IPsecReqPrefix:]
+		if off > len(frame) || len(frame)-off < IPsecGrowth {
+			return fmt.Errorf("%w: %d-byte encrypted body at offset %d", ErrBadRecord, len(frame), off)
+		}
+		body := frame[off:]
+		iv := binary.BigEndian.Uint64(body[:8])
+		ct := append([]byte(nil), body[8:len(body)-12]...)
+		var tag [12]byte
+		copy(tag[:], body[len(body)-12:])
+		resp := make([]byte, 0, len(frame))
+		resp = append(resp, frame[:off]...)
+		if derr := m.inner.engine.Open(ct, iv, tag); derr == nil {
+			resp = append(resp, ct...)
+		}
+		// On auth failure resp carries only the cleartext header: the NF
+		// sees a truncated packet and drops it.
+		var aerr error
+		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- md5-auth -------------------------------------------------------------
+
+// MD5Auth computes an HMAC-MD5 digest over each record and appends it:
+//
+//	response: [payload...][digest:16]
+type MD5Auth struct {
+	key []byte
+}
+
+var _ fpga.Module = (*MD5Auth)(nil)
+
+// Configure installs the HMAC key (1..64 bytes).
+func (m *MD5Auth) Configure(params []byte) error {
+	if len(params) == 0 || len(params) > 64 {
+		return fmt.Errorf("%w: md5-auth key must be 1..64 bytes, got %d", ErrBadConfig, len(params))
+	}
+	m.key = append([]byte(nil), params...)
+	return nil
+}
+
+// ProcessBatch appends the digest trailer to every record.
+func (m *MD5Auth) ProcessBatch(in []byte) ([]byte, error) {
+	if m.key == nil {
+		return nil, ErrNotConfigured
+	}
+	out := make([]byte, 0, len(in)+64)
+	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+		mac := hmac.New(md5.New, m.key)
+		mac.Write(rec.Payload)
+		resp := make([]byte, 0, len(rec.Payload)+MD5DigestSize)
+		resp = append(resp, rec.Payload...)
+		resp = mac.Sum(resp)
+		var aerr error
+		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyMD5Trailer checks a response record against a key, returning the
+// original payload. NF-side helper.
+func VerifyMD5Trailer(resp, key []byte) ([]byte, error) {
+	if len(resp) < MD5DigestSize {
+		return nil, fmt.Errorf("%w: %d-byte md5 response", ErrBadRecord, len(resp))
+	}
+	payload := resp[:len(resp)-MD5DigestSize]
+	mac := hmac.New(md5.New, key)
+	mac.Write(payload)
+	if !hmac.Equal(mac.Sum(nil), resp[len(resp)-MD5DigestSize:]) {
+		return nil, fmt.Errorf("%w: digest mismatch", ErrBadRecord)
+	}
+	return payload, nil
+}
+
+// --- regex-classifier ------------------------------------------------------
+
+// RegexClassifier matches each record against up to 16 compiled regex
+// rules (DFAs) and appends a match bitmap:
+//
+//	response: [payload...][bitmap:2][firstRule:2]
+type RegexClassifier struct {
+	rules []*redfa.DFA
+}
+
+var _ fpga.Module = (*RegexClassifier)(nil)
+
+// EncodeRegexConfig builds the DHL_acc_configure() blob:
+// [count:2] then per rule [len:2][pattern bytes].
+func EncodeRegexConfig(patterns []string) ([]byte, error) {
+	if len(patterns) == 0 || len(patterns) > 16 {
+		return nil, fmt.Errorf("%w: regex-classifier takes 1..16 rules, got %d", ErrBadConfig, len(patterns))
+	}
+	blob := binary.BigEndian.AppendUint16(nil, uint16(len(patterns)))
+	for i, p := range patterns {
+		if len(p) == 0 || len(p) > 0xffff {
+			return nil, fmt.Errorf("%w: rule %d has %d bytes", ErrBadConfig, i, len(p))
+		}
+		blob = binary.BigEndian.AppendUint16(blob, uint16(len(p)))
+		blob = append(blob, p...)
+	}
+	return blob, nil
+}
+
+// Configure compiles the rules, enforcing the module's aggregate DFA
+// state budget (its BRAM-backed state memory).
+func (m *RegexClassifier) Configure(params []byte) error {
+	if len(params) < 2 {
+		return fmt.Errorf("%w: %d bytes", ErrBadConfig, len(params))
+	}
+	count := int(binary.BigEndian.Uint16(params[:2]))
+	if count == 0 || count > 16 {
+		return fmt.Errorf("%w: %d rules", ErrBadConfig, count)
+	}
+	off := 2
+	rules := make([]*redfa.DFA, 0, count)
+	totalStates := 0
+	for i := 0; i < count; i++ {
+		if len(params)-off < 2 {
+			return fmt.Errorf("%w: truncated rule %d", ErrBadConfig, i)
+		}
+		n := int(binary.BigEndian.Uint16(params[off : off+2]))
+		off += 2
+		if len(params)-off < n {
+			return fmt.Errorf("%w: truncated rule %d body", ErrBadConfig, i)
+		}
+		d, err := redfa.Compile(string(params[off:off+n]), redfa.CompileConfig{MaxStates: RegexClassifierMaxStates})
+		if err != nil {
+			return fmt.Errorf("%w: rule %d: %v", ErrBadConfig, i, err)
+		}
+		off += n
+		totalStates += d.States()
+		if totalStates > RegexClassifierMaxStates {
+			return fmt.Errorf("%w: rule set needs %d DFA states, state memory holds %d",
+				ErrBadConfig, totalStates, RegexClassifierMaxStates)
+		}
+		rules = append(rules, d)
+	}
+	m.rules = rules
+	return nil
+}
+
+// ProcessBatch classifies every record.
+func (m *RegexClassifier) ProcessBatch(in []byte) ([]byte, error) {
+	if m.rules == nil {
+		return nil, ErrNotConfigured
+	}
+	out := make([]byte, 0, len(in)+64)
+	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+		bitmap := uint16(0)
+		first := uint16(0xffff)
+		for i, d := range m.rules {
+			if d.Match(rec.Payload) {
+				bitmap |= 1 << uint(i)
+				if first == 0xffff {
+					first = uint16(i)
+				}
+			}
+		}
+		resp := make([]byte, 0, len(rec.Payload)+RegexTrailer)
+		resp = append(resp, rec.Payload...)
+		resp = binary.BigEndian.AppendUint16(resp, bitmap)
+		resp = binary.BigEndian.AppendUint16(resp, first)
+		var aerr error
+		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeRegexTrailer splits a regex-classifier response.
+func DecodeRegexTrailer(resp []byte) (payload []byte, bitmap uint16, first uint16, err error) {
+	if len(resp) < RegexTrailer {
+		return nil, 0, 0, fmt.Errorf("%w: %d-byte regex response", ErrBadRecord, len(resp))
+	}
+	payload = resp[:len(resp)-RegexTrailer]
+	bitmap = binary.BigEndian.Uint16(resp[len(resp)-4 : len(resp)-2])
+	first = binary.BigEndian.Uint16(resp[len(resp)-2:])
+	return payload, bitmap, first, nil
+}
+
+// --- data-compression -------------------------------------------------------
+
+// DataCompression DEFLATE-compresses (or, configured for the reverse
+// direction, decompresses) each record payload — the "flow compression"
+// NF family the paper lists among deep-packet-processing workloads
+// (§II-B).
+type DataCompression struct {
+	level      int
+	decompress bool
+}
+
+var _ fpga.Module = (*DataCompression)(nil)
+
+// Configure takes [direction:1][level:1] where direction 0 compresses and
+// 1 decompresses; level is 1..9 (ignored for decompression).
+func (m *DataCompression) Configure(params []byte) error {
+	if len(params) != 2 {
+		return fmt.Errorf("%w: want [direction, level], got %d bytes", ErrBadConfig, len(params))
+	}
+	switch params[0] {
+	case 0:
+		m.decompress = false
+	case 1:
+		m.decompress = true
+	default:
+		return fmt.Errorf("%w: direction %d", ErrBadConfig, params[0])
+	}
+	if !m.decompress && (params[1] < 1 || params[1] > 9) {
+		return fmt.Errorf("%w: level %d", ErrBadConfig, params[1])
+	}
+	m.level = int(params[1])
+	return nil
+}
+
+// ProcessBatch transforms every record.
+func (m *DataCompression) ProcessBatch(in []byte) ([]byte, error) {
+	if m.level == 0 && !m.decompress {
+		return nil, ErrNotConfigured
+	}
+	out := make([]byte, 0, len(in))
+	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+		var resp []byte
+		if m.decompress {
+			r := flate.NewReader(bytes.NewReader(rec.Payload))
+			plain, derr := io.ReadAll(io.LimitReader(r, 64*1024))
+			if derr != nil {
+				return fmt.Errorf("%w: inflate: %v", ErrBadRecord, derr)
+			}
+			resp = plain
+		} else {
+			var buf bytes.Buffer
+			w, werr := flate.NewWriter(&buf, m.level)
+			if werr != nil {
+				return werr
+			}
+			if _, werr := w.Write(rec.Payload); werr != nil {
+				return werr
+			}
+			if werr := w.Close(); werr != nil {
+				return werr
+			}
+			resp = buf.Bytes()
+		}
+		var aerr error
+		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package mbuf
+
+import "fmt"
+
+// Cache is a per-core mbuf cache over a shared Pool, the analogue of
+// rte_mempool's per-lcore object cache: allocations and frees are served
+// from a core-local stash and only spill to the shared pool in bulk,
+// keeping the pool's lock off the per-packet fast path.
+//
+// A Cache is owned by one simulated core (or one goroutine) and is NOT
+// safe for concurrent use — exactly like the DPDK per-lcore cache it
+// models. The underlying Pool remains safe for concurrent use by many
+// caches.
+type Cache struct {
+	pool *Pool
+	size int
+	objs []*Mbuf
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache creates a cache of up to size mbufs over pool. A size of 0
+// selects 32 (half of RTE_MEMPOOL_CACHE_MAX_SIZE's typical setting).
+func NewCache(pool *Pool, size int) (*Cache, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("mbuf: cache requires a pool")
+	}
+	if size == 0 {
+		size = min(32, pool.Capacity())
+	}
+	if size < 0 || size > pool.Capacity() {
+		return nil, fmt.Errorf("mbuf: cache size %d invalid for pool of %d", size, pool.Capacity())
+	}
+	return &Cache{pool: pool, size: size, objs: make([]*Mbuf, 0, 2*size)}, nil
+}
+
+// Len reports how many mbufs the cache currently holds.
+func (c *Cache) Len() int { return len(c.objs) }
+
+// Stats reports cache hit/miss counters.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Alloc takes an mbuf, refilling from the pool in bulk on a cache miss.
+func (c *Cache) Alloc() (*Mbuf, error) {
+	if n := len(c.objs); n > 0 {
+		m := c.objs[n-1]
+		c.objs = c.objs[:n-1]
+		c.hits++
+		m.Reset()
+		m.refcnt = 1
+		return m, nil
+	}
+	c.misses++
+	// Refill half a cache's worth plus the one being returned.
+	want := c.size/2 + 1
+	if avail := c.pool.Available(); want > avail {
+		want = avail
+	}
+	if want == 0 {
+		return nil, ErrPoolExhausted
+	}
+	batch := make([]*Mbuf, want)
+	if err := c.pool.AllocBulk(batch); err != nil {
+		// Bulk can race with other caches; fall back to a single alloc.
+		return c.pool.Alloc()
+	}
+	for _, m := range batch[1:] {
+		m.refcnt = 0 // stashed, not live
+		c.objs = append(c.objs, m)
+	}
+	return batch[0], nil
+}
+
+// Free returns an mbuf, spilling half the cache to the pool when full.
+// Only mbufs with a single reference are cached (marked refcnt 0 while
+// stashed, so a double Free is detected); shared ones go through the
+// pool's refcounted path.
+func (c *Cache) Free(m *Mbuf) error {
+	if m == nil {
+		return nil
+	}
+	if m.pool != c.pool {
+		return ErrForeignMbuf
+	}
+	if m.refcnt != 1 {
+		// Either genuinely shared (>1) or already freed/cached (<=0);
+		// the pool's accounting yields the right verdict for both.
+		return c.pool.Free(m)
+	}
+	if len(c.objs) >= 2*c.size {
+		spill := c.objs[c.size:]
+		for _, s := range spill {
+			c.pool.cacheReturn(s)
+		}
+		c.objs = c.objs[:c.size]
+	}
+	m.refcnt = 0
+	c.objs = append(c.objs, m)
+	return nil
+}
+
+// Flush returns all cached mbufs to the pool (core teardown).
+func (c *Cache) Flush() error {
+	for _, m := range c.objs {
+		c.pool.cacheReturn(m)
+	}
+	c.objs = c.objs[:0]
+	return nil
+}

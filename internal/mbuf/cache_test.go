@@ -1,0 +1,161 @@
+package mbuf
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCacheValidation(t *testing.T) {
+	p := newPool(t, 16)
+	if _, err := NewCache(nil, 4); err == nil {
+		t.Error("nil pool accepted")
+	}
+	if _, err := NewCache(p, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := NewCache(p, 100); err == nil {
+		t.Error("cache larger than pool accepted")
+	}
+	c, err := NewCache(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("fresh cache len %d", c.Len())
+	}
+}
+
+func TestCacheAllocFreeFastPath(t *testing.T) {
+	p := newPool(t, 64)
+	c, err := NewCache(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Alloc() // miss: bulk refill
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 { // size/2+1 fetched, 1 handed out
+		t.Errorf("cache holds %d after refill", c.Len())
+	}
+	if err := c.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Alloc() // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits/misses %d/%d", hits, misses)
+	}
+	if m2.RefCnt() != 1 || m2.Len() != 0 {
+		t.Error("cached mbuf not reset on alloc")
+	}
+	if err := c.Free(m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheDoubleFreeDetected(t *testing.T) {
+	p := newPool(t, 16)
+	c, _ := NewCache(p, 4)
+	m, _ := c.Alloc()
+	if err := c.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(m); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free via cache: %v", err)
+	}
+	if err := p.Free(m); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free via pool: %v", err)
+	}
+}
+
+func TestCacheForeignRejected(t *testing.T) {
+	p1 := newPool(t, 8)
+	p2 := newPool(t, 8)
+	c, _ := NewCache(p1, 4)
+	m, _ := p2.Alloc()
+	if err := c.Free(m); !errors.Is(err, ErrForeignMbuf) {
+		t.Errorf("foreign free: %v", err)
+	}
+	_ = p2.Free(m)
+}
+
+func TestCacheSharedMbufGoesToPool(t *testing.T) {
+	p := newPool(t, 8)
+	c, _ := NewCache(p, 4)
+	m, _ := c.Alloc()
+	if err := p.Retain(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(m); err != nil { // refcnt 2 -> 1, stays live
+		t.Fatal(err)
+	}
+	if m.RefCnt() != 1 {
+		t.Errorf("refcnt %d", m.RefCnt())
+	}
+	if err := c.Free(m); err != nil { // now cached
+		t.Fatal(err)
+	}
+}
+
+func TestCacheSpillAndFlushConserveBuffers(t *testing.T) {
+	p := newPool(t, 64)
+	c, _ := NewCache(p, 4)
+	var live []*Mbuf
+	for i := 0; i < 32; i++ {
+		m, err := c.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, m)
+	}
+	for _, m := range live {
+		if err := c.Free(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything is either cached or back in the pool.
+	if got := c.Len() + p.Available(); got != 64 {
+		t.Errorf("conservation: cache %d + pool %d != 64", c.Len(), p.Available())
+	}
+	if c.Len() > 8 { // spill keeps at most 2*size... after trim, size..2*size
+		t.Errorf("cache grew unbounded: %d", c.Len())
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 64 {
+		t.Errorf("flush leaked: %d available", p.Available())
+	}
+	// Pool-level alloc still works after flush.
+	m, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Free(m)
+}
+
+func TestCacheExhaustion(t *testing.T) {
+	p := newPool(t, 4)
+	c, _ := NewCache(p, 4)
+	var live []*Mbuf
+	for {
+		m, err := c.Alloc()
+		if err != nil {
+			if !errors.Is(err, ErrPoolExhausted) {
+				t.Fatalf("unexpected: %v", err)
+			}
+			break
+		}
+		live = append(live, m)
+	}
+	if len(live) != 4 {
+		t.Errorf("allocated %d of 4", len(live))
+	}
+	for _, m := range live {
+		_ = c.Free(m)
+	}
+}

@@ -1,0 +1,271 @@
+package mbuf
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newPool(t *testing.T, n int) *Pool {
+	t.Helper()
+	p, err := NewPool(PoolConfig{Name: "test", Capacity: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoolConfigValidation(t *testing.T) {
+	if _, err := NewPool(PoolConfig{Capacity: 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewPool(PoolConfig{Capacity: 4, BufSize: 16}); err == nil {
+		t.Error("buf smaller than headroom accepted")
+	}
+	p, err := NewPool(PoolConfig{Name: "n", Capacity: 4, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "n" || p.Node() != 1 || p.Capacity() != 4 {
+		t.Errorf("pool metadata wrong: %q %d %d", p.Name(), p.Node(), p.Capacity())
+	}
+}
+
+func TestAllocFreeLifecycle(t *testing.T) {
+	p := newPool(t, 2)
+	a, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 0 || p.InUse() != 2 {
+		t.Errorf("available=%d inuse=%d", p.Available(), p.InUse())
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("exhausted alloc: %v", err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 2 {
+		t.Errorf("available=%d after frees", p.Available())
+	}
+	allocs, frees, fails := p.Stats()
+	if allocs != 2 || frees != 2 || fails != 1 {
+		t.Errorf("stats %d/%d/%d", allocs, frees, fails)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	p := newPool(t, 1)
+	m, _ := p.Alloc()
+	if err := p.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(m); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free: %v", err)
+	}
+}
+
+func TestForeignMbufRejected(t *testing.T) {
+	p1 := newPool(t, 1)
+	p2 := newPool(t, 1)
+	m, _ := p1.Alloc()
+	if err := p2.Free(m); !errors.Is(err, ErrForeignMbuf) {
+		t.Errorf("foreign free: %v", err)
+	}
+	if err := p2.Retain(m); !errors.Is(err, ErrForeignMbuf) {
+		t.Errorf("foreign retain: %v", err)
+	}
+	if err := p1.Free(nil); err != nil {
+		t.Errorf("nil free: %v", err)
+	}
+}
+
+func TestRefcounting(t *testing.T) {
+	p := newPool(t, 1)
+	m, _ := p.Alloc()
+	if err := p.Retain(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.RefCnt() != 2 {
+		t.Errorf("refcnt %d", m.RefCnt())
+	}
+	if err := p.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 0 {
+		t.Error("mbuf returned to pool while referenced")
+	}
+	if err := p.Free(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 1 {
+		t.Error("mbuf not returned at refcnt 0")
+	}
+	if err := p.Retain(m); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("retain of free mbuf: %v", err)
+	}
+}
+
+func TestAllocBulkAllOrNothing(t *testing.T) {
+	p := newPool(t, 4)
+	dst := make([]*Mbuf, 3)
+	if err := p.AllocBulk(dst); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]*Mbuf, 2)
+	if err := p.AllocBulk(big); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("bulk over capacity: %v", err)
+	}
+	if p.Available() != 1 {
+		t.Errorf("partial bulk leaked: available %d", p.Available())
+	}
+	if err := p.FreeBulk(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendPrependTrimAdj(t *testing.T) {
+	p := newPool(t, 1)
+	m, _ := p.Alloc()
+	if m.Headroom() != DefaultHeadroom {
+		t.Errorf("headroom %d", m.Headroom())
+	}
+	if err := m.AppendBytes([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := m.Prepend(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(hdr, "HDR:")
+	if string(m.Data()) != "HDR:hello world" {
+		t.Errorf("data %q", m.Data())
+	}
+	if err := m.Adj(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Trim(6); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data()) != "hello" {
+		t.Errorf("after adj+trim: %q", m.Data())
+	}
+	if err := m.Adj(100); !errors.Is(err, ErrNoHeadroom) {
+		t.Errorf("oversized adj: %v", err)
+	}
+	if err := m.Trim(100); !errors.Is(err, ErrNoTailroom) {
+		t.Errorf("oversized trim: %v", err)
+	}
+	if _, err := m.Prepend(DefaultHeadroom + 1); !errors.Is(err, ErrNoHeadroom) {
+		t.Errorf("oversized prepend: %v", err)
+	}
+	if _, err := m.Append(1 << 20); !errors.Is(err, ErrNoTailroom) {
+		t.Errorf("oversized append: %v", err)
+	}
+}
+
+func TestSetLenBounds(t *testing.T) {
+	p := newPool(t, 1)
+	m, _ := p.Alloc()
+	if err := m.SetLen(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 100 {
+		t.Errorf("len %d", m.Len())
+	}
+	if err := m.SetLen(-1); err == nil {
+		t.Error("negative SetLen accepted")
+	}
+	if err := m.SetLen(1 << 20); err == nil {
+		t.Error("oversized SetLen accepted")
+	}
+}
+
+func TestResetClearsTags(t *testing.T) {
+	p := newPool(t, 1)
+	m, _ := p.Alloc()
+	m.NFID, m.AccID, m.Port, m.RxTimestamp, m.Userdata = 1, 2, 3, 4, 5
+	_ = m.AppendBytes([]byte("x"))
+	_ = p.Free(m)
+	m2, _ := p.Alloc()
+	if m2.NFID != 0 || m2.AccID != 0 || m2.Port != 0 || m2.RxTimestamp != 0 || m2.Userdata != 0 || m2.Len() != 0 {
+		t.Errorf("recycled mbuf not reset: %v", m2)
+	}
+}
+
+func TestBuffersDoNotAlias(t *testing.T) {
+	p := newPool(t, 2)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	_ = a.AppendBytes([]byte{0xAA, 0xAA})
+	_ = b.AppendBytes([]byte{0xBB, 0xBB})
+	if a.Data()[0] != 0xAA || b.Data()[0] != 0xBB {
+		t.Error("mbuf buffers alias each other")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := newPool(t, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				m, err := p.Alloc()
+				if err != nil {
+					continue
+				}
+				_ = m.AppendBytes([]byte{1, 2, 3})
+				if err := p.Free(m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 256 {
+		t.Errorf("pool leaked: %d available of 256", p.Available())
+	}
+}
+
+// TestQuickPoolConservation property-checks that any interleaving of
+// alloc/free conserves buffers (no leak, no double-accounting).
+func TestQuickPoolConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		p, err := NewPool(PoolConfig{Name: "q", Capacity: 8})
+		if err != nil {
+			return false
+		}
+		var live []*Mbuf
+		for _, alloc := range ops {
+			if alloc {
+				m, err := p.Alloc()
+				if err == nil {
+					live = append(live, m)
+				} else if len(live) != 8 {
+					return false // exhausted while buffers remain
+				}
+			} else if len(live) > 0 {
+				if p.Free(live[len(live)-1]) != nil {
+					return false
+				}
+				live = live[:len(live)-1]
+			}
+		}
+		return p.Available()+len(live) == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

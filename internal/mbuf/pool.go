@@ -1,0 +1,194 @@
+package mbuf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a fixed-capacity packet-buffer pool, the stand-in for
+// rte_pktmbuf_pool. Buffers are allocated once up front (mirroring hugepage
+// pre-allocation) and recycled through a free list.
+//
+// Pool is safe for concurrent use; the simulator itself is single-threaded,
+// but the pool is also exercised by real-goroutine stress tests and by the
+// examples, which run outside the simulator.
+type Pool struct {
+	mu      sync.Mutex
+	name    string
+	node    int // NUMA node the pool's memory lives on (paper §IV-A2)
+	bufSize int
+	slots   []Mbuf
+	free    []int
+
+	allocs uint64
+	frees  uint64
+	fails  uint64
+}
+
+// PoolConfig parameterizes NewPool.
+type PoolConfig struct {
+	// Name identifies the pool in diagnostics.
+	Name string
+	// Capacity is the number of mbufs pre-allocated.
+	Capacity int
+	// BufSize is the per-mbuf buffer size including headroom.
+	// Zero selects DefaultDataRoom.
+	BufSize int
+	// Node is the NUMA node of the backing memory.
+	Node int
+}
+
+// NewPool pre-allocates a pool of cfg.Capacity mbufs.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("mbuf: pool %q: capacity must be positive, got %d", cfg.Name, cfg.Capacity)
+	}
+	bufSize := cfg.BufSize
+	if bufSize == 0 {
+		bufSize = DefaultDataRoom
+	}
+	if bufSize < DefaultHeadroom {
+		return nil, fmt.Errorf("mbuf: pool %q: buf size %d smaller than headroom %d", cfg.Name, bufSize, DefaultHeadroom)
+	}
+	p := &Pool{
+		name:    cfg.Name,
+		node:    cfg.Node,
+		bufSize: bufSize,
+		slots:   make([]Mbuf, cfg.Capacity),
+		free:    make([]int, cfg.Capacity),
+	}
+	backing := make([]byte, cfg.Capacity*bufSize)
+	for i := range p.slots {
+		p.slots[i] = Mbuf{
+			buf:   backing[i*bufSize : (i+1)*bufSize : (i+1)*bufSize],
+			pool:  p,
+			index: i,
+		}
+		// LIFO free list: hot buffers are reused first, like mempool caches.
+		p.free[i] = cfg.Capacity - 1 - i
+	}
+	return p, nil
+}
+
+// Name reports the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Node reports the pool's NUMA node.
+func (p *Pool) Node() int { return p.node }
+
+// Capacity reports the total number of mbufs.
+func (p *Pool) Capacity() int { return len(p.slots) }
+
+// Available reports how many mbufs are currently free.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// InUse reports how many mbufs are currently allocated.
+func (p *Pool) InUse() int { return p.Capacity() - p.Available() }
+
+// Alloc takes one mbuf from the pool, reset and with refcount 1.
+func (p *Pool) Alloc() (*Mbuf, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		p.fails++
+		return nil, ErrPoolExhausted
+	}
+	idx := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	m := &p.slots[idx]
+	m.Reset()
+	m.refcnt = 1
+	p.allocs++
+	return m, nil
+}
+
+// AllocBulk fills dst with freshly allocated mbufs. Mirroring
+// rte_pktmbuf_alloc_bulk, it is all-or-nothing: on exhaustion it frees any
+// partial allocation and returns ErrPoolExhausted.
+func (p *Pool) AllocBulk(dst []*Mbuf) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < len(dst) {
+		p.fails++
+		return ErrPoolExhausted
+	}
+	for i := range dst {
+		idx := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		m := &p.slots[idx]
+		m.Reset()
+		m.refcnt = 1
+		dst[i] = m
+		p.allocs++
+	}
+	return nil
+}
+
+// Retain increments the mbuf's reference count (rte_mbuf_refcnt_update +1).
+func (p *Pool) Retain(m *Mbuf) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m.pool != p {
+		return ErrForeignMbuf
+	}
+	if m.refcnt <= 0 {
+		return ErrDoubleFree
+	}
+	m.refcnt++
+	return nil
+}
+
+// Free drops one reference; the mbuf returns to the pool when the count
+// reaches zero. Freeing an already-free mbuf returns ErrDoubleFree.
+func (p *Pool) Free(m *Mbuf) error {
+	if m == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m.pool != p {
+		return ErrForeignMbuf
+	}
+	if m.refcnt <= 0 {
+		return ErrDoubleFree
+	}
+	m.refcnt--
+	if m.refcnt == 0 {
+		p.free = append(p.free, m.index)
+		p.frees++
+	}
+	return nil
+}
+
+// cacheReturn puts a cache-stashed mbuf (refcnt already 0) straight back
+// on the free list. Only Cache uses this.
+func (p *Pool) cacheReturn(m *Mbuf) {
+	if m == nil || m.pool != p || m.refcnt != 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, m.index)
+	p.frees++
+}
+
+// FreeBulk frees a batch, stopping at the first error.
+func (p *Pool) FreeBulk(ms []*Mbuf) error {
+	for _, m := range ms {
+		if err := p.Free(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports lifetime pool counters.
+func (p *Pool) Stats() (allocs, frees, fails uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs, p.frees, p.fails
+}

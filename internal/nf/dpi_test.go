@@ -1,0 +1,126 @@
+package nf
+
+import (
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+)
+
+func TestDPIClassifierSWValidation(t *testing.T) {
+	if _, err := NewDPIClassifierSW(nil); err == nil {
+		t.Error("empty rules accepted")
+	}
+	if _, err := NewDPIClassifierSW([]DPIRule{{Pattern: "(", Class: "x"}}); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := NewDPIClassifierSW(make([]DPIRule, 17)); err == nil {
+		t.Error("17 rules accepted")
+	}
+}
+
+func TestDPIClassifierSW(t *testing.T) {
+	p := pool(t)
+	c, err := NewDPIClassifierSW(DefaultDPIRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		payload string
+		class   string
+	}{
+		{"GET /index.html HTTP/1.1", "http"},
+		{"\x13BitTorrent protocol rest", "bittorrent"},
+		{"SSH-2.0-OpenSSH_8.9", "ssh"},
+		{"2024-01-01 10:00 login password=hunter2", "credential-leak"},
+		{"completely opaque bytes", ""},
+	}
+	for _, cse := range cases {
+		m := newPacket(t, p, []byte(cse.payload), eth.IPv4{1, 1, 1, 1})
+		v, cycles := c.Process(m)
+		if v != VerdictForward || cycles <= 0 {
+			t.Fatalf("%q: verdict %v cycles %v", cse.payload, v, cycles)
+		}
+		_ = p.Free(m)
+	}
+	for _, cse := range cases {
+		if cse.class != "" && c.ClassCounts[cse.class] != 1 {
+			t.Errorf("class %q count %d", cse.class, c.ClassCounts[cse.class])
+		}
+	}
+	if c.ClassCounts[""] != 1 {
+		t.Errorf("unclassified count %d", c.ClassCounts[""])
+	}
+}
+
+func TestDPIClassifierDHLMatchesSoftware(t *testing.T) {
+	r := newDHLRig(t)
+	rules := DefaultDPIRules()
+	hw, err := NewDPIClassifierDHL(r.rt, rules, "dpi", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewDPIClassifierSW(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+
+	payloads := []string{
+		"POST /api/v1/login HTTP/1.1",
+		"\x16\x03\x01\x02\x00clienthello",
+		"nothing to see",
+		"SSH-1.5-legacy",
+	}
+	for _, payload := range payloads {
+		hwPkt := newPacket(t, r.pool, []byte(payload), eth.IPv4{2, 2, 2, 2})
+		swPkt := newPacket(t, r.pool, []byte(payload), eth.IPv4{2, 2, 2, 2})
+		_, _ = sw.Process(swPkt)
+		want := swPkt.Userdata
+
+		if v, _ := hw.PreProcess(hwPkt); v != VerdictForward {
+			t.Fatalf("preprocess verdict %v", v)
+		}
+		origLen := hwPkt.Len()
+		out := r.roundTrip(t, hw.NFID, hwPkt)
+		if v, _ := hw.PostProcess(out); v != VerdictForward {
+			t.Fatalf("postprocess verdict %v", v)
+		}
+		if out.Userdata != want {
+			t.Errorf("%q: hw class %d, sw class %d", payload, out.Userdata, want)
+		}
+		if out.Len() != origLen {
+			t.Errorf("%q: trailer not trimmed", payload)
+		}
+		_ = r.pool.Free(out)
+		_ = r.pool.Free(swPkt)
+	}
+	// Class tallies agree.
+	for class, n := range sw.ClassCounts {
+		if hw.ClassCounts[class] != n {
+			t.Errorf("class %q: hw %d sw %d", class, hw.ClassCounts[class], n)
+		}
+	}
+}
+
+func TestDPIClassifierDHLFullTLSDetection(t *testing.T) {
+	// The TLS rule is anchored (^\x16\x03...): the hardware DFA must honor
+	// the anchor against the full frame, so an Ethernet frame (which never
+	// starts with 0x16) is NOT classified as TLS even when the payload is.
+	// This documents that DPI classification operates on whole records.
+	r := newDHLRig(t)
+	hw, err := NewDPIClassifierDHL(r.rt, DefaultDPIRules(), "dpi2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+	m := newPacket(t, r.pool, []byte("\x16\x03\x01hello"), eth.IPv4{3, 3, 3, 3})
+	_, _ = hw.PreProcess(m)
+	out := r.roundTrip(t, hw.NFID, m)
+	_, _ = hw.PostProcess(out)
+	if out.Userdata == 2 { // rule index 1 (+1) = tls
+		t.Error("anchored TLS rule matched mid-frame")
+	}
+	_ = r.pool.Free(out)
+	_ = eventsim.Time(0)
+}

@@ -1,0 +1,119 @@
+package nf
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eth"
+)
+
+func TestFlowCompressorSWValidation(t *testing.T) {
+	if _, err := NewFlowCompressorSW(0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := NewFlowCompressorSW(10); err == nil {
+		t.Error("level 10 accepted")
+	}
+}
+
+func TestFlowCompressorSWShrinksRedundantPayload(t *testing.T) {
+	p := pool(t)
+	c, err := NewFlowCompressorSW(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("wan optimization ", 40))
+	m := newPacket(t, p, payload, eth.IPv4{1, 1, 1, 1})
+	before := m.Len()
+	if v, _ := c.Process(m); v != VerdictForward {
+		t.Fatal("verdict")
+	}
+	if m.Len() >= before {
+		t.Errorf("packet did not shrink: %d -> %d", before, m.Len())
+	}
+	frame, perr := eth.Parse(m.Data())
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if frame.TotalLen() != m.Len()-eth.EtherLen {
+		t.Error("IP length stale after resize")
+	}
+	if frame.IPChecksum() != frame.ComputeIPChecksum() {
+		t.Error("checksum stale after resize")
+	}
+	// The compressed payload inflates back to the original.
+	r := flate.NewReader(bytes.NewReader(frame.Payload()))
+	plain, rerr := io.ReadAll(r)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(plain, payload) {
+		t.Error("payload corrupted by compression")
+	}
+	if c.Compressed != 1 {
+		t.Errorf("counters %+v", c)
+	}
+	if c.BytesOut >= c.BytesIn {
+		t.Errorf("no savings: %d in, %d out", c.BytesIn, c.BytesOut)
+	}
+}
+
+func TestFlowCompressorSWLeavesIncompressibleAlone(t *testing.T) {
+	p := pool(t)
+	c, _ := NewFlowCompressorSW(9)
+	// High-entropy payload: DEFLATE cannot shrink it.
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i*73 + 11)
+	}
+	m := newPacket(t, p, payload, eth.IPv4{1, 1, 1, 1})
+	before := append([]byte(nil), m.Data()...)
+	if v, _ := c.Process(m); v != VerdictForward {
+		t.Fatal("verdict")
+	}
+	if !bytes.Equal(m.Data(), before) {
+		t.Error("incompressible packet was modified")
+	}
+	if c.Incompressed != 1 || c.Compressed != 0 {
+		t.Errorf("counters %+v", c)
+	}
+}
+
+func TestFlowCompressorDHL(t *testing.T) {
+	r := newDHLRig(t)
+	if _, err := NewFlowCompressorDHL(r.rt, 0, "fc", 0); err == nil {
+		t.Error("bad level accepted")
+	}
+	fc, err := NewFlowCompressorDHL(r.rt, 9, "fc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+
+	payload := []byte(strings.Repeat("compress me in hardware ", 30))
+	m := newPacket(t, r.pool, payload, eth.IPv4{7, 7, 7, 7})
+	original := append([]byte(nil), m.Data()...)
+	if v, _ := fc.PreProcess(m); v != VerdictForward {
+		t.Fatal("preprocess")
+	}
+	out := r.roundTrip(t, fc.NFID, m)
+	if v, _ := fc.PostProcess(out); v != VerdictForward {
+		t.Fatal("postprocess")
+	}
+	if out.Len() >= len(original) {
+		t.Errorf("hardware compression grew the frame: %d -> %d", len(original), out.Len())
+	}
+	// The compressed record inflates back to the whole original frame.
+	fr := flate.NewReader(bytes.NewReader(out.Data()))
+	plain, rerr := io.ReadAll(fr)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(plain, original) {
+		t.Error("hardware compression corrupted the frame")
+	}
+	_ = r.pool.Free(out)
+}

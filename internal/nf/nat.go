@@ -1,0 +1,171 @@
+package nf
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
+
+// NAT cycle cost: a hash lookup plus header rewrite sits between L2fwd's
+// 36 and L3fwd's 60 cycles on the Table I testbed.
+const natCycles = 55.0
+
+// Errors returned by the NAT.
+var (
+	ErrNATPortsExhausted = errors.New("nf: NAT port pool exhausted")
+	ErrNATNoMapping      = errors.New("nf: no NAT mapping for inbound packet")
+)
+
+// NAT implements source network address and port translation, one of the
+// shallow packet processing NFs of §II-B ("Executing operations based on
+// the packet header ... such as NAT").
+//
+// Outbound packets (from the inside interface) get their source rewritten
+// to the external address and an allocated external port; inbound packets
+// are matched on destination port and rewritten back.
+type NAT struct {
+	external eth.IPv4
+	base     uint16
+	nextPort uint16
+	maxPort  uint16
+
+	// outbound maps the internal (srcIP, srcPort, proto) to the allocated
+	// external port; inbound maps the external port back.
+	outbound map[natKey]uint16
+	inbound  map[uint16]natKey
+
+	Translated uint64
+	Dropped    uint64
+}
+
+type natKey struct {
+	ip    eth.IPv4
+	port  uint16
+	proto uint8
+}
+
+// NATConfig parameterizes NewNAT.
+type NATConfig struct {
+	// External is the public address translations use.
+	External eth.IPv4
+	// PortBase and PortCount bound the external port pool. Zero selects
+	// 20000..60000.
+	PortBase  uint16
+	PortCount uint16
+}
+
+// NewNAT builds a source NAT.
+func NewNAT(cfg NATConfig) *NAT {
+	if cfg.PortBase == 0 {
+		cfg.PortBase = 20000
+		cfg.PortCount = 40000
+	}
+	return &NAT{
+		external: cfg.External,
+		base:     cfg.PortBase,
+		nextPort: cfg.PortBase,
+		maxPort:  cfg.PortBase + cfg.PortCount - 1,
+		outbound: make(map[natKey]uint16),
+		inbound:  make(map[uint16]natKey),
+	}
+}
+
+// Mappings reports the number of active translations.
+func (n *NAT) Mappings() int { return len(n.outbound) }
+
+// ProcessOutbound translates an inside->outside packet in place. It
+// returns the verdict and cycle cost.
+func (n *NAT) ProcessOutbound(m *mbuf.Mbuf) (Verdict, float64) {
+	frame, err := eth.Parse(m.Data())
+	if err != nil || (frame.Proto() != eth.ProtoTCP && frame.Proto() != eth.ProtoUDP) {
+		n.Dropped++
+		return VerdictDrop, natCycles
+	}
+	key := natKey{ip: frame.SrcIP(), port: frame.SrcPort(), proto: frame.Proto()}
+	ext, ok := n.outbound[key]
+	if !ok {
+		ext, err = n.allocate(key)
+		if err != nil {
+			n.Dropped++
+			return VerdictDrop, natCycles
+		}
+	}
+	frame.SetSrcIP(n.external)
+	setL4SrcPort(frame, ext)
+	frame.SetIPChecksum(frame.ComputeIPChecksum())
+	n.Translated++
+	return VerdictForward, natCycles
+}
+
+// ProcessInbound reverses a translation for an outside->inside packet.
+func (n *NAT) ProcessInbound(m *mbuf.Mbuf) (Verdict, float64) {
+	frame, err := eth.Parse(m.Data())
+	if err != nil || (frame.Proto() != eth.ProtoTCP && frame.Proto() != eth.ProtoUDP) {
+		n.Dropped++
+		return VerdictDrop, natCycles
+	}
+	key, ok := n.inbound[frame.DstPort()]
+	if !ok || key.proto != frame.Proto() {
+		n.Dropped++
+		return VerdictDrop, natCycles
+	}
+	frame.SetDstIP(key.ip)
+	setL4DstPort(frame, key.port)
+	frame.SetIPChecksum(frame.ComputeIPChecksum())
+	n.Translated++
+	return VerdictForward, natCycles
+}
+
+func (n *NAT) allocate(key natKey) (uint16, error) {
+	capacity := int(n.maxPort-n.base) + 1
+	if len(n.inbound) >= capacity {
+		return 0, fmt.Errorf("%w (%d mappings)", ErrNATPortsExhausted, len(n.outbound))
+	}
+	for {
+		p := n.nextPort
+		n.advance()
+		if _, used := n.inbound[p]; !used {
+			n.outbound[key] = p
+			n.inbound[p] = key
+			return p, nil
+		}
+	}
+}
+
+func (n *NAT) advance() {
+	if n.nextPort >= n.maxPort {
+		n.nextPort = n.base
+		return
+	}
+	n.nextPort++
+}
+
+// Release drops the translation for an internal endpoint (flow expiry).
+func (n *NAT) Release(ip eth.IPv4, port uint16, proto uint8) error {
+	key := natKey{ip: ip, port: port, proto: proto}
+	ext, ok := n.outbound[key]
+	if !ok {
+		return ErrNATNoMapping
+	}
+	delete(n.outbound, key)
+	delete(n.inbound, ext)
+	return nil
+}
+
+func setL4SrcPort(f eth.Frame, port uint16) {
+	l4 := f.L4()
+	if len(l4) >= 2 {
+		l4[0] = byte(port >> 8)
+		l4[1] = byte(port)
+	}
+}
+
+func setL4DstPort(f eth.Frame, port uint16) {
+	l4 := f.L4()
+	if len(l4) >= 4 {
+		l4[2] = byte(port >> 8)
+		l4[3] = byte(port)
+	}
+}

@@ -1,0 +1,137 @@
+package nf
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/acmatch"
+)
+
+// Action is an NIDS rule's disposition, the "Rule Options Evaluation"
+// stage of Figure 5(b).
+type Action int
+
+// Rule actions, mirroring Snort's.
+const (
+	// ActionAlert logs and passes the packet.
+	ActionAlert Action = iota + 1
+	// ActionDrop discards the packet.
+	ActionDrop
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionAlert:
+		return "alert"
+	case ActionDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// ErrNoRules reports an empty rule set.
+var ErrNoRules = errors.New("nf: rule set has no rules")
+
+// Rule is one signature in the NIDS's Snort-based attack ruleset (§V-B2).
+type Rule struct {
+	// SID is the Snort-style signature ID.
+	SID int
+	// Pattern is the content match.
+	Pattern []byte
+	// Action is taken when the pattern matches.
+	Action Action
+	// Msg describes the signature.
+	Msg string
+	// NoCase matches case-insensitively.
+	NoCase bool
+}
+
+// RuleSet is a compiled signature set. Pattern i in the compiled matcher
+// corresponds to rules[i].
+type RuleSet struct {
+	rules   []Rule
+	matcher *acmatch.Matcher
+}
+
+// NewRuleSet compiles rules. All rules share one automaton; per-rule
+// NoCase is honored by folding those patterns at compile time and scanning
+// case-sensitively (the usual Snort fast-pattern compromise is global
+// folding; we fold globally if any rule asks for it, which is what the
+// hardware AC-DFA does too).
+func NewRuleSet(rules []Rule) (*RuleSet, error) {
+	if len(rules) == 0 {
+		return nil, ErrNoRules
+	}
+	fold := false
+	for _, r := range rules {
+		if r.NoCase {
+			fold = true
+		}
+	}
+	patterns := make([][]byte, len(rules))
+	for i, r := range rules {
+		if len(r.Pattern) == 0 {
+			return nil, fmt.Errorf("nf: rule %d (sid %d) has empty pattern", i, r.SID)
+		}
+		patterns[i] = r.Pattern
+	}
+	m, err := acmatch.NewMatcher(patterns, acmatch.Config{CaseFold: fold})
+	if err != nil {
+		return nil, fmt.Errorf("nf: compile rules: %w", err)
+	}
+	cp := make([]Rule, len(rules))
+	copy(cp, rules)
+	return &RuleSet{rules: cp, matcher: m}, nil
+}
+
+// Matcher exposes the compiled automaton (shared with the hardware module
+// configuration path).
+func (rs *RuleSet) Matcher() *acmatch.Matcher { return rs.matcher }
+
+// Patterns returns the raw pattern list in rule order (for
+// hwfunc.EncodePatternConfig).
+func (rs *RuleSet) Patterns() [][]byte {
+	out := make([][]byte, len(rs.rules))
+	for i, r := range rs.rules {
+		out[i] = r.Pattern
+	}
+	return out
+}
+
+// CaseFold reports whether the compiled set folds case.
+func (rs *RuleSet) CaseFold() bool {
+	for _, r := range rs.rules {
+		if r.NoCase {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule returns rule metadata by pattern index.
+func (rs *RuleSet) Rule(patternID int) (Rule, error) {
+	if patternID < 0 || patternID >= len(rs.rules) {
+		return Rule{}, fmt.Errorf("nf: pattern id %d out of range [0,%d)", patternID, len(rs.rules))
+	}
+	return rs.rules[patternID], nil
+}
+
+// Len reports the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// DefaultSnortRules returns a small Snort-flavoured attack signature set
+// used by the evaluation harness and examples.
+func DefaultSnortRules() []Rule {
+	return []Rule{
+		{SID: 1001, Pattern: []byte("/etc/passwd"), Action: ActionDrop, Msg: "WEB-MISC /etc/passwd access"},
+		{SID: 1002, Pattern: []byte("cmd.exe"), Action: ActionDrop, Msg: "WEB-IIS cmd.exe access", NoCase: true},
+		{SID: 1003, Pattern: []byte("SELECT * FROM"), Action: ActionAlert, Msg: "SQL generic select", NoCase: true},
+		{SID: 1004, Pattern: []byte("\x90\x90\x90\x90\x90\x90\x90\x90"), Action: ActionDrop, Msg: "SHELLCODE x86 NOP sled"},
+		{SID: 1005, Pattern: []byte("union select"), Action: ActionAlert, Msg: "SQL union select injection", NoCase: true},
+		{SID: 1006, Pattern: []byte("../.."), Action: ActionDrop, Msg: "WEB-MISC directory traversal"},
+		{SID: 1007, Pattern: []byte("xp_cmdshell"), Action: ActionDrop, Msg: "MS-SQL xp_cmdshell", NoCase: true},
+		{SID: 1008, Pattern: []byte("wget http"), Action: ActionAlert, Msg: "POLICY outbound wget"},
+	}
+}

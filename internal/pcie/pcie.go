@@ -1,0 +1,225 @@
+// Package pcie models the host<->FPGA data transfer layer of DHL: a
+// scatter-gather packet DMA engine behind either the UIO-based poll-mode
+// driver the paper builds (§IV-A1) or the Northwest Logic in-kernel driver
+// it compares against.
+//
+// The model is analytic and calibrated against Figure 4 (see
+// internal/perf): each direction (H2C = host-to-card, C2H = card-to-host)
+// is a serial channel whose per-transfer occupancy embeds the
+// per-transaction overhead that makes small transfers slow, plus a base
+// propagation latency that makes up the round-trip time. PCIe is full
+// duplex, so the two directions are independent channels.
+package pcie
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/perf"
+)
+
+// DriverMode selects the host driver model.
+type DriverMode int
+
+// Driver modes compared in Figure 4.
+const (
+	// UIOPoll is DHL's userspace-I/O poll-mode driver: registers mapped
+	// into userspace, no syscalls, no interrupts (§IV-A1).
+	UIOPoll DriverMode = iota + 1
+	// InKernel is the reference in-kernel driver: read()/write() syscalls
+	// and interrupt-driven completion, costing milliseconds per transfer.
+	InKernel
+)
+
+// String names the driver mode.
+func (m DriverMode) String() string {
+	switch m {
+	case UIOPoll:
+		return "uio-poll"
+	case InKernel:
+		return "in-kernel"
+	default:
+		return fmt.Sprintf("DriverMode(%d)", int(m))
+	}
+}
+
+// Direction labels a DMA channel.
+type Direction int
+
+// DMA directions.
+const (
+	// H2C moves data from host memory to the card.
+	H2C Direction = iota + 1
+	// C2H moves data from the card to host memory.
+	C2H
+)
+
+// Errors returned by the engine.
+var (
+	// ErrTooLarge reports a transfer beyond the SG engine's 64 KB
+	// descriptor chain limit (§VI.3: the engine is optimized for
+	// networking packets; rte_mbuf bounds data at 64 KB).
+	ErrTooLarge = errors.New("pcie: transfer exceeds 64KB scatter-gather limit")
+	// ErrZeroSize reports an empty transfer.
+	ErrZeroSize = errors.New("pcie: zero-size transfer")
+)
+
+// MaxTransfer is the largest supported single transfer.
+const MaxTransfer = 64 * 1024
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mode selects the driver model. Zero selects UIOPoll.
+	Mode DriverMode
+	// MaxBps is the asymptotic per-direction throughput in bits/s.
+	// Zero selects the calibrated PCIe Gen3 x8 value.
+	MaxBps float64
+	// OverheadBytes is the per-transfer overhead that shapes the
+	// throughput-vs-size curve. Zero selects the calibrated value.
+	OverheadBytes float64
+	// BaseRTTPs is the zero-byte round-trip latency in picoseconds.
+	// Zero selects the calibrated value for Mode.
+	BaseRTTPs float64
+	// RemoteNUMA applies the cross-socket access penalty (§IV-A2).
+	RemoteNUMA bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = UIOPoll
+	}
+	switch c.Mode {
+	case InKernel:
+		if c.MaxBps == 0 {
+			c.MaxBps = perf.DMAKernelMaxBps
+		}
+		if c.OverheadBytes == 0 {
+			c.OverheadBytes = perf.DMAKernelOverheadBytes
+		}
+		if c.BaseRTTPs == 0 {
+			c.BaseRTTPs = perf.DMAKernelBaseRTTPs
+		}
+	default:
+		if c.MaxBps == 0 {
+			c.MaxBps = perf.DMAMaxBps
+		}
+		if c.OverheadBytes == 0 {
+			c.OverheadBytes = perf.DMAOverheadBytes
+		}
+		if c.BaseRTTPs == 0 {
+			c.BaseRTTPs = perf.DMABaseRTTPs
+		}
+	}
+	return c
+}
+
+// Stats are lifetime transfer counters for one direction.
+type Stats struct {
+	Transfers uint64
+	Bytes     uint64
+	// BusyPs is accumulated channel occupancy, for utilization reporting.
+	BusyPs eventsim.Time
+}
+
+type channel struct {
+	freeAt eventsim.Time
+	stats  Stats
+}
+
+// Engine is the simulated SG packet DMA engine of one FPGA board.
+type Engine struct {
+	sim *eventsim.Sim
+	cfg Config
+	h2c channel
+	c2h channel
+}
+
+// NewEngine creates a DMA engine on sim with cfg.
+func NewEngine(sim *eventsim.Sim, cfg Config) *Engine {
+	return &Engine{sim: sim, cfg: cfg.withDefaults()}
+}
+
+// Mode reports the driver model in use.
+func (e *Engine) Mode() DriverMode { return e.cfg.Mode }
+
+// SustainedBps reports the modeled steady-state throughput for transfers
+// of the given size (the Figure 4(a) curve).
+func (e *Engine) SustainedBps(size int) float64 {
+	return perf.DMASustainedBps(e.cfg.MaxBps, e.cfg.OverheadBytes, size)
+}
+
+// RoundTripPs reports the modeled idle-engine loopback latency for the
+// given size (the Figure 4(b) curve).
+func (e *Engine) RoundTripPs(size int) eventsim.Time {
+	return eventsim.Time(perf.DMARoundTripPs(e.cfg.BaseRTTPs, e.cfg.MaxBps, size, e.cfg.RemoteNUMA))
+}
+
+// occupancy is the channel serialization time of one transfer: the
+// effective wire time of size+overhead bytes. Steady-state throughput then
+// equals SustainedBps by construction.
+func (e *Engine) occupancy(size int) eventsim.Time {
+	return eventsim.Time((float64(size) + e.cfg.OverheadBytes) * 8 / e.cfg.MaxBps * 1e12)
+}
+
+// oneWayLatency is the extra pipeline latency a transfer sees beyond its
+// serialization (half the base RTT, plus half the NUMA penalty if remote).
+func (e *Engine) oneWayLatency() eventsim.Time {
+	lat := eventsim.Time(e.cfg.BaseRTTPs / 2)
+	if e.cfg.RemoteNUMA {
+		lat += eventsim.Time(perf.DMANUMAPenaltyPs / 2)
+	}
+	return lat
+}
+
+// Transfer schedules a transfer of size bytes on direction dir and invokes
+// done when the data has fully arrived at the other side. It returns the
+// scheduled completion time.
+func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, error) {
+	if size <= 0 {
+		return 0, ErrZeroSize
+	}
+	if size > MaxTransfer {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+	}
+	ch := &e.h2c
+	if dir == C2H {
+		ch = &e.c2h
+	}
+	start := e.sim.Now()
+	if ch.freeAt > start {
+		start = ch.freeAt
+	}
+	occ := e.occupancy(size)
+	ch.freeAt = start + occ
+	ch.stats.Transfers++
+	ch.stats.Bytes += uint64(size)
+	ch.stats.BusyPs += occ
+	complete := ch.freeAt + e.oneWayLatency()
+	if done != nil {
+		e.sim.At(complete, done)
+	}
+	return complete, nil
+}
+
+// Backlog reports how far in the future the direction's channel is booked,
+// used by the runtime to apply back-pressure instead of queueing unbounded
+// work on the DMA engine.
+func (e *Engine) Backlog(dir Direction) eventsim.Time {
+	ch := &e.h2c
+	if dir == C2H {
+		ch = &e.c2h
+	}
+	if ch.freeAt <= e.sim.Now() {
+		return 0
+	}
+	return ch.freeAt - e.sim.Now()
+}
+
+// DirStats reports the counters of one direction.
+func (e *Engine) DirStats(dir Direction) Stats {
+	if dir == C2H {
+		return e.c2h.stats
+	}
+	return e.h2c.stats
+}

@@ -1,0 +1,68 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDMASustainedBpsAnchors(t *testing.T) {
+	// Figure 4(a) calibration: >=42 Gbps at 6 KB, asymptote below MaxBps.
+	at6KB := DMASustainedBps(DMAMaxBps, DMAOverheadBytes, 6144)
+	if at6KB < 42e9 || at6KB > 42.5e9 {
+		t.Errorf("6KB sustained %.2f Gbps", at6KB/1e9)
+	}
+	if DMASustainedBps(DMAMaxBps, DMAOverheadBytes, 0) != 0 {
+		t.Error("zero-size throughput not zero")
+	}
+	if DMASustainedBps(DMAMaxBps, DMAOverheadBytes, -5) != 0 {
+		t.Error("negative-size throughput not zero")
+	}
+}
+
+func TestDMASustainedBpsMonotoneAndBounded(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sa, sb := int(a)+1, int(b)+1
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ta := DMASustainedBps(DMAMaxBps, DMAOverheadBytes, sa)
+		tb := DMASustainedBps(DMAMaxBps, DMAOverheadBytes, sb)
+		return ta <= tb && tb < DMAMaxBps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDMARoundTripAnchors(t *testing.T) {
+	// Figure 4(b) calibration: ~2us small, 3.8us at 6 KB, +0.4us remote.
+	small := DMARoundTripPs(DMABaseRTTPs, DMAMaxBps, 64, false)
+	if small < 1.5e6 || small > 2.2e6 {
+		t.Errorf("64B RTT %.2f us", small/1e6)
+	}
+	big := DMARoundTripPs(DMABaseRTTPs, DMAMaxBps, 6144, false)
+	if big < 3.4e6 || big > 4.2e6 {
+		t.Errorf("6KB RTT %.2f us", big/1e6)
+	}
+	remote := DMARoundTripPs(DMABaseRTTPs, DMAMaxBps, 64, true)
+	if d := remote - small; d != DMANUMAPenaltyPs {
+		t.Errorf("NUMA penalty %.2f us", d/1e6)
+	}
+}
+
+func TestTableVIConstantsConsistent(t *testing.T) {
+	// The §V-F packing arithmetic must hold for the published constants:
+	// 5 ipsec-crypto fit, 6 do not; 2 pattern-matching fit, 3 do not.
+	avail := FPGATotalBRAM - StaticRegionBRAM
+	if !(5*IPsecCryptoBRAM <= avail && 6*IPsecCryptoBRAM > avail) {
+		t.Errorf("ipsec-crypto packing arithmetic broken: %d BRAM available", avail)
+	}
+	if !(2*PatternMatchingBRAM <= avail && 3*PatternMatchingBRAM > avail) {
+		t.Errorf("pattern-matching packing arithmetic broken: %d BRAM available", avail)
+	}
+	// Table I consistency: 796 cycles at 2.3 GHz on 64B ~= 1.47 Gbps.
+	gbps := 64 * 8 / (IPsecSWCycles64B / TableICoreHz) / 1e9
+	if gbps < 1.4 || gbps > 1.55 {
+		t.Errorf("Table I arithmetic: %.2f Gbps", gbps)
+	}
+}

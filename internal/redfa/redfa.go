@@ -1,0 +1,683 @@
+// Package redfa implements a small regular-expression engine compiled to
+// a deterministic finite automaton, the substrate behind the
+// regex-classifier accelerator module (§IV-C lists "Regex Classifier"
+// among the accelerator modules DHL hosts; DPI engines such as [23] match
+// regex signatures in hardware as DFAs).
+//
+// The engine supports the signature-oriented subset of POSIX syntax used
+// by DPI rules: literals, '.', character classes ('[a-z0-9]', negation
+// '[^..]'), the quantifiers '*', '+' and '?', alternation '|', grouping
+// '(...)', anchors '^'/'$' and '\'-escapes. Compilation goes regexp ->
+// Thompson NFA -> subset-construction DFA, mirroring how hardware regex
+// engines are built and making BRAM-style state accounting possible.
+package redfa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the compiler.
+var (
+	ErrSyntax   = errors.New("redfa: syntax error")
+	ErrTooLarge = errors.New("redfa: DFA exceeds the state budget")
+)
+
+// --- parsing into an AST -------------------------------------------------
+
+type nodeKind int
+
+const (
+	nLit nodeKind = iota + 1 // character class (single literals included)
+	nCat
+	nAlt
+	nStar
+	nPlus
+	nOpt
+	nEmpty
+	nBegin // ^ anchor
+	nEnd   // $ anchor
+)
+
+type node struct {
+	kind  nodeKind
+	set   [32]byte // 256-bit class membership bitmap for nLit
+	left  *node
+	right *node
+}
+
+func classAdd(set *[32]byte, b byte)      { set[b>>3] |= 1 << (b & 7) }
+func classHas(set *[32]byte, b byte) bool { return set[b>>3]&(1<<(b&7)) != 0 }
+
+// isSingleton reports whether the class contains exactly one byte.
+func isSingleton(set *[32]byte) bool {
+	count := 0
+	for _, w := range set {
+		for ; w != 0; w &= w - 1 {
+			count++
+			if count > 1 {
+				return false
+			}
+		}
+	}
+	return count == 1
+}
+
+// singletonByte returns the single member of a singleton class.
+func singletonByte(set *[32]byte) byte {
+	for i, w := range set {
+		if w != 0 {
+			for b := 0; b < 8; b++ {
+				if w&(1<<b) != 0 {
+					return byte(i*8 + b)
+				}
+			}
+		}
+	}
+	return 0
+}
+
+type parser struct {
+	src []byte
+	pos int
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) next() (byte, bool) {
+	b, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return b, ok
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrSyntax, fmt.Sprintf(format, args...), p.pos)
+}
+
+// parseAlt := parseCat ('|' parseCat)*
+func (p *parser) parseAlt() (*node, error) {
+	left, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, ok := p.peek()
+		if !ok || b != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		left = &node{kind: nAlt, left: left, right: right}
+	}
+}
+
+// parseCat := parseRep*
+func (p *parser) parseCat() (*node, error) {
+	var parts []*node
+	for {
+		b, ok := p.peek()
+		if !ok || b == '|' || b == ')' {
+			break
+		}
+		n, err := p.parseRep()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	if len(parts) == 0 {
+		return &node{kind: nEmpty}, nil
+	}
+	out := parts[0]
+	for _, n := range parts[1:] {
+		out = &node{kind: nCat, left: out, right: n}
+	}
+	return out, nil
+}
+
+// parseRep := parseAtom ('*'|'+'|'?')*
+func (p *parser) parseRep() (*node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch b {
+		case '*':
+			p.pos++
+			atom = &node{kind: nStar, left: atom}
+		case '+':
+			p.pos++
+			atom = &node{kind: nPlus, left: atom}
+		case '?':
+			p.pos++
+			atom = &node{kind: nOpt, left: atom}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (*node, error) {
+	b, ok := p.next()
+	if !ok {
+		return nil, p.errorf("unexpected end of pattern")
+	}
+	switch b {
+	case '(':
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := p.next(); !ok || c != ')' {
+			return nil, p.errorf("unclosed group")
+		}
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		n := &node{kind: nLit}
+		for i := 0; i < 256; i++ {
+			classAdd(&n.set, byte(i))
+		}
+		return n, nil
+	case '^':
+		return &node{kind: nBegin}, nil
+	case '$':
+		return &node{kind: nEnd}, nil
+	case '\\':
+		return p.parseEscape()
+	case '*', '+', '?':
+		return nil, p.errorf("quantifier %q with nothing to repeat", b)
+	case ')':
+		return nil, p.errorf("unmatched ')'")
+	default:
+		n := &node{kind: nLit}
+		classAdd(&n.set, b)
+		return n, nil
+	}
+}
+
+// parseEscape consumes an escape sequence after the backslash, including
+// the \xHH hex form DPI signatures rely on for binary protocol bytes.
+func (p *parser) parseEscape() (*node, error) {
+	e, ok := p.next()
+	if !ok {
+		return nil, p.errorf("dangling escape")
+	}
+	if e == 'x' {
+		hi, ok1 := p.next()
+		lo, ok2 := p.next()
+		if !ok1 || !ok2 {
+			return nil, p.errorf("truncated \\x escape")
+		}
+		h, herr := hexVal(hi)
+		l, lerr := hexVal(lo)
+		if herr != nil || lerr != nil {
+			return nil, p.errorf("bad \\x escape %q%q", hi, lo)
+		}
+		n := &node{kind: nLit}
+		classAdd(&n.set, h<<4|l)
+		return n, nil
+	}
+	return escapeNode(e)
+}
+
+func hexVal(b byte) (byte, error) {
+	switch {
+	case '0' <= b && b <= '9':
+		return b - '0', nil
+	case 'a' <= b && b <= 'f':
+		return b - 'a' + 10, nil
+	case 'A' <= b && b <= 'F':
+		return b - 'A' + 10, nil
+	default:
+		return 0, fmt.Errorf("%w: not a hex digit", ErrSyntax)
+	}
+}
+
+func escapeNode(e byte) (*node, error) {
+	n := &node{kind: nLit}
+	switch e {
+	case 'd':
+		for b := byte('0'); b <= '9'; b++ {
+			classAdd(&n.set, b)
+		}
+	case 'w':
+		for b := byte('a'); b <= 'z'; b++ {
+			classAdd(&n.set, b)
+		}
+		for b := byte('A'); b <= 'Z'; b++ {
+			classAdd(&n.set, b)
+		}
+		for b := byte('0'); b <= '9'; b++ {
+			classAdd(&n.set, b)
+		}
+		classAdd(&n.set, '_')
+	case 's':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			classAdd(&n.set, b)
+		}
+	case 'n':
+		classAdd(&n.set, '\n')
+	case 't':
+		classAdd(&n.set, '\t')
+	case 'r':
+		classAdd(&n.set, '\r')
+	case '0':
+		classAdd(&n.set, 0)
+	default:
+		classAdd(&n.set, e) // escaped metacharacter
+	}
+	return n, nil
+}
+
+func (p *parser) parseClass() (*node, error) {
+	n := &node{kind: nLit}
+	negate := false
+	if b, ok := p.peek(); ok && b == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		b, ok := p.next()
+		if !ok {
+			return nil, p.errorf("unclosed character class")
+		}
+		if b == ']' && !first {
+			break
+		}
+		first = false
+		if b == '\\' {
+			en, err := p.parseEscape()
+			if err != nil {
+				return nil, err
+			}
+			// A single-byte escape may participate in a range (\x00-\x03).
+			if isSingleton(&en.set) {
+				lo := singletonByte(&en.set)
+				if nb, ok := p.peek(); ok && nb == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+					p.pos++ // consume '-'
+					var hiNode *node
+					hb, _ := p.next()
+					if hb == '\\' {
+						hiNode, err = p.parseEscape()
+						if err != nil {
+							return nil, err
+						}
+						if !isSingleton(&hiNode.set) {
+							return nil, p.errorf("class escape cannot end a range")
+						}
+					} else {
+						hiNode = &node{kind: nLit}
+						classAdd(&hiNode.set, hb)
+					}
+					hi := singletonByte(&hiNode.set)
+					if hi < lo {
+						return nil, p.errorf("inverted range")
+					}
+					for c := lo; ; c++ {
+						classAdd(&n.set, c)
+						if c == hi {
+							break
+						}
+					}
+					continue
+				}
+			}
+			for i := 0; i < 32; i++ {
+				n.set[i] |= en.set[i]
+			}
+			continue
+		}
+		// Range?
+		if nb, ok := p.peek(); ok && nb == '-' {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+				p.pos++ // consume '-'
+				hi, _ := p.next()
+				if hi < b {
+					return nil, p.errorf("inverted range %q-%q", b, hi)
+				}
+				for c := b; ; c++ {
+					classAdd(&n.set, c)
+					if c == hi {
+						break
+					}
+				}
+				continue
+			}
+		}
+		classAdd(&n.set, b)
+	}
+	if negate {
+		for i := range n.set {
+			n.set[i] = ^n.set[i]
+		}
+	}
+	return n, nil
+}
+
+// --- Thompson NFA --------------------------------------------------------
+
+const (
+	// Special transition markers for anchors.
+	symBegin = 256
+	symEnd   = 257
+)
+
+type nfaState struct {
+	// eps are epsilon transitions.
+	eps []int
+	// on is a labeled transition: class bitmap (or anchor symbol) -> target.
+	set    *[32]byte
+	anchor int // 0 none, symBegin or symEnd
+	to     int
+}
+
+type nfa struct {
+	states []nfaState
+	start  int
+	accept int
+}
+
+type frag struct{ start, out int }
+
+func (n *nfa) newState() int {
+	n.states = append(n.states, nfaState{})
+	return len(n.states) - 1
+}
+
+func (n *nfa) compile(ast *node) frag {
+	switch ast.kind {
+	case nEmpty:
+		s := n.newState()
+		return frag{s, s}
+	case nLit:
+		s := n.newState()
+		e := n.newState()
+		set := ast.set
+		n.states[s].set = &set
+		n.states[s].to = e
+		return frag{s, e}
+	case nBegin, nEnd:
+		s := n.newState()
+		e := n.newState()
+		n.states[s].anchor = symBegin
+		if ast.kind == nEnd {
+			n.states[s].anchor = symEnd
+		}
+		n.states[s].to = e
+		return frag{s, e}
+	case nCat:
+		a := n.compile(ast.left)
+		b := n.compile(ast.right)
+		n.states[a.out].eps = append(n.states[a.out].eps, b.start)
+		return frag{a.start, b.out}
+	case nAlt:
+		a := n.compile(ast.left)
+		b := n.compile(ast.right)
+		s := n.newState()
+		e := n.newState()
+		n.states[s].eps = append(n.states[s].eps, a.start, b.start)
+		n.states[a.out].eps = append(n.states[a.out].eps, e)
+		n.states[b.out].eps = append(n.states[b.out].eps, e)
+		return frag{s, e}
+	case nStar:
+		a := n.compile(ast.left)
+		s := n.newState()
+		e := n.newState()
+		n.states[s].eps = append(n.states[s].eps, a.start, e)
+		n.states[a.out].eps = append(n.states[a.out].eps, a.start, e)
+		return frag{s, e}
+	case nPlus:
+		a := n.compile(ast.left)
+		e := n.newState()
+		n.states[a.out].eps = append(n.states[a.out].eps, a.start, e)
+		return frag{a.start, e}
+	case nOpt:
+		a := n.compile(ast.left)
+		s := n.newState()
+		e := n.newState()
+		n.states[s].eps = append(n.states[s].eps, a.start, e)
+		n.states[a.out].eps = append(n.states[a.out].eps, e)
+		return frag{s, e}
+	default:
+		s := n.newState()
+		return frag{s, s}
+	}
+}
+
+// --- DFA via subset construction ----------------------------------------
+
+// DFA is the compiled matcher. Matching is unanchored by default (the DPI
+// convention: a signature matches if it occurs anywhere in the payload)
+// unless the pattern uses ^/$.
+type DFA struct {
+	pattern string
+	// next[state*256+b] is the transition table; -1 is the dead state.
+	next []int32
+	// acceptAt[state] marks states whose epsilon closure reached accept.
+	acceptAt []bool
+	// acceptOnEnd[state] marks states that accept once the input ends
+	// (patterns anchored with '$').
+	acceptOnEnd []bool
+	start       int32
+}
+
+// CompileConfig bounds DFA construction.
+type CompileConfig struct {
+	// MaxStates caps subset construction (hardware regex engines have a
+	// fixed state memory). Zero selects 4096.
+	MaxStates int
+}
+
+// Compile builds a DFA for pattern.
+func Compile(pattern string, cfg CompileConfig) (*DFA, error) {
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 4096
+	}
+	p := &parser{src: []byte(pattern)}
+	ast, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := p.peek(); ok {
+		return nil, p.errorf("unexpected %q", b)
+	}
+
+	var machine nfa
+	f := machine.compile(ast)
+	// Unanchored search: allow skipping any prefix before the match start
+	// unless the pattern begins with '^' — we implement this uniformly by
+	// prepending a `.*` self-loop state that epsilon-enters the pattern.
+	searchStart := machine.newState()
+	machine.states[searchStart].eps = append(machine.states[searchStart].eps, f.start)
+	machine.start = searchStart
+	machine.accept = f.out
+
+	d := &DFA{pattern: pattern}
+	return d, d.build(&machine, cfg.MaxStates)
+}
+
+// MustCompile is Compile but panics on error; for static rule sets.
+func MustCompile(pattern string, cfg CompileConfig) *DFA {
+	d, err := Compile(pattern, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// closure expands a state set across epsilon and begin-anchor edges.
+// atStart reports whether we are at input position 0 (begin anchors are
+// traversable only there).
+func (machine *nfa) closure(set map[int]bool, atStart bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st := &machine.states[s]
+		for _, e := range st.eps {
+			if !set[e] {
+				set[e] = true
+				stack = append(stack, e)
+			}
+		}
+		if st.anchor == symBegin && atStart && !set[st.to] {
+			set[st.to] = true
+			stack = append(stack, st.to)
+		}
+	}
+}
+
+// endClosure expands across end-anchor edges (valid at end of input).
+func (machine *nfa) endClosure(set map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(set))
+	for s := range set {
+		out[s] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for s := range out {
+			st := &machine.states[s]
+			if st.anchor == symEnd && !out[st.to] {
+				out[st.to] = true
+				changed = true
+			}
+			for _, e := range st.eps {
+				if !out[e] {
+					out[e] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func setKey(set map[int]bool) string {
+	ids := make([]int, 0, len(set))
+	for s := range set {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	key := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		key = append(key, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(key)
+}
+
+func (d *DFA) build(machine *nfa, maxStates int) error {
+	// Note: we build two start closures (position 0 honours '^'); states
+	// reached later must not traverse begin anchors, so the subset builder
+	// tracks "atStart" as part of the start state only. Self-loop for
+	// unanchored search: the search-start NFA state re-enters itself on
+	// every byte by being included in every subset.
+	type dfaState struct {
+		set map[int]bool
+	}
+	var states []dfaState
+	index := map[string]int32{}
+
+	mk := func(set map[int]bool, atStart bool) int32 {
+		machine.closure(set, atStart)
+		set[machine.start] = true // unanchored: can always restart the match
+		machine.closure(set, atStart)
+		key := setKey(set)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := int32(len(states))
+		states = append(states, dfaState{set: set})
+		index[key] = id
+		return id
+	}
+
+	start := mk(map[int]bool{machine.start: true}, true)
+	d.start = start
+	// The restart state is the unanchored re-entry point *after* position
+	// 0: begin anchors must not be traversable from it. For unanchored
+	// patterns it coincides with the start state.
+	restart := mk(map[int]bool{machine.start: true}, false)
+
+	for si := 0; si < len(states); si++ {
+		if si >= maxStates {
+			return fmt.Errorf("%w: %d states (budget %d) for %q", ErrTooLarge, len(states), maxStates, d.pattern)
+		}
+		cur := states[si]
+		row := make([]int32, 256)
+		for b := 0; b < 256; b++ {
+			next := map[int]bool{}
+			for s := range cur.set {
+				st := &machine.states[s]
+				if st.set != nil && classHas(st.set, byte(b)) {
+					next[st.to] = true
+				}
+			}
+			if len(next) == 0 {
+				row[b] = restart // no live thread: restart the search
+				continue
+			}
+			row[b] = mk(next, false)
+		}
+		d.next = append(d.next, row...)
+	}
+	// Build accept flags.
+	d.acceptAt = make([]bool, len(states))
+	d.acceptOnEnd = make([]bool, len(states))
+	for i, st := range states {
+		if st.set[machine.accept] {
+			d.acceptAt[i] = true
+		}
+		if machine.endClosure(st.set)[machine.accept] {
+			d.acceptOnEnd[i] = true
+		}
+	}
+	if len(states) > maxStates {
+		return fmt.Errorf("%w: %d states (budget %d) for %q", ErrTooLarge, len(states), maxStates, d.pattern)
+	}
+	return nil
+}
+
+// States reports the DFA size (hardware state-memory accounting).
+func (d *DFA) States() int { return len(d.acceptAt) }
+
+// Pattern returns the source expression.
+func (d *DFA) Pattern() string { return d.pattern }
+
+// Match reports whether the pattern occurs in data (unanchored unless the
+// pattern itself is anchored).
+func (d *DFA) Match(data []byte) bool {
+	state := d.start
+	if d.acceptAt[state] {
+		return true
+	}
+	for _, b := range data {
+		state = d.next[int(state)*256+int(b)]
+		if d.acceptAt[state] {
+			return true
+		}
+	}
+	return d.acceptOnEnd[state]
+}

@@ -1,0 +1,247 @@
+package redfa
+
+import (
+	"errors"
+	"math/rand"
+	"regexp"
+	"testing"
+	"testing/quick"
+)
+
+func match(t *testing.T, pattern, input string) bool {
+	t.Helper()
+	d, err := Compile(pattern, CompileConfig{})
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	return d.Match([]byte(input))
+}
+
+func TestLiteralsAndClasses(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           bool
+	}{
+		{"abc", "xxabcxx", true},
+		{"abc", "ab", false},
+		{"abc", "abxc", false},
+		{"a.c", "azc", true},
+		{"a.c", "ac", false},
+		{"[a-c]x", "bx", true},
+		{"[a-c]x", "dx", false},
+		{"[^a-c]x", "dx", true},
+		{"[^a-c]x", "ax", false},
+		{`\d\d`, "a42b", true},
+		{`\d\d`, "a4b2", false},
+		{`\w+@\w+`, "mail me at bob@example today", true},
+		{`\s`, "nospace", false},
+		{`\s`, "has space", true},
+		{`a\.b`, "a.b", true},
+		{`a\.b`, "axb", false},
+		{`[\d]z`, "7z", true},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pattern, c.input); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           bool
+	}{
+		{"ab*c", "ac", true},
+		{"ab*c", "abbbbc", true},
+		{"ab*c", "axc", false},
+		{"ab+c", "ac", false},
+		{"ab+c", "abc", true},
+		{"ab?c", "ac", true},
+		{"ab?c", "abc", true},
+		{"ab?c", "abbc", false},
+		{"(ab)+", "xabababy", true},
+		{"(ab)+c", "abac", false},
+		{"a(b|c)*d", "abcbcbd", true},
+		{"a(b|c)*d", "aed", false},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pattern, c.input); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestAlternationAndGroups(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           bool
+	}{
+		{"cat|dog", "hotdog", true},
+		{"cat|dog", "catfish", true},
+		{"cat|dog", "bird", false},
+		{"(GET|POST) /admin", "GET /admin HTTP/1.1", true},
+		{"(GET|POST) /admin", "PUT /admin", false},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pattern, c.input); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	cases := []struct {
+		pattern, input string
+		want           bool
+	}{
+		{"^abc", "abcdef", true},
+		{"^abc", "xabc", false},
+		{"abc$", "xxabc", true},
+		{"abc$", "abcx", false},
+		{"^abc$", "abc", true},
+		{"^abc$", "abcd", false},
+		{"^$", "", true},
+		{"^$", "a", false},
+		{"^a|b", "zzb", true}, // alternation binds looser than anchor
+	}
+	for _, c := range cases {
+		if got := match(t, c.pattern, c.input); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, bad := range []string{"(", ")", "a(b", "[abc", "*a", "+", "?x", "a\\", "[z-a]"} {
+		if _, err := Compile(bad, CompileConfig{}); !errors.Is(err, ErrSyntax) {
+			t.Errorf("pattern %q: %v", bad, err)
+		}
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	// A pattern known to blow up under subset construction:
+	// (a|b)*a(a|b)^n needs ~2^n DFA states.
+	pattern := "(a|b)*a(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)"
+	if _, err := Compile(pattern, CompileConfig{MaxStates: 64}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("state explosion not capped: %v", err)
+	}
+	d, err := Compile(pattern, CompileConfig{MaxStates: 65536})
+	if err != nil {
+		t.Fatalf("with a large budget: %v", err)
+	}
+	if d.States() <= 64 {
+		t.Errorf("suspiciously small DFA: %d states", d.States())
+	}
+}
+
+func TestStatesReporting(t *testing.T) {
+	d := MustCompile("abc", CompileConfig{})
+	if d.States() < 4 {
+		t.Errorf("states %d", d.States())
+	}
+	if d.Pattern() != "abc" {
+		t.Errorf("pattern %q", d.Pattern())
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustCompile("(", CompileConfig{})
+}
+
+// TestQuickVsStdlib property-checks the DFA against Go's regexp package
+// over a restricted common syntax.
+func TestQuickVsStdlib(t *testing.T) {
+	// Generate random patterns from a safe grammar shared by both engines.
+	genPattern := func(r *rand.Rand) string {
+		atoms := []string{"a", "b", "c", ".", "[ab]", "[^a]", "(a|b)", "(bc)"}
+		quant := []string{"", "*", "+", "?"}
+		n := 1 + r.Intn(4)
+		out := ""
+		for i := 0; i < n; i++ {
+			out += atoms[r.Intn(len(atoms))] + quant[r.Intn(len(quant))]
+		}
+		return out
+	}
+	genInput := func(r *rand.Rand) string {
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = "abc"[r.Intn(3)]
+		}
+		return string(b)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pattern := genPattern(r)
+		std, err := regexp.Compile(pattern)
+		if err != nil {
+			return true // skip patterns stdlib rejects
+		}
+		d, err := Compile(pattern, CompileConfig{})
+		if err != nil {
+			t.Logf("pattern %q: %v", pattern, err)
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			input := genInput(r)
+			want := std.MatchString(input)
+			got := d.Match([]byte(input))
+			if want != got {
+				t.Logf("pattern %q input %q: stdlib %v, redfa %v", pattern, input, want, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDFAMatch(b *testing.B) {
+	d := MustCompile(`(GET|POST) /[a-z]+/admin\?id=\d+`, CompileConfig{})
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte('a' + i%26)
+	}
+	copy(data[512:], []byte("GET /secret/admin?id=42 "))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Match(data)
+	}
+}
+
+func TestHexEscapes(t *testing.T) {
+	cases := []struct {
+		pattern string
+		input   string
+		want    bool
+	}{
+		{`\x41\x42`, "xxABxx", true},
+		{`\x41\x42`, "xxACxx", false},
+		{`^\x16\x03[\x00-\x03]`, "\x16\x03\x01rest", true},
+		{`^\x16\x03[\x00-\x03]`, "\x16\x03\x04rest", false},
+		{`^\x16\x03[\x00-\x03]`, "x\x16\x03\x01", false}, // anchored
+		{`[\x00-\x1f]`, "has\x07bell", true},
+		{`[\x00-\x1f]`, "printable only", false},
+		{`\x00`, "a\x00b", true},
+	}
+	for _, c := range cases {
+		if got := match(t, c.pattern, c.input); got != c.want {
+			t.Errorf("%q on %q: got %v want %v", c.pattern, c.input, got, c.want)
+		}
+	}
+	for _, bad := range []string{`\x`, `\x4`, `\xZZ`, `[\x41-\d]`} {
+		if _, err := Compile(bad, CompileConfig{}); !errors.Is(err, ErrSyntax) {
+			t.Errorf("pattern %q: %v", bad, err)
+		}
+	}
+}

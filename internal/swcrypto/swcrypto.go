@@ -1,0 +1,148 @@
+// Package swcrypto is the software cryptographic engine behind the
+// CPU-only IPsec gateway baseline — the stand-in for the Intel-ipsec-mb
+// multi-buffer library used in the paper's evaluation (§V-B1).
+//
+// It provides the exact cipher suite the paper evaluates: AES-256 in CTR
+// mode for confidentiality plus HMAC-SHA1 for authentication, with a
+// multi-buffer batch API mirroring Intel-ipsec-mb's job model. The hardware
+// ipsec-crypto accelerator module reuses this same engine functionally (so
+// ciphertext is identical on either path) while adding the FPGA service
+// model on top.
+package swcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// KeySize is the AES-256 key size.
+	KeySize = 32
+	// AuthKeySize is the HMAC-SHA1 key size used by the reproduction.
+	AuthKeySize = 20
+	// TagSize is the truncated HMAC-SHA1 ICV length (RFC 2404: 96 bits).
+	TagSize = 12
+	// IVSize is the per-packet CTR IV (nonce) size carried in the packet.
+	IVSize = 8
+)
+
+// Errors returned by the engine.
+var (
+	ErrBadKey     = errors.New("swcrypto: cipher key must be 32 bytes")
+	ErrBadAuthKey = errors.New("swcrypto: auth key must be 20 bytes")
+	ErrShort      = errors.New("swcrypto: buffer too short")
+	ErrAuth       = errors.New("swcrypto: authentication failed")
+)
+
+// Engine encrypts and authenticates packet payloads. It is the software
+// realization of the paper's "aes_256_ctr" + "hmac_sha1" hardware function
+// pair (combined as the ipsec-crypto accelerator module).
+//
+// Engine is safe for concurrent use after construction.
+type Engine struct {
+	block   cipher.Block
+	authKey [AuthKeySize]byte
+	salt    uint32
+}
+
+// Config parameterizes NewEngine.
+type Config struct {
+	// Key is the AES-256 key (32 bytes).
+	Key []byte
+	// AuthKey is the HMAC-SHA1 key (20 bytes).
+	AuthKey []byte
+	// Salt is mixed into the CTR nonce, as in RFC 3686 IPsec CTR mode.
+	Salt uint32
+}
+
+// NewEngine builds an Engine from cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if len(cfg.Key) != KeySize {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadKey, len(cfg.Key))
+	}
+	if len(cfg.AuthKey) != AuthKeySize {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadAuthKey, len(cfg.AuthKey))
+	}
+	block, err := aes.NewCipher(cfg.Key)
+	if err != nil {
+		return nil, fmt.Errorf("swcrypto: new cipher: %w", err)
+	}
+	e := &Engine{block: block, salt: cfg.Salt}
+	copy(e.authKey[:], cfg.AuthKey)
+	return e, nil
+}
+
+// ctrStream builds the RFC 3686-style counter block for a packet IV.
+func (e *Engine) ctrStream(iv uint64) cipher.Stream {
+	var ctr [aes.BlockSize]byte
+	binary.BigEndian.PutUint32(ctr[0:4], e.salt)
+	binary.BigEndian.PutUint64(ctr[4:12], iv)
+	binary.BigEndian.PutUint32(ctr[12:16], 1)
+	return cipher.NewCTR(e.block, ctr[:])
+}
+
+// Seal encrypts payload in place using the per-packet IV and returns the
+// TagSize-byte authentication tag over the ciphertext (encrypt-then-MAC,
+// as IPsec ESP does).
+func (e *Engine) Seal(payload []byte, iv uint64) [TagSize]byte {
+	e.ctrStream(iv).XORKeyStream(payload, payload)
+	return e.tag(payload, iv)
+}
+
+// Open verifies the tag over the ciphertext and decrypts in place.
+func (e *Engine) Open(payload []byte, iv uint64, tag [TagSize]byte) error {
+	want := e.tag(payload, iv)
+	if !hmac.Equal(want[:], tag[:]) {
+		return ErrAuth
+	}
+	e.ctrStream(iv).XORKeyStream(payload, payload)
+	return nil
+}
+
+func (e *Engine) tag(ciphertext []byte, iv uint64) [TagSize]byte {
+	mac := hmac.New(sha1.New, e.authKey[:])
+	var ivb [IVSize]byte
+	binary.BigEndian.PutUint64(ivb[:], iv)
+	mac.Write(ivb[:])
+	mac.Write(ciphertext)
+	var out [TagSize]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Job is one multi-buffer work item (Intel-ipsec-mb's JOB_AES_HMAC).
+type Job struct {
+	// Payload is encrypted or decrypted in place.
+	Payload []byte
+	// IV is the per-packet CTR nonce.
+	IV uint64
+	// Tag receives (Seal) or supplies (Open) the ICV.
+	Tag [TagSize]byte
+	// Err reports per-job verification failures on Open.
+	Err error
+}
+
+// SealBatch processes a burst of jobs, filling each job's Tag. This is the
+// multi-buffer entry point the CPU-only IPsec worker calls per RX burst.
+func (e *Engine) SealBatch(jobs []Job) {
+	for i := range jobs {
+		jobs[i].Tag = e.Seal(jobs[i].Payload, jobs[i].IV)
+		jobs[i].Err = nil
+	}
+}
+
+// OpenBatch verifies and decrypts a burst of jobs, setting Err per job.
+func (e *Engine) OpenBatch(jobs []Job) {
+	for i := range jobs {
+		jobs[i].Err = e.Open(jobs[i].Payload, jobs[i].IV, jobs[i].Tag)
+	}
+}
+
+// SealedLen reports the on-wire payload growth of Seal: IV + tag trailer as
+// used by the reproduced IPsec gateway's ESP-style encapsulation.
+func SealedLen(plaintextLen int) int { return plaintextLen + IVSize + TagSize }
