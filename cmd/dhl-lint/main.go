@@ -1,0 +1,153 @@
+// Command dhl-lint runs the DHL domain-specific static analyzers over the
+// module: mbufleak (mempool balance), ringmode (SyncMode vs. goroutine
+// usage), hotpathalloc (//dhl:hotpath allocation freedom) and checkederr
+// (dropped DHL API errors). It is built only on the standard library's
+// go/ast, go/parser and go/types, so it runs offline in any environment
+// that can build the module itself.
+//
+// Usage:
+//
+//	dhl-lint [-json] [-run name[,name...]] [packages]
+//
+// The packages argument is either a directory inside the module or the
+// conventional "./..." to analyze every package; with no argument the
+// whole module containing the working directory is analyzed. Findings are
+// printed as file:line:col diagnostics (or a JSON array with -json) and
+// the exit status is 1 when any finding is reported, 2 on operational
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/opencloudnext/dhl-go/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dhl-lint [-json] [-run name,...] [./... | dir]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *runList != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				sel = append(sel, a)
+				delete(want, a.Name())
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "dhl-lint: unknown analyzer %q\n", n)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	target := "./..."
+	if flag.NArg() > 0 {
+		target = flag.Arg(0)
+	}
+	root, err := findModuleRoot(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhl-lint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhl-lint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	if strings.HasSuffix(target, "...") || target == root {
+		pkgs, err = loader.LoadAll()
+	} else {
+		var pkg *lint.Package
+		pkg, err = loader.LoadDir(target)
+		pkgs = []*lint.Package{pkg}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhl-lint:", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for i, f := range findings {
+		if r, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(r, "..") {
+			findings[i].File = r
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dhl-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "dhl-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot locates the go.mod directory governing target ("./..."
+// style patterns resolve against the working directory).
+func findModuleRoot(target string) (string, error) {
+	dir := strings.TrimSuffix(target, "...")
+	dir = strings.TrimSuffix(dir, "/")
+	if dir == "" || dir == "." {
+		var err error
+		dir, err = os.Getwd()
+		if err != nil {
+			return "", err
+		}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}

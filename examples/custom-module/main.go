@@ -14,6 +14,7 @@ package main
 import (
 	"bytes"
 	"compress/flate"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -121,7 +122,7 @@ func run() error {
 			return aerr
 		}
 		if aerr := m.AppendBytes(payload); aerr != nil {
-			return aerr
+			return errors.Join(aerr, sys.Pool().Free(m))
 		}
 		m.AccID = uint16(accID)
 		pkts[i] = m

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -74,10 +75,10 @@ func run() error {
 		// The ipsec-crypto request carries a 2-byte offset prefix; offset
 		// 0 encrypts the whole record body.
 		if aerr := m.AppendBytes([]byte{0, 0}); aerr != nil {
-			return aerr
+			return errors.Join(aerr, sys.Pool().Free(m))
 		}
 		if aerr := m.AppendBytes([]byte(msg)); aerr != nil {
-			return aerr
+			return errors.Join(aerr, sys.Pool().Free(m))
 		}
 		m.AccID = uint16(accID) // pkts[i].acc_id = acc_id
 		pkts[i] = m

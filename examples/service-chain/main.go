@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -81,10 +82,10 @@ func run() error {
 			Payload: []byte(fmt.Sprintf("flow-%d confidential data", i)),
 		})
 		if berr != nil {
-			return berr
+			return errors.Join(berr, sys.Pool().Free(m))
 		}
 		if aerr := m.AppendBytes(buf[:n]); aerr != nil {
-			return aerr
+			return errors.Join(aerr, sys.Pool().Free(m))
 		}
 
 		// CPU stages, run to completion per packet.

@@ -68,6 +68,9 @@ func TestTwoNodeLocalPlacement(t *testing.T) {
 }
 
 func TestTwoNodeDataPathsIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newTwoNodeRig(t)
 	nf0, _ := r.rt.Register("nf-node0", 0)
 	nf1, _ := r.rt.Register("nf-node1", 1)

@@ -541,6 +541,9 @@ func TestStopCoresHaltsTransferLayer(t *testing.T) {
 // TestQuickEndToEndIntegrity property-checks the full transfer layer:
 // arbitrary payload batches come back intact, in order, and exactly once.
 func TestQuickEndToEndIntegrity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	f := func(payloads [][]byte) bool {
 		r := newRig(t, Config{FlushTimeout: 5 * eventsim.Microsecond},
 			moduleSpec("rev", func() fpga.Module { return reverseModule{} }))

@@ -56,6 +56,12 @@ type txEngine struct {
 	order   []AccID // deterministic staging iteration order
 	stats   TransferStats
 	scratch []*mbuf.Mbuf
+
+	// sends is the per-iteration batch of DMA-post callbacks, reused
+	// across polls; commitFn is the commit callback bound once so the
+	// hot body never materializes a closure.
+	sends    []func()
+	commitFn func()
 }
 
 // rxEngine is one node's RX poll core: DMA completion polling +
@@ -67,6 +73,11 @@ type rxEngine struct {
 	loop        *eventsim.PollLoop
 	stats       TransferStats
 	scratch     []*completedBatch
+
+	// pending holds the completions claimed by the current iteration,
+	// reused across polls; commitFn is bound once like txEngine's.
+	pending  []*completedBatch
+	commitFn func()
 }
 
 // AttachCores binds a TX and an RX poll core to a NUMA node and starts the
@@ -89,6 +100,7 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 		completions: completions,
 		scratch:     make([]*completedBatch, 8),
 	}
+	rx.commitFn = rx.commit
 	rx.loop = eventsim.NewPollLoop(r.sim, rxCore, perf.PollIdleCycles, rx.body)
 	tx := &txEngine{
 		r:       r,
@@ -97,6 +109,7 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 		staging: make(map[AccID]*accState),
 		scratch: make([]*mbuf.Mbuf, 64),
 	}
+	tx.commitFn = tx.commit
 	tx.loop = eventsim.NewPollLoop(r.sim, txCore, perf.PollIdleCycles, tx.body)
 	r.nodeTx[node] = tx
 	r.nodeRx[node] = rx
@@ -133,25 +146,20 @@ func (r *Runtime) StopCores(node int) {
 
 // --- TX path -----------------------------------------------------------
 
+//dhl:hotpath
 func (t *txEngine) body() (float64, func()) {
 	cycles := 0.0
 	now := t.r.sim.Now()
-	var sends []func()
+	t.sends = t.sends[:0]
 
 	// Deadline pass: force out batches that have waited FlushTimeout.
 	for _, acc := range t.order {
 		st := t.staging[acc]
 		if len(st.mbufs) > 0 && now-st.firstAt >= t.r.cfg.FlushTimeout {
 			if send := t.flush(acc, st, false); send != nil {
-				sends = append(sends, send)
+				t.sends = append(t.sends, send)
 				cycles += perf.RuntimeTxCyclesPerBatch
 			}
-		}
-	}
-
-	commit := func() {
-		for _, send := range sends {
-			send()
 		}
 	}
 
@@ -165,12 +173,12 @@ func (t *txEngine) body() (float64, func()) {
 		}
 	}
 	if congested {
-		return cycles + perf.PollIdleCycles, commit
+		return cycles + perf.PollIdleCycles, t.pendingCommit()
 	}
 
 	n := t.r.ibqs[t.node].DequeueBurst(t.scratch)
 	if n == 0 {
-		return cycles, commit
+		return cycles, t.pendingCommit()
 	}
 	t.stats.IBQDrained += uint64(n)
 	for _, m := range t.scratch[:n] {
@@ -184,7 +192,7 @@ func (t *txEngine) body() (float64, func()) {
 		recLen := dhlproto.RecordOverhead + m.Len()
 		if len(st.buf)+recLen > st.effBatch && len(st.mbufs) > 0 {
 			if send := t.flush(acc, st, true); send != nil {
-				sends = append(sends, send)
+				t.sends = append(t.sends, send)
 				cycles += perf.RuntimeTxCyclesPerBatch
 			}
 		}
@@ -203,12 +211,29 @@ func (t *txEngine) body() (float64, func()) {
 		cycles += perf.RuntimeTxCyclesPerPkt
 		if len(st.buf) >= st.effBatch {
 			if send := t.flush(acc, st, true); send != nil {
-				sends = append(sends, send)
+				t.sends = append(t.sends, send)
 				cycles += perf.RuntimeTxCyclesPerBatch
 			}
 		}
 	}
-	return cycles, commit
+	return cycles, t.pendingCommit()
+}
+
+// pendingCommit returns the bound commit callback when this iteration
+// staged DMA posts, nil otherwise. t.sends is not touched again until
+// the poll loop has run commit, so reusing the slice is safe.
+func (t *txEngine) pendingCommit() func() {
+	if len(t.sends) == 0 {
+		return nil
+	}
+	return t.commitFn
+}
+
+// commit posts the iteration's staged batches to the DMA engines.
+func (t *txEngine) commit() {
+	for _, send := range t.sends {
+		send()
+	}
 }
 
 // flush prepares one staged batch for the DMA engine, returning a send
@@ -294,33 +319,54 @@ func (t *txEngine) dropBatch(meta []*mbuf.Mbuf) {
 
 // --- RX path -----------------------------------------------------------
 
+//dhl:hotpath
 func (x *rxEngine) body() (float64, func()) {
 	n := x.completions.DequeueBurst(x.scratch)
 	if n == 0 {
 		return 0, nil
 	}
 	cycles := 0.0
-	batches := make([]*completedBatch, n)
-	copy(batches, x.scratch[:n])
-	for _, cb := range batches {
+	x.pending = append(x.pending[:0], x.scratch[:n]...)
+	for _, cb := range x.pending {
 		cycles += perf.RuntimeRxCyclesPerBatch
 		cycles += float64(len(cb.meta)) * perf.RuntimeRxCyclesPerPkt
 	}
-	return cycles, func() {
-		for _, cb := range batches {
-			x.distribute(cb)
-		}
+	return cycles, x.commitFn
+}
+
+// commit distributes the completions claimed by the last iteration.
+// x.pending is not touched again until commit has run, so reusing the
+// slice across polls is safe.
+func (x *rxEngine) commit() {
+	for _, cb := range x.pending {
+		x.distribute(cb)
 	}
 }
 
 // distribute is the Distributor (§IV-A3): it decapsulates the returned
 // batch and routes each record to the owning NF's private OBQ by nf_id.
+//
+//dhl:hotpath
 func (x *rxEngine) distribute(cb *completedBatch) {
+	var cur dhlproto.Cursor
+	cur.SetBatch(cb.out)
+	var rec dhlproto.Record
 	i := 0
-	err := dhlproto.Walk(cb.out, func(rec dhlproto.Record) error {
+	corrupt := false
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			corrupt = true
+			break
+		}
+		if !ok {
+			break
+		}
 		if i >= len(cb.meta) {
+			// More records than originals: framing cannot be trusted.
 			x.stats.NFIDMismatches++
-			return dhlproto.ErrCorrupt
+			corrupt = true
+			break
 		}
 		m := cb.meta[i]
 		i++
@@ -328,19 +374,18 @@ func (x *rxEngine) distribute(cb *completedBatch) {
 			// Isolation violation: never deliver another NF's data.
 			x.stats.NFIDMismatches++
 			_ = cb.pool.Free(m)
-			return nil
+			continue
 		}
 		// Overwrite the original mbuf with the post-processed payload.
 		if err := m.SetLen(len(rec.Payload)); err != nil {
 			_ = cb.pool.Free(m)
-			return nil
+			continue
 		}
 		copy(m.Data(), rec.Payload)
 		x.deliver(NFID(rec.NFID), m, cb.pool)
 		x.stats.PktsDistributed++
-		return nil
-	})
-	if err != nil {
+	}
+	if corrupt {
 		// Remaining originals cannot be matched; free them.
 		for ; i < len(cb.meta); i++ {
 			_ = cb.pool.Free(cb.meta[i])
@@ -348,6 +393,7 @@ func (x *rxEngine) distribute(cb *completedBatch) {
 	}
 }
 
+//dhl:hotpath
 func (x *rxEngine) deliver(id NFID, m *mbuf.Mbuf, pool *mbuf.Pool) {
 	if id == 0 || int(id) > len(x.r.nfs) {
 		_ = pool.Free(m)

@@ -81,6 +81,48 @@ func Walk(batch []byte, fn func(Record) error) error {
 	return nil
 }
 
+// Cursor decodes a batch record by record without the callback (and the
+// closure allocation) of Walk; it is the Distributor's hot-path decoder.
+// The zero Cursor is ready after SetBatch; payloads alias the batch.
+type Cursor struct {
+	batch []byte
+	off   int
+}
+
+// SetBatch (re)positions the cursor at the start of a batch.
+func (c *Cursor) SetBatch(batch []byte) {
+	c.batch = batch
+	c.off = 0
+}
+
+// Offset reports the byte offset of the next record.
+func (c *Cursor) Offset() int { return c.off }
+
+// Next decodes the next record into rec, reporting false at the end of
+// the batch. Framing violations return the bare ErrCorrupt sentinel so
+// the decoder stays allocation-free; callers needing detail can report
+// Offset themselves.
+//
+//dhl:hotpath
+func (c *Cursor) Next(rec *Record) (bool, error) {
+	if c.off >= len(c.batch) {
+		return false, nil
+	}
+	if len(c.batch)-c.off < RecordOverhead {
+		return false, ErrCorrupt
+	}
+	rec.NFID = binary.BigEndian.Uint16(c.batch[c.off : c.off+2])
+	rec.AccID = binary.BigEndian.Uint16(c.batch[c.off+2 : c.off+4])
+	plen := int(binary.BigEndian.Uint16(c.batch[c.off+4 : c.off+6]))
+	c.off += RecordOverhead
+	if len(c.batch)-c.off < plen {
+		return false, ErrCorrupt
+	}
+	rec.Payload = c.batch[c.off : c.off+plen]
+	c.off += plen
+	return true, nil
+}
+
 // Count reports the number of records in a batch, validating framing.
 func Count(batch []byte) (int, error) {
 	n := 0

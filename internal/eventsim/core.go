@@ -95,11 +95,19 @@ type PollLoop struct {
 	idleCycles float64
 	stopped    bool
 	iterations uint64
+
+	// step and pendingCommit are bound once at construction so iterate —
+	// which runs once per poll on every transfer core — schedules the next
+	// turn without materializing a fresh closure each iteration.
+	step          func()
+	pendingCommit func()
 }
 
 // NewPollLoop creates (but does not start) a poll loop on core.
 func NewPollLoop(sim *Sim, core *Core, idleCycles float64, body PollBody) *PollLoop {
-	return &PollLoop{sim: sim, core: core, body: body, idleCycles: idleCycles}
+	p := &PollLoop{sim: sim, core: core, body: body, idleCycles: idleCycles}
+	p.step = p.finish
+	return p
 }
 
 // Start schedules the first iteration at the current time.
@@ -113,6 +121,7 @@ func (p *PollLoop) Stop() { p.stopped = true }
 // Iterations reports how many poll iterations have run.
 func (p *PollLoop) Iterations() uint64 { return p.iterations }
 
+//dhl:hotpath
 func (p *PollLoop) iterate() {
 	if p.stopped {
 		return
@@ -122,10 +131,16 @@ func (p *PollLoop) iterate() {
 	if cycles <= 0 {
 		cycles = p.idleCycles
 	}
-	p.core.Exec(cycles, func() {
-		if commit != nil {
-			commit()
-		}
-		p.iterate()
-	})
+	p.pendingCommit = commit
+	p.core.Exec(cycles, p.step)
+}
+
+// finish runs the iteration's commit callback (after the core has spent
+// its cycles) and schedules the next poll.
+func (p *PollLoop) finish() {
+	if c := p.pendingCommit; c != nil {
+		p.pendingCommit = nil
+		c()
+	}
+	p.iterate()
 }

@@ -12,6 +12,9 @@ import (
 // the traffic is small, it decreases the batching size to reduce latency",
 // without hurting throughput at full load.
 func TestAdaptiveBatchingCutsIdleLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	lowLoad := 0.03 * perf.NIC40GBps
 	base := SingleNFConfig{
 		Kind: IPsecGateway, Mode: DHL, FrameSize: 512,
@@ -61,6 +64,9 @@ func TestAdaptiveBatchingCutsIdleLatency(t *testing.T) {
 // TestDriverAblationOrdering asserts the Figure 4 system-level ordering:
 // UIO-local ~ UIO-remote >> in-kernel.
 func TestDriverAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	rows, err := RunDriverAblation()
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +120,9 @@ func TestVerticalScaling(t *testing.T) {
 // TestPoolExhaustionDegradesGracefully starves the testbed of mbufs and
 // verifies the run completes with drops instead of deadlocking or leaking.
 func TestPoolExhaustionDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	cfg := short(SingleNFConfig{Kind: IPsecGateway, Mode: DHL, FrameSize: 64})
 	cfg.PoolCapacity = 512 // far below the in-flight demand at 40G
 	res, err := RunSingleNF(cfg)

@@ -58,6 +58,9 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	for _, shared := range []bool{true, false} {
 		for _, size := range []int{64, 512, 1500} {
 			res, err := RunMultiNF(MultiNFConfig{SharedAccelerator: shared, FrameSize: size})
@@ -86,6 +89,9 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	rows, err := RunTable1()
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +124,9 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	rows, err := RunTable5()
 	if err != nil {
 		t.Fatal(err)

@@ -15,6 +15,9 @@ func short(cfg SingleNFConfig) SingleNFConfig {
 }
 
 func TestSingleNFCalibrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	type point struct {
 		kind    NFKind
 		mode    Mode
@@ -53,6 +56,9 @@ func TestSingleNFCalibrationShape(t *testing.T) {
 }
 
 func TestSingleNFDHLBeatsCPUOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	// The headline claim: same 4 CPU cores, DHL delivers up to ~7.7x the
 	// IPsec throughput and ~8.3x the NIDS throughput of CPU-only.
 	for _, kind := range []NFKind{IPsecGateway, NIDS} {
@@ -73,6 +79,9 @@ func TestSingleNFDHLBeatsCPUOnly(t *testing.T) {
 }
 
 func TestSingleNFLatencyAtOperatingPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	// Figure 6(b)(d): DHL latency stays below ~10us at every packet size
 	// while CPU-only grows far beyond it at large sizes.
 	for _, size := range []int{64, 1500} {

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc enforces the `//dhl:hotpath` directive: functions so
+// annotated form the per-packet data path (Packer staging, Distributor
+// demultiplexing, ring push/pop, mbuf alloc/free) and must not allocate.
+// Inside an annotated function the analyzer forbids:
+//
+//   - calls into fmt or log, and time.Now/time.Since (each allocates
+//     and/or syscalls; the data path uses the simulated clock);
+//   - map, slice and string-concatenation style composite literals, and
+//     make() of maps, slices or channels;
+//   - function literals that capture enclosing variables (each capture
+//     materializes a closure object per call);
+//   - conversions of non-pointer concrete values into interface types
+//     (each boxes the value on the heap).
+//
+// Amortized per-batch work (flush closures, DMA callbacks) belongs in
+// unannotated helpers; the directive is deliberately per-function so the
+// hot loop can call out to cold code.
+type HotPathAlloc struct{}
+
+// Directive is the comment that marks a function as hot-path.
+const Directive = "dhl:hotpath"
+
+// Name implements Analyzer.
+func (*HotPathAlloc) Name() string { return "hotpathalloc" }
+
+// Doc implements Analyzer.
+func (*HotPathAlloc) Doc() string {
+	return "forbids allocation (fmt, time.Now, map/slice literals, capturing closures, interface boxing) in //dhl:hotpath functions"
+}
+
+// Check implements Analyzer.
+func (h *HotPathAlloc) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, Directive) {
+				continue
+			}
+			out = append(out, h.checkBody(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// deniedCall reports whether a resolved callee is on the hot-path
+// denylist, with a reason.
+func deniedCall(f *types.Func) (string, bool) {
+	if f == nil || f.Pkg() == nil {
+		return "", false
+	}
+	switch f.Pkg().Path() {
+	case "fmt":
+		return "fmt." + f.Name() + " allocates and formats via reflection", true
+	case "log":
+		return "log." + f.Name() + " allocates and locks", true
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" {
+			return "time." + f.Name() + " syscalls; use the simulation clock", true
+		}
+	}
+	return "", false
+}
+
+func (h *HotPathAlloc) checkBody(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	info := pkg.Info
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, finding(h.Name(), pkg.Position(n.Pos()), format, args...))
+	}
+	fname := fd.Name.Name
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				// Explicit conversion T(x).
+				if to := tv.Type; isInterface(to) && len(n.Args) == 1 && boxes(info, n.Args[0], to) {
+					flag(n, "%s: conversion to interface %s allocates", fname, types.TypeString(to, nil))
+				}
+				return true
+			}
+			if f := calleeOf(info, n); f != nil {
+				if reason, bad := deniedCall(f); bad {
+					flag(n, "%s: call to %s on the hot path (%s)", fname, f.FullName(), reason)
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := objOf(info, id).(*types.Builtin); ok && b.Name() == "make" && len(n.Args) > 0 {
+					if tv, ok := info.Types[n.Args[0]]; ok {
+						switch tv.Type.Underlying().(type) {
+						case *types.Map, *types.Slice, *types.Chan:
+							flag(n, "%s: make(%s) allocates on the hot path", fname, types.TypeString(tv.Type, nil))
+						}
+					}
+				}
+			}
+			h.checkCallArgs(pkg, fname, n, &out)
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					flag(n, "%s: map literal allocates on the hot path", fname)
+				case *types.Slice:
+					flag(n, "%s: slice literal allocates on the hot path", fname)
+				}
+			}
+		case *ast.FuncLit:
+			if captured := captures(info, n); len(captured) > 0 {
+				flag(n, "%s: closure captures %s and allocates per call; hoist it or pass state explicitly",
+					fname, joinVars(captured))
+			}
+		case *ast.AssignStmt:
+			h.checkAssign(pkg, fname, n, &out)
+		case *ast.ReturnStmt:
+			h.checkReturn(pkg, fname, fd, n, &out)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCallArgs flags arguments implicitly boxed into interface
+// parameters.
+func (h *HotPathAlloc) checkCallArgs(pkg *Package, fname string, call *ast.CallExpr, out *[]Finding) {
+	info := pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1 && call.Ellipsis == 0:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && boxes(info, arg, pt) {
+			*out = append(*out, finding(h.Name(), pkg.Position(arg.Pos()),
+				"%s: argument boxed into interface %s allocates on the hot path", fname, types.TypeString(pt, nil)))
+		}
+	}
+}
+
+// checkAssign flags assignments that box a concrete value into an
+// interface-typed destination.
+func (h *HotPathAlloc) checkAssign(pkg *Package, fname string, as *ast.AssignStmt, out *[]Finding) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	info := pkg.Info
+	for i, lhs := range as.Lhs {
+		lt, ok := info.Types[lhs]
+		if !ok || !isInterface(lt.Type) {
+			continue
+		}
+		if boxes(info, as.Rhs[i], lt.Type) {
+			*out = append(*out, finding(h.Name(), pkg.Position(as.Rhs[i].Pos()),
+				"%s: assignment boxes value into interface and allocates on the hot path", fname))
+		}
+	}
+}
+
+// checkReturn flags returns that box a concrete value into an interface
+// result.
+func (h *HotPathAlloc) checkReturn(pkg *Package, fname string, fd *ast.FuncDecl, ret *ast.ReturnStmt, out *[]Finding) {
+	if fd.Type.Results == nil {
+		return
+	}
+	info := pkg.Info
+	var resultTypes []types.Type
+	for _, field := range fd.Type.Results.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			return
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, tv.Type)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return
+	}
+	for i, res := range ret.Results {
+		if isInterface(resultTypes[i]) && boxes(info, res, resultTypes[i]) {
+			*out = append(*out, finding(h.Name(), pkg.Position(res.Pos()),
+				"%s: return boxes value into interface and allocates on the hot path", fname))
+		}
+	}
+}
+
+// isInterface reports whether t's underlying type is an interface. Type
+// parameters are excluded: their underlying type is a constraint
+// interface, but values of type T are concrete at instantiation and a
+// T -> T flow never boxes.
+func isInterface(t types.Type) bool {
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether storing expr into an interface of type to would
+// heap-allocate: the static type must be a concrete value kind (basic,
+// struct, array, slice, string) — pointers, maps, channels and funcs fit
+// in the interface word, and nil/interface sources never box.
+func boxes(info *types.Info, expr ast.Expr, to types.Type) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	from := tv.Type
+	if from == nil || isInterface(from) {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Basic, *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// captures lists the variables a function literal closes over: variables
+// used inside the literal but declared outside it in an enclosing
+// function scope (package-level state is shared, not captured).
+func captures(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var vars []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		if v.Parent() == nil || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level, not a capture
+		}
+		seen[v] = true
+		vars = append(vars, v)
+		return true
+	})
+	return vars
+}
+
+// joinVars renders captured variable names for a message.
+func joinVars(vars []*types.Var) string {
+	s := ""
+	for i, v := range vars {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.Name()
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sharedLoader memoizes one Loader across the golden tests so the
+// standard library is type-checked from source only once.
+var sharedLoader *Loader
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader(filepath.Join("..", ".."))
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return pkg
+}
+
+func analyzerByName(t *testing.T, name string) Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// TestGoldenPositives checks each positive fixture against its analyzer:
+// the findings must match the expected substrings one-to-one, in
+// position order.
+func TestGoldenPositives(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer string
+		want     []string // substring of findings[i].Message
+	}{
+		{
+			dir:      "mbufleak_pos",
+			analyzer: "mbufleak",
+			want: []string{
+				`LeakOnEarlyReturn: mbuf "m"`,
+				`LeakBulkAtExit: mbuf "dst"`,
+				`LeakRetained: mbuf "m"`,
+			},
+		},
+		{
+			dir:      "ringmode_pos",
+			analyzer: "ringmode",
+			want: []string{
+				`ring "spsc" is declared ring.SingleProducerConsumer`,
+				`ring "sc" is declared ring.SingleConsumer`,
+			},
+		},
+		{
+			dir:      "hotpathalloc_pos",
+			analyzer: "hotpathalloc",
+			want: []string{
+				"call to fmt.Sprintf",
+				"argument boxed into interface",
+				"call to time.Now",
+				"map literal allocates",
+				"slice literal allocates",
+				"make([]byte) allocates",
+				"closure captures x",
+				"assignment boxes value into interface",
+				"return boxes value into interface",
+			},
+		},
+		{
+			dir:      "checkederr_pos",
+			analyzer: "checkederr",
+			want: []string{
+				"result of Free",
+				"result of AllocBulk",
+				"result of FreeBulk",
+				"result of Retain",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg := fixture(t, tc.dir)
+			got := Run([]*Package{pkg}, []Analyzer{analyzerByName(t, tc.analyzer)})
+			if len(got) != len(tc.want) {
+				for _, f := range got {
+					t.Logf("finding: %s", f)
+				}
+				t.Fatalf("got %d findings, want %d", len(got), len(tc.want))
+			}
+			for i, f := range got {
+				if !strings.Contains(f.Message, tc.want[i]) {
+					t.Errorf("finding %d = %q, want substring %q", i, f.Message, tc.want[i])
+				}
+				if f.Analyzer != tc.analyzer {
+					t.Errorf("finding %d attributed to %q, want %q", i, f.Analyzer, tc.analyzer)
+				}
+				if filepath.Base(f.File) != tc.dir+".go" {
+					t.Errorf("finding %d in %q, want file %s.go", i, f.File, tc.dir)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenNegatives runs the FULL analyzer suite over each negative
+// fixture; correct code must produce zero findings from any analyzer.
+func TestGoldenNegatives(t *testing.T) {
+	for _, dir := range []string{
+		"mbufleak_neg", "ringmode_neg", "hotpathalloc_neg", "checkederr_neg",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			pkg := fixture(t, dir)
+			got := Run([]*Package{pkg}, Analyzers())
+			for _, f := range got {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		})
+	}
+}
+
+// TestPositivesTripFullSuite mirrors the CI gate contract: running every
+// analyzer over a positive fixture (as cmd/dhl-lint does) must yield at
+// least one finding, i.e. a non-zero exit.
+func TestPositivesTripFullSuite(t *testing.T) {
+	for _, dir := range []string{
+		"mbufleak_pos", "ringmode_pos", "hotpathalloc_pos", "checkederr_pos",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			pkg := fixture(t, dir)
+			if got := Run([]*Package{pkg}, Analyzers()); len(got) == 0 {
+				t.Fatalf("full suite found nothing in %s; dhl-lint would exit 0", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+// Package checkederr_neg handles or explicitly discards DHL API errors;
+// the checkederr analyzer must stay quiet.
+package checkederr_neg
+
+import "github.com/opencloudnext/dhl-go/internal/mbuf"
+
+// Propagated returns the API error to the caller.
+func Propagated(p *mbuf.Pool, m *mbuf.Mbuf) error {
+	return p.Free(m)
+}
+
+// Inspected branches on the error.
+func Inspected(p *mbuf.Pool, dst []*mbuf.Mbuf) bool {
+	if err := p.AllocBulk(dst); err != nil {
+		return false
+	}
+	if err := p.FreeBulk(dst); err != nil {
+		return false
+	}
+	return true
+}
+
+// Deliberate uses the explicit blank assignment, which documents intent
+// and is allowed by policy.
+func Deliberate(p *mbuf.Pool, m *mbuf.Mbuf) {
+	_ = p.Free(m)
+}

@@ -1,0 +1,21 @@
+// Package checkederr_pos drops errors from DHL API calls; the checkederr
+// analyzer must flag every statement-position drop.
+package checkederr_pos
+
+import "github.com/opencloudnext/dhl-go/internal/mbuf"
+
+// DropFree discards Pool.Free's double-free/foreign-mbuf verdict.
+func DropFree(p *mbuf.Pool, m *mbuf.Mbuf) {
+	p.Free(m) // dropped error
+}
+
+// DropBulk discards both the allocation and the release result.
+func DropBulk(p *mbuf.Pool, dst []*mbuf.Mbuf) {
+	p.AllocBulk(dst) // dropped error
+	p.FreeBulk(dst)  // dropped error
+}
+
+// DropInGoroutine discards an error on a spawned call.
+func DropInGoroutine(p *mbuf.Pool, m *mbuf.Mbuf) {
+	go p.Retain(m) // dropped error
+}

@@ -1,0 +1,46 @@
+// Package mbufleak_neg holds correct mbuf-lifecycle code the mbufleak
+// analyzer must accept.
+package mbufleak_neg
+
+import "github.com/opencloudnext/dhl-go/internal/mbuf"
+
+// FreedOnEveryPath releases the mbuf on both the failure and success path.
+func FreedOnEveryPath(p *mbuf.Pool, payload []byte) error {
+	m, err := p.Alloc()
+	if err != nil {
+		return err
+	}
+	if aerr := m.AppendBytes(payload); aerr != nil {
+		_ = p.Free(m)
+		return aerr
+	}
+	return p.Free(m)
+}
+
+// HandedOff transfers ownership to the sink; the callee frees.
+func HandedOff(p *mbuf.Pool, sink func(*mbuf.Mbuf)) error {
+	m, err := p.Alloc()
+	if err != nil {
+		return err
+	}
+	sink(m)
+	return nil
+}
+
+// ReturnedToCaller transfers ownership by returning the mbuf.
+func ReturnedToCaller(p *mbuf.Pool) (*mbuf.Mbuf, error) {
+	m, err := p.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	m.Reset()
+	return m, nil
+}
+
+// BulkFreed allocates a batch and frees every element.
+func BulkFreed(p *mbuf.Pool, dst []*mbuf.Mbuf) error {
+	if err := p.AllocBulk(dst); err != nil {
+		return err
+	}
+	return p.FreeBulk(dst)
+}

@@ -1,0 +1,34 @@
+// Package mbufleak_pos holds deliberate mbuf-lifecycle violations the
+// mbufleak analyzer must flag.
+package mbufleak_pos
+
+import "github.com/opencloudnext/dhl-go/internal/mbuf"
+
+// LeakOnEarlyReturn allocates and then returns on a non-error path
+// without freeing or handing the mbuf off.
+func LeakOnEarlyReturn(p *mbuf.Pool) error {
+	m, err := p.Alloc()
+	if err != nil {
+		return err
+	}
+	if m.Len() == 0 {
+		return nil // leak: m is still owned here
+	}
+	return p.Free(m)
+}
+
+// LeakBulkAtExit allocates a batch and falls off the end still owning it.
+func LeakBulkAtExit(p *mbuf.Pool, dst []*mbuf.Mbuf) {
+	if err := p.AllocBulk(dst); err != nil {
+		return
+	}
+	// leak: dst's mbufs are never freed or handed off
+}
+
+// LeakRetained takes an extra reference and drops it on the floor.
+func LeakRetained(p *mbuf.Pool, m *mbuf.Mbuf) error {
+	if err := p.Retain(m); err != nil {
+		return err
+	}
+	return nil // leak: the retained reference is never released
+}

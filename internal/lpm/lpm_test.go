@@ -181,6 +181,9 @@ func naiveLookup(routes []naiveRoute, addr uint32) (uint16, bool) {
 // TestQuickVsNaive property-checks the DIR-24-8 table against a linear
 // scan over random route sets and random probes.
 func TestQuickVsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	rng := rand.New(rand.NewSource(42))
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))

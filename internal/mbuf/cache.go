@@ -16,6 +16,10 @@ type Cache struct {
 	size int
 	objs []*Mbuf
 
+	// refill is the bulk-refill scratch, preallocated so a cache miss
+	// does not allocate on the per-packet path.
+	refill []*Mbuf
+
 	hits   uint64
 	misses uint64
 }
@@ -32,7 +36,12 @@ func NewCache(pool *Pool, size int) (*Cache, error) {
 	if size < 0 || size > pool.Capacity() {
 		return nil, fmt.Errorf("mbuf: cache size %d invalid for pool of %d", size, pool.Capacity())
 	}
-	return &Cache{pool: pool, size: size, objs: make([]*Mbuf, 0, 2*size)}, nil
+	return &Cache{
+		pool:   pool,
+		size:   size,
+		objs:   make([]*Mbuf, 0, 2*size),
+		refill: make([]*Mbuf, size/2+1),
+	}, nil
 }
 
 // Len reports how many mbufs the cache currently holds.
@@ -42,6 +51,8 @@ func (c *Cache) Len() int { return len(c.objs) }
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
 // Alloc takes an mbuf, refilling from the pool in bulk on a cache miss.
+//
+//dhl:hotpath
 func (c *Cache) Alloc() (*Mbuf, error) {
 	if n := len(c.objs); n > 0 {
 		m := c.objs[n-1]
@@ -60,7 +71,7 @@ func (c *Cache) Alloc() (*Mbuf, error) {
 	if want == 0 {
 		return nil, ErrPoolExhausted
 	}
-	batch := make([]*Mbuf, want)
+	batch := c.refill[:want]
 	if err := c.pool.AllocBulk(batch); err != nil {
 		// Bulk can race with other caches; fall back to a single alloc.
 		return c.pool.Alloc()
@@ -76,6 +87,8 @@ func (c *Cache) Alloc() (*Mbuf, error) {
 // Only mbufs with a single reference are cached (marked refcnt 0 while
 // stashed, so a double Free is detected); shared ones go through the
 // pool's refcounted path.
+//
+//dhl:hotpath
 func (c *Cache) Free(m *Mbuf) error {
 	if m == nil {
 		return nil

@@ -90,6 +90,8 @@ func (p *Pool) Available() int {
 func (p *Pool) InUse() int { return p.Capacity() - p.Available() }
 
 // Alloc takes one mbuf from the pool, reset and with refcount 1.
+//
+//dhl:hotpath
 func (p *Pool) Alloc() (*Mbuf, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -109,6 +111,8 @@ func (p *Pool) Alloc() (*Mbuf, error) {
 // AllocBulk fills dst with freshly allocated mbufs. Mirroring
 // rte_pktmbuf_alloc_bulk, it is all-or-nothing: on exhaustion it frees any
 // partial allocation and returns ErrPoolExhausted.
+//
+//dhl:hotpath
 func (p *Pool) AllocBulk(dst []*Mbuf) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -144,6 +148,8 @@ func (p *Pool) Retain(m *Mbuf) error {
 
 // Free drops one reference; the mbuf returns to the pool when the count
 // reaches zero. Freeing an already-free mbuf returns ErrDoubleFree.
+//
+//dhl:hotpath
 func (p *Pool) Free(m *Mbuf) error {
 	if m == nil {
 		return nil
@@ -177,6 +183,8 @@ func (p *Pool) cacheReturn(m *Mbuf) {
 }
 
 // FreeBulk frees a batch, stopping at the first error.
+//
+//dhl:hotpath
 func (p *Pool) FreeBulk(ms []*Mbuf) error {
 	for _, m := range ms {
 		if err := p.Free(m); err != nil {

@@ -54,6 +54,9 @@ func TestDPIClassifierSW(t *testing.T) {
 }
 
 func TestDPIClassifierDHLMatchesSoftware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	rules := DefaultDPIRules()
 	hw, err := NewDPIClassifierDHL(r.rt, rules, "dpi", 0)
@@ -104,6 +107,9 @@ func TestDPIClassifierDHLMatchesSoftware(t *testing.T) {
 }
 
 func TestDPIClassifierDHLFullTLSDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	// The TLS rule is anchored (^\x16\x03...): the hardware DFA must honor
 	// the anchor against the full frame, so an Ethernet frame (which never
 	// starts with 0x16) is NOT classified as TLS even when the payload is.

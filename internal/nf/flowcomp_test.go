@@ -83,6 +83,9 @@ func TestFlowCompressorSWLeavesIncompressibleAlone(t *testing.T) {
 }
 
 func TestFlowCompressorDHL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	if _, err := NewFlowCompressorDHL(r.rt, 0, "fc", 0); err == nil {
 		t.Error("bad level accepted")

@@ -66,6 +66,9 @@ func (r *dhlRig) roundTrip(t *testing.T, id core.NFID, m *mbuf.Mbuf) *mbuf.Mbuf 
 }
 
 func TestIPsecGatewayDHLFullPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	sadb := NewSADB()
 	if err := sadb.AddDefaultSA(); err != nil {
@@ -112,6 +115,9 @@ func TestIPsecGatewayDHLFullPath(t *testing.T) {
 }
 
 func TestIPsecGatewayDHLNoSADrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	sadb := NewSADB()
 	if err := sadb.AddSA(0x0A000000, 8, DefaultSA()); err != nil {
@@ -140,6 +146,9 @@ func TestIPsecGatewayDHLRequiresSA(t *testing.T) {
 }
 
 func TestNIDSDHLVerdictsMatchSoftware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	rules, err := NewRuleSet(DefaultSnortRules())
 	if err != nil {
@@ -185,6 +194,9 @@ func TestNIDSDHLVerdictsMatchSoftware(t *testing.T) {
 }
 
 func TestIPsecEncryptThenDecryptRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	sadb := NewSADB()
 	if err := sadb.AddDefaultSA(); err != nil {
@@ -231,6 +243,9 @@ func TestIPsecEncryptThenDecryptRoundTrip(t *testing.T) {
 }
 
 func TestIPsecInboundRejectsTamperedFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	r := newDHLRig(t)
 	sadb := NewSADB()
 	if err := sadb.AddDefaultSA(); err != nil {

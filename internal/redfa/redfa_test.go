@@ -121,6 +121,9 @@ func TestSyntaxErrors(t *testing.T) {
 }
 
 func TestStateBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short CI gate")
+	}
 	// A pattern known to blow up under subset construction:
 	// (a|b)*a(a|b)^n needs ~2^n DFA states.
 	pattern := "(a|b)*a(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)(a|b)"

@@ -116,6 +116,8 @@ func (r *Ring[T]) singleConsumer() bool {
 }
 
 // moveProdHead claims n (or, if fixed is false, up to n) slots for enqueue.
+//
+//dhl:hotpath
 func (r *Ring[T]) moveProdHead(n uint64, fixed bool) (oldHead, newHead, claimed uint64) {
 	for {
 		oldHead = r.prod.head.Load()
@@ -143,6 +145,8 @@ func (r *Ring[T]) moveProdHead(n uint64, fixed bool) (oldHead, newHead, claimed 
 }
 
 // moveConsHead claims n (or up to n) elements for dequeue.
+//
+//dhl:hotpath
 func (r *Ring[T]) moveConsHead(n uint64, fixed bool) (oldHead, newHead, claimed uint64) {
 	for {
 		oldHead = r.cons.head.Load()
@@ -171,6 +175,8 @@ func (r *Ring[T]) moveConsHead(n uint64, fixed bool) (oldHead, newHead, claimed 
 
 // updateTail publishes a completed claim, waiting for earlier claimants as
 // in rte_ring's __rte_ring_update_tail.
+//
+//dhl:hotpath
 func updateTail(ht *headTail, oldVal, newVal uint64, single bool) {
 	if !single {
 		for ht.tail.Load() != oldVal {
@@ -182,22 +188,29 @@ func updateTail(ht *headTail, oldVal, newVal uint64, single bool) {
 
 // EnqueueBulk enqueues all of objs or nothing. It reports whether the
 // enqueue happened.
+//
+//dhl:hotpath
 func (r *Ring[T]) EnqueueBulk(objs []T) bool {
 	return r.enqueue(objs, true) == len(objs) && len(objs) > 0
 }
 
 // EnqueueBurst enqueues as many of objs as fit and returns the count.
+//
+//dhl:hotpath
 func (r *Ring[T]) EnqueueBurst(objs []T) int {
 	return r.enqueue(objs, false)
 }
 
 // Enqueue adds a single element, reporting success.
+//
+//dhl:hotpath
 func (r *Ring[T]) Enqueue(obj T) bool {
 	var one [1]T
 	one[0] = obj
 	return r.enqueue(one[:], true) == 1
 }
 
+//dhl:hotpath
 func (r *Ring[T]) enqueue(objs []T, fixed bool) int {
 	if len(objs) == 0 {
 		return 0
@@ -215,16 +228,22 @@ func (r *Ring[T]) enqueue(objs []T, fixed bool) int {
 
 // DequeueBulk fills dst completely or not at all, reporting whether the
 // dequeue happened.
+//
+//dhl:hotpath
 func (r *Ring[T]) DequeueBulk(dst []T) bool {
 	return r.dequeue(dst, true) == len(dst) && len(dst) > 0
 }
 
 // DequeueBurst fills up to len(dst) elements and returns the count.
+//
+//dhl:hotpath
 func (r *Ring[T]) DequeueBurst(dst []T) int {
 	return r.dequeue(dst, false)
 }
 
 // Dequeue removes a single element.
+//
+//dhl:hotpath
 func (r *Ring[T]) Dequeue() (T, bool) {
 	var one [1]T
 	if r.dequeue(one[:], true) == 1 {
@@ -234,6 +253,7 @@ func (r *Ring[T]) Dequeue() (T, bool) {
 	return zero, false
 }
 
+//dhl:hotpath
 func (r *Ring[T]) dequeue(dst []T, fixed bool) int {
 	if len(dst) == 0 {
 		return 0

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate, runnable locally.
+#
+# Order is cheapest-first so the most common failures surface fastest:
+# formatting, then vet, then dhl-lint (the DHL-specific invariants), then
+# the build, then the race-clean short test suite, then a full (un-short)
+# race pass over the two lock-free packages whose bugs only show up under
+# the race detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needs to be run on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> dhl-lint"
+go run ./cmd/dhl-lint ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race -short"
+go test -race -short -count=1 ./...
+
+echo "==> go test -race (full) internal/ring internal/mbuf"
+go test -race -count=1 ./internal/ring ./internal/mbuf
+
+echo "OK"
