@@ -175,18 +175,17 @@ func (x *xorModule) Configure(p []byte) error {
 	return nil
 }
 
-func (x *xorModule) ProcessBatch(in []byte) ([]byte, error) {
-	var out []byte
+func (x *xorModule) ProcessBatch(dst, in []byte) ([]byte, error) {
 	err := dhlproto.Walk(in, func(r dhlproto.Record) error {
 		p := make([]byte, len(r.Payload))
 		for i, b := range r.Payload {
 			p[i] = b ^ x.mask
 		}
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, r.NFID, r.AccID, p)
+		dst, aerr = dhlproto.AppendRecord(dst, r.NFID, r.AccID, p)
 		return aerr
 	})
-	return out, err
+	return dst, err
 }
 
 func TestSystemHFTable(t *testing.T) {

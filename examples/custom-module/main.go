@@ -42,12 +42,11 @@ func (c *compressModule) Configure(params []byte) error {
 	return nil
 }
 
-// ProcessBatch compresses each record.
-func (c *compressModule) ProcessBatch(in []byte) ([]byte, error) {
+// ProcessBatch compresses each record, appending responses to dst.
+func (c *compressModule) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if c.level == 0 {
-		return nil, fmt.Errorf("compress: not configured")
+		return dst, fmt.Errorf("compress: not configured")
 	}
-	var out []byte
 	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
 		var buf bytes.Buffer
 		w, werr := flate.NewWriter(&buf, c.level)
@@ -61,10 +60,10 @@ func (c *compressModule) ProcessBatch(in []byte) ([]byte, error) {
 			return werr
 		}
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, buf.Bytes())
+		dst, aerr = dhlproto.AppendRecord(dst, rec.NFID, rec.AccID, buf.Bytes())
 		return aerr
 	})
-	return out, err
+	return dst, err
 }
 
 func main() {

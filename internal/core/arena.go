@@ -1,0 +1,215 @@
+package core
+
+import (
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+)
+
+// batchArena is a per-node freelist of fixed-size batch-buffer segments,
+// the transfer layer's analogue of the mbuf pool: the Packer leases a
+// segment to encode a request batch into, the Dispatcher leases one for
+// the module's response, and the Distributor returns both once the batch
+// has been decoded (or the failure path returns them early). Segments are
+// sized at 2x Config.BatchBytes so modules that grow records (e.g.
+// ipsec-crypto's +20 B IV/ICV per record) still fit without reallocating.
+//
+// The arena is single-threaded like the rest of the transfer layer: every
+// lease and return happens on the simulation's event loop.
+type batchArena struct {
+	segSize int
+	free    [][]byte
+
+	// Lifetime counters; grown-len(free) is the number of segments
+	// currently leased out, which the lifecycle tests pin to zero after
+	// every failure injection.
+	grown   uint64
+	leases  uint64
+	returns uint64
+	// doubleRet counts returns of a segment already on the freelist and
+	// foreign counts returns of buffers the arena never issued (e.g. a
+	// module outgrew its leased segment and append reallocated). Both are
+	// bugs-or-overflows the tests assert stay zero on the steady path.
+	doubleRet uint64
+	foreign   uint64
+}
+
+func newBatchArena(batchBytes int) *batchArena {
+	return &batchArena{segSize: 2 * batchBytes}
+}
+
+// lease pops a zero-length segment off the freelist, growing the arena
+// through the cold helper when empty.
+//
+//dhl:hotpath
+func (a *batchArena) lease() []byte {
+	if n := len(a.free); n > 0 {
+		seg := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		a.leases++
+		return seg[:0]
+	}
+	return a.grow()
+}
+
+func (a *batchArena) grow() []byte {
+	a.grown++
+	a.leases++
+	return make([]byte, 0, a.segSize)
+}
+
+// ret returns a leased segment to the freelist. Buffers the arena never
+// issued (wrong capacity — a realloc escaped the segment) are dropped to
+// the garbage collector and counted; so is a double return, detected by
+// backing-array identity against the freelist.
+//
+//dhl:hotpath
+func (a *batchArena) ret(b []byte) {
+	if cap(b) != a.segSize {
+		if b != nil {
+			a.foreign++
+		}
+		return
+	}
+	p := &b[:1][0]
+	for _, f := range a.free {
+		if &f[:1][0] == p {
+			a.doubleRet++
+			return
+		}
+	}
+	a.returns++
+	a.free = append(a.free, b[:0])
+}
+
+// outstanding reports how many segments are currently leased out.
+func (a *batchArena) outstanding() int { return int(a.grown) - len(a.free) }
+
+// inflight carries one batch through the asynchronous DMA -> Dispatcher ->
+// DMA chain. It replaces both the per-batch closure chain the TX engine
+// used to build in flush and the completedBatch object the RX engine used
+// to dequeue: the callbacks are method values bound once at construction,
+// and the object recycles through the owning txEngine's freelist after the
+// Distributor (or a failure path) releases it.
+//
+// Buffer lifecycle: buf is the arena segment the Packer encoded the
+// request into (leased in txEngine.body, moved here by flush); outSeg is
+// the arena segment leased for the module's response when the H2C
+// transfer completes. Both return to the arena in releaseInflight — on
+// success after the Distributor decodes out, on failure from fail(),
+// which also frees the staged originals back to the mbuf pool.
+type inflight struct {
+	t         *txEngine
+	dma       *pcie.Engine
+	dev       *fpga.Device
+	regionIdx int
+	buf       []byte       // encoded request batch (arena segment)
+	meta      []*mbuf.Mbuf // originals, zipped positionally by the Distributor
+	out       []byte       // encoded response batch (usually aliases outSeg)
+	outSeg    []byte       // arena segment leased for the response
+
+	h2cDoneFn      func()
+	dispatchDoneFn func(out []byte, err error)
+	c2hDoneFn      func()
+}
+
+//dhl:hotpath
+func (t *txEngine) getInflight() *inflight {
+	if n := len(t.ibFree); n > 0 {
+		ib := t.ibFree[n-1]
+		t.ibFree[n-1] = nil
+		t.ibFree = t.ibFree[:n-1]
+		return ib
+	}
+	return t.newInflight()
+}
+
+func (t *txEngine) newInflight() *inflight {
+	ib := &inflight{t: t}
+	ib.h2cDoneFn = ib.h2cDone
+	ib.dispatchDoneFn = ib.dispatchDone
+	ib.c2hDoneFn = ib.c2hDone
+	return ib
+}
+
+// releaseInflight returns both arena segments and recycles the object.
+// The Distributor calls it after decoding; fail calls it after freeing
+// the originals.
+//
+//dhl:hotpath
+func (t *txEngine) releaseInflight(ib *inflight) {
+	t.arena.ret(ib.buf)
+	t.arena.ret(ib.outSeg)
+	ib.buf, ib.out, ib.outSeg = nil, nil, nil
+	for i := range ib.meta {
+		ib.meta[i] = nil
+	}
+	ib.meta = ib.meta[:0]
+	ib.dma, ib.dev, ib.regionIdx = nil, nil, 0
+	t.ibFree = append(t.ibFree, ib)
+}
+
+// send posts the H2C transfer; txEngine.commit calls it once the packing
+// iteration's cycle cost has been paid.
+//
+//dhl:hotpath
+func (ib *inflight) send() {
+	if _, err := ib.dma.Transfer(pcie.H2C, len(ib.buf), ib.h2cDoneFn); err != nil {
+		ib.t.stats.DispatchErrors++
+		ib.fail()
+	}
+}
+
+// h2cDone runs when the request batch has landed on the board: lease the
+// response segment and hand the batch to the Dispatcher.
+//
+//dhl:hotpath
+func (ib *inflight) h2cDone() {
+	ib.outSeg = ib.t.arena.lease()
+	if _, err := ib.dev.Dispatch(ib.regionIdx, ib.buf, ib.outSeg, ib.dispatchDoneFn); err != nil {
+		ib.t.stats.DispatchErrors++
+		ib.fail()
+	}
+}
+
+// dispatchDone runs at module completion time with the encoded response.
+//
+//dhl:hotpath
+func (ib *inflight) dispatchDone(out []byte, err error) {
+	if err != nil {
+		ib.t.stats.DispatchErrors++
+		ib.fail()
+		return
+	}
+	ib.out = out
+	if _, cerr := ib.dma.Transfer(pcie.C2H, len(out), ib.c2hDoneFn); cerr != nil {
+		ib.t.stats.DispatchErrors++
+		ib.fail()
+	}
+}
+
+// c2hDone runs when the response has landed back in host memory: hand the
+// batch to the RX engine's completion ring.
+//
+//dhl:hotpath
+func (ib *inflight) c2hDone() {
+	rx := ib.t.r.nodeRx[ib.t.node]
+	if !rx.completions.Enqueue(ib) {
+		rx.stats.CompletionDrops++
+		ib.fail()
+	}
+}
+
+// fail is the single failure edge: free the staged originals to the mbuf
+// pool and return the segments to the arena. Every error branch of the
+// DMA/Dispatch chain funnels here exactly once.
+//
+//dhl:hotpath
+func (ib *inflight) fail() {
+	t := ib.t
+	for _, m := range ib.meta {
+		_ = t.pool.Free(m)
+	}
+	t.releaseInflight(ib)
+}

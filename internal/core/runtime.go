@@ -98,6 +98,10 @@ type Config struct {
 	// DMABacklogCap is how much H2C backlog the TX core tolerates before
 	// pausing IBQ dequeue (back-pressure). Zero selects 15us.
 	DMABacklogCap eventsim.Time
+	// Burst is the TX/RX poll cores' per-iteration dequeue burst: how many
+	// IBQ packets (TX) or DMA completions (RX) one poll claims. Zero
+	// selects 64, the rte_eth_rx_burst convention.
+	Burst int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -130,6 +134,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DMABacklogCap == 0 {
 		c.DMABacklogCap = 15 * eventsim.Microsecond
+	}
+	if c.Burst == 0 {
+		c.Burst = 64
+	}
+	if c.Burst < 0 {
+		return c, fmt.Errorf("%w: burst %d", ErrBadBatchConfig, c.Burst)
 	}
 	return c, nil
 }

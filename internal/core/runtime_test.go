@@ -20,18 +20,25 @@ type reverseModule struct{}
 
 func (reverseModule) Configure([]byte) error { return nil }
 
-func (reverseModule) ProcessBatch(in []byte) ([]byte, error) {
-	var out []byte
-	err := dhlproto.Walk(in, func(r dhlproto.Record) error {
-		rev := make([]byte, len(r.Payload))
-		for i, b := range r.Payload {
-			rev[len(rev)-1-i] = b
+func (reverseModule) ProcessBatch(dst, in []byte) ([]byte, error) {
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil || !ok {
+			return dst, err
 		}
-		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, r.NFID, r.AccID, rev)
-		return aerr
-	})
-	return out, err
+		dst, err = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, len(rec.Payload))
+		if err != nil {
+			return dst, err
+		}
+		start := len(dst)
+		dst = append(dst, rec.Payload...)
+		for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+			dst[i], dst[j] = dst[j], dst[i]
+		}
+	}
 }
 
 // hijackModule maliciously rewrites every record's nf_id to 1 — used to
@@ -40,14 +47,13 @@ type hijackModule struct{}
 
 func (hijackModule) Configure([]byte) error { return nil }
 
-func (hijackModule) ProcessBatch(in []byte) ([]byte, error) {
-	var out []byte
+func (hijackModule) ProcessBatch(dst, in []byte) ([]byte, error) {
 	err := dhlproto.Walk(in, func(r dhlproto.Record) error {
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, 1, r.AccID, r.Payload)
+		dst, aerr = dhlproto.AppendRecord(dst, 1, r.AccID, r.Payload)
 		return aerr
 	})
-	return out, err
+	return dst, err
 }
 
 func moduleSpec(name string, factory func() fpga.Module) fpga.ModuleSpec {
@@ -215,10 +221,8 @@ func (p *probeModule) Configure(b []byte) error {
 	return nil
 }
 
-func (p *probeModule) ProcessBatch(in []byte) ([]byte, error) {
-	out := make([]byte, len(in))
-	copy(out, in)
-	return out, nil
+func (p *probeModule) ProcessBatch(dst, in []byte) ([]byte, error) {
+	return append(dst, in...), nil
 }
 
 func TestEndToEndDataPath(t *testing.T) {

@@ -24,25 +24,22 @@ type TransferStats struct {
 	NFIDMismatches  uint64
 	CompletionDrops uint64
 	IBQDrained      uint64
+	// StagingDrops counts packets dropped because they could not be
+	// encoded into a batch segment: oversized records, or staging for a
+	// still-reconfiguring region outgrowing its fixed segment.
+	StagingDrops uint64
 }
 
 // accState is the Packer's per-accelerator staging area plus the adaptive
-// batch-size controller state.
+// batch-size controller state. buf is an arena-leased segment (nil when
+// nothing is staged); flush moves it into an inflight and the next packet
+// leases a fresh one, so the staging buffer is never reallocated or
+// regrown.
 type accState struct {
 	buf      []byte
 	mbufs    []*mbuf.Mbuf
 	firstAt  eventsim.Time
 	effBatch int
-}
-
-// completedBatch pairs a response batch from the FPGA with the ordered
-// originals it was built from. Record order is preserved end-to-end
-// (Packer -> DMA -> Dispatcher -> module -> DMA), so the Distributor zips
-// records with originals positionally and verifies nf_id as a cross-check.
-type completedBatch struct {
-	out  []byte
-	meta []*mbuf.Mbuf
-	pool *mbuf.Pool
 }
 
 // txEngine is one node's TX poll core: shared-IBQ dequeue + Packer + DMA
@@ -51,16 +48,19 @@ type txEngine struct {
 	r       *Runtime
 	node    int
 	pool    *mbuf.Pool
+	arena   *batchArena
 	loop    *eventsim.PollLoop
 	staging map[AccID]*accState
 	order   []AccID // deterministic staging iteration order
 	stats   TransferStats
 	scratch []*mbuf.Mbuf
 
-	// sends is the per-iteration batch of DMA-post callbacks, reused
+	// sends is the per-iteration batch of prepared inflights, reused
 	// across polls; commitFn is the commit callback bound once so the
-	// hot body never materializes a closure.
-	sends    []func()
+	// hot body never materializes a closure. ibFree recycles inflight
+	// objects (with their bound DMA/dispatch callbacks) across batches.
+	sends    []*inflight
+	ibFree   []*inflight
 	commitFn func()
 }
 
@@ -69,14 +69,14 @@ type txEngine struct {
 type rxEngine struct {
 	r           *Runtime
 	node        int
-	completions *ring.Ring[*completedBatch]
+	completions *ring.Ring[*inflight]
 	loop        *eventsim.PollLoop
 	stats       TransferStats
-	scratch     []*completedBatch
+	scratch     []*inflight
 
 	// pending holds the completions claimed by the current iteration,
 	// reused across polls; commitFn is bound once like txEngine's.
-	pending  []*completedBatch
+	pending  []*inflight
 	commitFn func()
 }
 
@@ -89,7 +89,7 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 	if node < 0 || node >= r.cfg.Nodes {
 		return fmt.Errorf("core: node %d out of range [0,%d)", node, r.cfg.Nodes)
 	}
-	completions, err := ring.New[*completedBatch](fmt.Sprintf("dma-cq-node%d", node),
+	completions, err := ring.New[*inflight](fmt.Sprintf("dma-cq-node%d", node),
 		1024, ring.SingleProducerConsumer)
 	if err != nil {
 		return err
@@ -98,7 +98,7 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 		r:           r,
 		node:        node,
 		completions: completions,
-		scratch:     make([]*completedBatch, 8),
+		scratch:     make([]*inflight, r.cfg.Burst),
 	}
 	rx.commitFn = rx.commit
 	rx.loop = eventsim.NewPollLoop(r.sim, rxCore, perf.PollIdleCycles, rx.body)
@@ -106,8 +106,9 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 		r:       r,
 		node:    node,
 		pool:    pool,
+		arena:   newBatchArena(r.cfg.BatchBytes),
 		staging: make(map[AccID]*accState),
-		scratch: make([]*mbuf.Mbuf, 64),
+		scratch: make([]*mbuf.Mbuf, r.cfg.Burst),
 	}
 	tx.commitFn = tx.commit
 	tx.loop = eventsim.NewPollLoop(r.sim, txCore, perf.PollIdleCycles, tx.body)
@@ -156,8 +157,8 @@ func (t *txEngine) body() (float64, func()) {
 	for _, acc := range t.order {
 		st := t.staging[acc]
 		if len(st.mbufs) > 0 && now-st.firstAt >= t.r.cfg.FlushTimeout {
-			if send := t.flush(acc, st, false); send != nil {
-				t.sends = append(t.sends, send)
+			if ib := t.flush(acc, st, false); ib != nil {
+				t.sends = append(t.sends, ib)
 				cycles += perf.RuntimeTxCyclesPerBatch
 			}
 		}
@@ -185,24 +186,29 @@ func (t *txEngine) body() (float64, func()) {
 		acc := AccID(m.AccID)
 		st, ok := t.staging[acc]
 		if !ok {
-			st = &accState{effBatch: t.r.cfg.BatchBytes}
+			st = t.newAccState()
 			t.staging[acc] = st
 			t.order = append(t.order, acc)
 		}
 		recLen := dhlproto.RecordOverhead + m.Len()
 		if len(st.buf)+recLen > st.effBatch && len(st.mbufs) > 0 {
-			if send := t.flush(acc, st, true); send != nil {
-				t.sends = append(t.sends, send)
+			if ib := t.flush(acc, st, true); ib != nil {
+				t.sends = append(t.sends, ib)
 				cycles += perf.RuntimeTxCyclesPerBatch
 			}
+		}
+		if st.buf == nil {
+			st.buf = t.arena.lease()
 		}
 		if len(st.mbufs) == 0 {
 			st.firstAt = t.r.sim.Now()
 		}
 		var err error
-		st.buf, err = dhlproto.AppendRecord(st.buf, m.NFID, m.AccID, m.Data())
+		st.buf, err = dhlproto.AppendRecordFit(st.buf, m.NFID, m.AccID, m.Data())
 		if err != nil {
-			// Oversized record: cannot be transported; drop it.
+			// Oversized record, or a held region's staging segment is
+			// full: the packet cannot be transported; drop it.
+			t.stats.StagingDrops++
 			_ = t.pool.Free(m)
 			continue
 		}
@@ -210,13 +216,19 @@ func (t *txEngine) body() (float64, func()) {
 		t.stats.PktsPacked++
 		cycles += perf.RuntimeTxCyclesPerPkt
 		if len(st.buf) >= st.effBatch {
-			if send := t.flush(acc, st, true); send != nil {
-				t.sends = append(t.sends, send)
+			if ib := t.flush(acc, st, true); ib != nil {
+				t.sends = append(t.sends, ib)
 				cycles += perf.RuntimeTxCyclesPerBatch
 			}
 		}
 	}
 	return cycles, t.pendingCommit()
+}
+
+// newAccState is the cold constructor for a first-seen acc_id's staging
+// area.
+func (t *txEngine) newAccState() *accState {
+	return &accState{effBatch: t.r.cfg.BatchBytes}
 }
 
 // pendingCommit returns the bound commit callback when this iteration
@@ -230,24 +242,36 @@ func (t *txEngine) pendingCommit() func() {
 }
 
 // commit posts the iteration's staged batches to the DMA engines.
+//
+//dhl:hotpath
 func (t *txEngine) commit() {
-	for _, send := range t.sends {
-		send()
+	for i, ib := range t.sends {
+		t.sends[i] = nil
+		ib.send()
 	}
+	t.sends = t.sends[:0]
 }
 
-// flush prepares one staged batch for the DMA engine, returning a send
-// closure the poll loop commits when the core has finished packing (or nil
-// when nothing is sendable — the region may still be reconfiguring, in
-// which case the batch stays staged).
-func (t *txEngine) flush(acc AccID, st *accState, bySize bool) func() {
+// flush prepares one staged batch for the DMA engine, returning a pooled
+// inflight the poll loop commits when the core has finished packing (or
+// nil when nothing is sendable — the region may still be reconfiguring,
+// in which case the batch stays staged). The staged segment and mbuf
+// slice move into the inflight; the staging area keeps the recycled
+// (empty) mbuf slice so neither side reallocates.
+//
+//dhl:hotpath
+func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 	e, ok := t.r.hfByAcc[acc]
 	if !ok || len(st.mbufs) == 0 {
-		// Unknown acc_id: nothing routable; drop the staged packets.
-		for _, m := range st.mbufs {
+		// Unknown acc_id: nothing routable; drop the staged packets and
+		// return the segment.
+		for i, m := range st.mbufs {
 			_ = t.pool.Free(m)
+			st.mbufs[i] = nil
 		}
-		st.buf, st.mbufs = nil, nil
+		st.mbufs = st.mbufs[:0]
+		t.arena.ret(st.buf)
+		st.buf = nil
 		return nil
 	}
 	if !e.ready {
@@ -269,52 +293,17 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) func() {
 		t.stats.FlushByTimeout++
 	}
 
-	batch := st.buf
-	meta := st.mbufs
-	st.buf = nil
-	st.mbufs = nil
+	ib := t.getInflight()
+	ib.buf, st.buf = st.buf, nil
+	ib.meta, st.mbufs = st.mbufs, ib.meta
 
-	att := t.r.cfg.FPGAs[e.fpgaIdx]
-	rx := t.r.nodeRx[t.node]
-	regionIdx := e.regionIdx
+	att := &t.r.cfg.FPGAs[e.fpgaIdx]
+	ib.dma = att.DMA
+	ib.dev = att.Device
+	ib.regionIdx = e.regionIdx
 	t.stats.BatchesSent++
-	t.stats.BytesSent += uint64(len(batch))
-	return func() {
-		_, err := att.DMA.Transfer(pcie.H2C, len(batch), func() {
-			_, derr := att.Device.Dispatch(regionIdx, batch, func(out []byte, merr error) {
-				if merr != nil {
-					t.stats.DispatchErrors++
-					t.dropBatch(meta)
-					return
-				}
-				_, cerr := att.DMA.Transfer(pcie.C2H, len(out), func() {
-					cb := &completedBatch{out: out, meta: meta, pool: t.pool}
-					if !rx.completions.Enqueue(cb) {
-						rx.stats.CompletionDrops++
-						t.dropBatch(meta)
-					}
-				})
-				if cerr != nil {
-					t.stats.DispatchErrors++
-					t.dropBatch(meta)
-				}
-			})
-			if derr != nil {
-				t.stats.DispatchErrors++
-				t.dropBatch(meta)
-			}
-		})
-		if err != nil {
-			t.stats.DispatchErrors++
-			t.dropBatch(meta)
-		}
-	}
-}
-
-func (t *txEngine) dropBatch(meta []*mbuf.Mbuf) {
-	for _, m := range meta {
-		_ = t.pool.Free(m)
-	}
+	t.stats.BytesSent += uint64(len(ib.buf))
+	return ib
 }
 
 // --- RX path -----------------------------------------------------------
@@ -337,17 +326,24 @@ func (x *rxEngine) body() (float64, func()) {
 // commit distributes the completions claimed by the last iteration.
 // x.pending is not touched again until commit has run, so reusing the
 // slice across polls is safe.
+//
+//dhl:hotpath
 func (x *rxEngine) commit() {
-	for _, cb := range x.pending {
+	for i, cb := range x.pending {
+		x.pending[i] = nil
 		x.distribute(cb)
 	}
+	x.pending = x.pending[:0]
 }
 
 // distribute is the Distributor (§IV-A3): it decapsulates the returned
-// batch and routes each record to the owning NF's private OBQ by nf_id.
+// batch and routes each record to the owning NF's private OBQ by nf_id,
+// then releases the inflight — returning both arena segments — once the
+// decode is done.
 //
 //dhl:hotpath
-func (x *rxEngine) distribute(cb *completedBatch) {
+func (x *rxEngine) distribute(cb *inflight) {
+	pool := cb.t.pool
 	var cur dhlproto.Cursor
 	cur.SetBatch(cb.out)
 	var rec dhlproto.Record
@@ -373,24 +369,25 @@ func (x *rxEngine) distribute(cb *completedBatch) {
 		if rec.NFID != m.NFID {
 			// Isolation violation: never deliver another NF's data.
 			x.stats.NFIDMismatches++
-			_ = cb.pool.Free(m)
+			_ = pool.Free(m)
 			continue
 		}
 		// Overwrite the original mbuf with the post-processed payload.
 		if err := m.SetLen(len(rec.Payload)); err != nil {
-			_ = cb.pool.Free(m)
+			_ = pool.Free(m)
 			continue
 		}
 		copy(m.Data(), rec.Payload)
-		x.deliver(NFID(rec.NFID), m, cb.pool)
+		x.deliver(NFID(rec.NFID), m, pool)
 		x.stats.PktsDistributed++
 	}
 	if corrupt {
 		// Remaining originals cannot be matched; free them.
 		for ; i < len(cb.meta); i++ {
-			_ = cb.pool.Free(cb.meta[i])
+			_ = pool.Free(cb.meta[i])
 		}
 	}
+	cb.t.releaseInflight(cb)
 }
 
 //dhl:hotpath

@@ -25,6 +25,10 @@ var (
 	ErrCorrupt = errors.New("dhlproto: corrupt batch")
 	// ErrRecordTooLarge reports a payload over 64 KB-RecordOverhead.
 	ErrRecordTooLarge = errors.New("dhlproto: record too large")
+	// ErrBatchFull reports an append that would exceed the batch buffer's
+	// existing capacity (AppendRecordFit/AppendRecordHeader never grow the
+	// buffer — that is the point of the arena-backed encode path).
+	ErrBatchFull = errors.New("dhlproto: batch buffer full")
 )
 
 // Record is one packet inside a batch.
@@ -56,6 +60,40 @@ func AppendRecord(batch []byte, nfID, accID uint16, payload []byte) ([]byte, err
 	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(payload)))
 	batch = append(batch, hdr[:]...)
 	return append(batch, payload...), nil
+}
+
+// AppendRecordFit is AppendRecord constrained to batch's existing
+// capacity: it never reallocates, returning ErrBatchFull (and the batch
+// unchanged) when the record does not fit. It is the Packer's hot-path
+// encoder into arena-leased segments, where a silent realloc would leak
+// the segment out of the freelist. Errors are bare sentinels so the
+// encoder stays allocation-free.
+//
+//dhl:hotpath
+func AppendRecordFit(batch []byte, nfID, accID uint16, payload []byte) ([]byte, error) {
+	if len(payload) > 0xffff {
+		return batch, ErrRecordTooLarge
+	}
+	if len(batch)+RecordOverhead+len(payload) > cap(batch) {
+		return batch, ErrBatchFull
+	}
+	batch = binary.BigEndian.AppendUint16(batch, nfID)
+	batch = binary.BigEndian.AppendUint16(batch, accID)
+	batch = binary.BigEndian.AppendUint16(batch, uint16(len(payload)))
+	return append(batch, payload...), nil
+}
+
+// AppendRecordHeader appends only the 6-byte record header for a payload
+// of payloadLen bytes the caller will append itself — the encode shape
+// accelerator modules use to stream a response payload into a leased
+// output buffer without staging it separately first.
+func AppendRecordHeader(batch []byte, nfID, accID uint16, payloadLen int) ([]byte, error) {
+	if payloadLen < 0 || payloadLen > 0xffff {
+		return batch, ErrRecordTooLarge
+	}
+	batch = binary.BigEndian.AppendUint16(batch, nfID)
+	batch = binary.BigEndian.AppendUint16(batch, accID)
+	return binary.BigEndian.AppendUint16(batch, uint16(payloadLen)), nil
 }
 
 // Walk decodes batch record by record, invoking fn for each. The payload

@@ -118,3 +118,70 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendRecordFit(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	base := &buf[:1][0]
+	var err error
+	buf, err = AppendRecordFit(buf, 7, 3, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capacity-checked encoder must never reallocate.
+	if &buf[0] != base {
+		t.Error("AppendRecordFit reallocated the buffer")
+	}
+	// Its encoding must match AppendRecord's exactly.
+	want, _ := AppendRecord(nil, 7, 3, []byte("payload"))
+	if !bytes.Equal(buf, want) {
+		t.Errorf("encoding mismatch: %x vs %x", buf, want)
+	}
+	// A record that does not fit is refused and the batch unchanged.
+	big := make([]byte, 64)
+	before := len(buf)
+	buf, err = AppendRecordFit(buf, 1, 1, big)
+	if !errors.Is(err, ErrBatchFull) {
+		t.Errorf("overflow: %v", err)
+	}
+	if len(buf) != before {
+		t.Error("failed append mutated the batch")
+	}
+	// Oversized payloads are refused before the capacity check.
+	if _, err := AppendRecordFit(make([]byte, 0, 1<<20), 1, 1, make([]byte, 0x10000)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("oversized: %v", err)
+	}
+	// The encoder is allocation-free even on the refusal paths.
+	avg := testing.AllocsPerRun(100, func() {
+		b := buf[:0]
+		b, _ = AppendRecordFit(b, 1, 2, []byte("x"))
+		_, _ = AppendRecordFit(b, 1, 2, big)
+	})
+	if avg != 0 {
+		t.Errorf("AppendRecordFit allocates %.1f objects, want 0", avg)
+	}
+}
+
+func TestAppendRecordHeader(t *testing.T) {
+	payload := []byte("streamed separately")
+	hdr, err := AppendRecordHeader(nil, 9, 4, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hdr) != RecordOverhead {
+		t.Fatalf("header length %d", len(hdr))
+	}
+	batch := append(hdr, payload...)
+	var got Record
+	if werr := Walk(batch, func(r Record) error { got = r; return nil }); werr != nil {
+		t.Fatal(werr)
+	}
+	if got.NFID != 9 || got.AccID != 4 || !bytes.Equal(got.Payload, payload) {
+		t.Errorf("decoded %d/%d %q", got.NFID, got.AccID, got.Payload)
+	}
+	if _, err := AppendRecordHeader(nil, 1, 1, -1); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("negative length: %v", err)
+	}
+	if _, err := AppendRecordHeader(nil, 1, 1, 0x10000); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("oversized length: %v", err)
+	}
+}

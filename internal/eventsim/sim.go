@@ -109,6 +109,12 @@ type Sim struct {
 	events  eventHeap
 	stopped bool
 	nEvents uint64
+
+	// evFree recycles event objects so steady-state scheduling does not
+	// heap-allocate: the poll loops and DMA engines schedule one event per
+	// iteration/transfer, which would otherwise dominate the data path's
+	// allocation profile.
+	evFree []*event
 }
 
 // New creates an empty simulation with the clock at zero.
@@ -124,6 +130,8 @@ func (s *Sim) Processed() uint64 { return s.nEvents }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is clamped to "now": the event runs before any later-scheduled work.
+//
+//dhl:hotpath
 func (s *Sim) At(t Time, fn func()) {
 	if fn == nil {
 		return
@@ -132,7 +140,16 @@ func (s *Sim) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	var ev *event
+	if n := len(s.evFree); n > 0 {
+		ev = s.evFree[n-1]
+		s.evFree[n-1] = nil
+		s.evFree = s.evFree[:n-1]
+		ev.at, ev.seq, ev.fn = t, s.seq, fn
+	} else {
+		ev = &event{at: t, seq: s.seq, fn: fn}
+	}
+	heap.Push(&s.events, ev)
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -161,7 +178,12 @@ func (s *Sim) Run(until Time) uint64 {
 			break
 		}
 		s.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running fn: the event is off the heap and fn may
+		// schedule new work, which then reuses the hottest object first.
+		ev.fn = nil
+		s.evFree = append(s.evFree, ev)
+		fn()
 		n++
 		s.nEvents++
 	}

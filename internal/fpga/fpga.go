@@ -38,8 +38,12 @@ var (
 // engine (paper §IV-B2).
 type Module interface {
 	// ProcessBatch consumes an encoded request batch (dhlproto format) and
-	// produces the encoded response batch.
-	ProcessBatch(in []byte) ([]byte, error)
+	// appends the encoded response batch to dst, returning the extended
+	// slice. dst may be nil; steady-state zero-allocation operation comes
+	// from the caller passing a dst with sufficient spare capacity (the
+	// runtime leases one from its batch arena). Implementations must not
+	// retain dst or in past the call.
+	ProcessBatch(dst, in []byte) ([]byte, error)
 	// Configure applies an NF-supplied parameter blob
 	// (DHL_acc_configure(), e.g. cipher keys or a pattern rule set).
 	Configure(params []byte) error
@@ -183,6 +187,53 @@ type Device struct {
 
 	dispatched uint64
 	dropped    uint64
+
+	// ctxFree recycles dispatch contexts so Dispatch schedules module
+	// completion without allocating a closure per batch.
+	ctxFree []*dispatchCtx
+}
+
+// dispatchCtx carries one in-flight batch from Dispatch to its completion
+// event. runFn is bound once at construction; the context returns to the
+// device freelist before the module runs, so a completion that dispatches
+// further work reuses the hottest object first.
+type dispatchCtx struct {
+	d      *Device
+	module Module
+	batch  []byte
+	dst    []byte
+	done   func(out []byte, err error)
+	runFn  func()
+}
+
+func (c *dispatchCtx) run() {
+	d, module, batch, dst, done := c.d, c.module, c.batch, c.dst, c.done
+	c.module, c.batch, c.dst, c.done = nil, nil, nil, nil
+	d.ctxFree = append(d.ctxFree, c)
+	out, perr := module.ProcessBatch(dst, batch)
+	if perr != nil {
+		d.dropped++
+	}
+	if done != nil {
+		done(out, perr)
+	}
+}
+
+//dhl:hotpath
+func (d *Device) getCtx() *dispatchCtx {
+	if n := len(d.ctxFree); n > 0 {
+		c := d.ctxFree[n-1]
+		d.ctxFree[n-1] = nil
+		d.ctxFree = d.ctxFree[:n-1]
+		return c
+	}
+	return d.newCtx()
+}
+
+func (d *Device) newCtx() *dispatchCtx {
+	c := &dispatchCtx{d: d}
+	c.runFn = c.run
+	return c
 }
 
 // NewDevice creates a device with an empty floorplan.
@@ -319,12 +370,17 @@ func (d *Device) Configure(regionIdx int, params []byte) error {
 // Dispatch models the static-region Dispatcher: it routes one encoded
 // request batch to the region's module, applies the module's temporal
 // model (throughput serialization + pipeline delay), and delivers the
-// encoded response batch to done at the completion time.
+// encoded response batch to done at the completion time. The module
+// appends its response to dst (which may be nil); the runtime passes an
+// arena-leased output buffer here so the steady state stays
+// allocation-free.
 //
 // The returned time is when the response is ready at the FPGA's TX DMA
 // channel; the caller (the runtime's transfer layer) then schedules the
 // C2H transfer.
-func (d *Device) Dispatch(regionIdx int, batch []byte, done func(out []byte, err error)) (eventsim.Time, error) {
+//
+//dhl:hotpath
+func (d *Device) Dispatch(regionIdx int, batch, dst []byte, done func(out []byte, err error)) (eventsim.Time, error) {
 	r, err := d.Region(regionIdx)
 	if err != nil {
 		return 0, err
@@ -346,16 +402,9 @@ func (d *Device) Dispatch(regionIdx int, batch []byte, done func(out []byte, err
 	// Pipeline latency on top of serialization.
 	delay := eventsim.Time(float64(r.spec.DelayCycles) / d.cfg.ClockHz * 1e12)
 	complete := r.freeAt + delay
-	module := r.module
-	d.sim.At(complete, func() {
-		out, perr := module.ProcessBatch(batch)
-		if perr != nil {
-			d.dropped++
-		}
-		if done != nil {
-			done(out, perr)
-		}
-	})
+	ctx := d.getCtx()
+	ctx.module, ctx.batch, ctx.dst, ctx.done = r.module, batch, dst, done
+	d.sim.At(complete, ctx.runFn)
 	return complete, nil
 }
 

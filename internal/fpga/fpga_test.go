@@ -22,12 +22,11 @@ func (m *echoModule) Configure(p []byte) error {
 	return nil
 }
 
-func (m *echoModule) ProcessBatch(in []byte) ([]byte, error) {
+func (m *echoModule) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if m.fail {
-		return nil, errors.New("echo: induced failure")
+		return dst, errors.New("echo: induced failure")
 	}
-	out := bytes.ToUpper(in)
-	return out, nil
+	return append(dst, bytes.ToUpper(in)...), nil
 }
 
 func testSpec(name string, luts, bram int) ModuleSpec {
@@ -80,7 +79,7 @@ func TestLoadPRLifecycle(t *testing.T) {
 		t.Errorf("state during PR: %v", r.State())
 	}
 	// Dispatch during reconfiguration must fail.
-	if _, err := d.Dispatch(idx, []byte("x"), nil); !errors.Is(err, ErrUnknownAcc) {
+	if _, err := d.Dispatch(idx, []byte("x"), nil, nil); !errors.Is(err, ErrUnknownAcc) {
 		t.Errorf("dispatch during PR: %v", err)
 	}
 	start := sim.Now()
@@ -210,7 +209,7 @@ func TestDispatchFunctionalAndTemporal(t *testing.T) {
 	start := sim.Now()
 	var out []byte
 	var doneAt eventsim.Time
-	complete, err := d.Dispatch(idx, []byte("hello"), func(o []byte, e error) {
+	complete, err := d.Dispatch(idx, []byte("hello"), nil, func(o []byte, e error) {
 		out = o
 		doneAt = sim.Now()
 	})
@@ -242,7 +241,7 @@ func TestDispatchSerializesAtModuleRate(t *testing.T) {
 	payload := make([]byte, 1000)
 	var times []eventsim.Time
 	for i := 0; i < 3; i++ {
-		_, err := d.Dispatch(idx, payload, func([]byte, error) { times = append(times, sim.Now()) })
+		_, err := d.Dispatch(idx, payload, nil, func([]byte, error) { times = append(times, sim.Now()) })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -262,7 +261,7 @@ func TestDispatchModuleError(t *testing.T) {
 	idx, _ := d.LoadPR(spec, nil)
 	sim.RunAll()
 	var gotErr error
-	if _, err := d.Dispatch(idx, []byte("x"), func(_ []byte, e error) { gotErr = e }); err != nil {
+	if _, err := d.Dispatch(idx, []byte("x"), nil, func(_ []byte, e error) { gotErr = e }); err != nil {
 		t.Fatal(err)
 	}
 	sim.RunAll()

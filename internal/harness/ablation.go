@@ -157,7 +157,7 @@ func streamLoopback(sim *eventsim.Sim, dev deviceDispatcher, dma *pcie.Engine, r
 		for inflight < 16 {
 			inflight++
 			if _, err := dma.Transfer(pcie.H2C, size, func() {
-				_, _ = dev.Dispatch(region, payload, func(out []byte, merr error) {
+				_, _ = dev.Dispatch(region, payload, nil, func(out []byte, merr error) {
 					if merr != nil {
 						return
 					}
@@ -185,7 +185,7 @@ func streamLoopback(sim *eventsim.Sim, dev deviceDispatcher, dma *pcie.Engine, r
 
 // deviceDispatcher is the slice of fpga.Device the loopback stream needs.
 type deviceDispatcher interface {
-	Dispatch(regionIdx int, batch []byte, done func(out []byte, err error)) (eventsim.Time, error)
+	Dispatch(regionIdx int, batch, dst []byte, done func(out []byte, err error)) (eventsim.Time, error)
 }
 
 // LoCResult is one Table VII row: the lines of code needed to shift a

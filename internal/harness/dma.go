@@ -102,7 +102,7 @@ func RunDMALoopback(variant DMAVariant, size int) (DMAResult, error) {
 		start := sim.Now()
 		var done eventsim.Time
 		if _, err := dma.Transfer(pcie.H2C, size, func() {
-			if _, derr := dev.Dispatch(region, batch, func(out []byte, merr error) {
+			if _, derr := dev.Dispatch(region, batch, nil, func(out []byte, merr error) {
 				if merr != nil {
 					return
 				}
@@ -162,7 +162,7 @@ func RunDMALoopback(variant DMAVariant, size int) (DMAResult, error) {
 			for inflight < window {
 				inflight++
 				if _, err := dma.Transfer(pcie.H2C, size, func() {
-					_, _ = dev.Dispatch(region, batch, func(out []byte, merr error) {
+					_, _ = dev.Dispatch(region, batch, nil, func(out []byte, merr error) {
 						if merr != nil {
 							return
 						}

@@ -147,39 +147,47 @@ func EncodeIPsecRequest(dst []byte, frame []byte, encOffset int) ([]byte, error)
 	return append(dst, frame...), nil
 }
 
-// ProcessBatch encrypts every record in place (into a fresh response
-// batch, as the FPGA streams output separately from input).
-func (m *IPsecCrypto) ProcessBatch(in []byte) ([]byte, error) {
+// ProcessBatch encrypts every record, streaming the response batch into
+// dst: the ciphertext is produced in place in the output buffer, with no
+// per-record staging.
+func (m *IPsecCrypto) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if m.engine == nil {
 		return nil, ErrNotConfigured
 	}
-	out := make([]byte, 0, len(in)+64)
-	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		if len(rec.Payload) < IPsecReqPrefix {
-			return fmt.Errorf("%w: %d-byte ipsec record", ErrBadRecord, len(rec.Payload))
+			return nil, fmt.Errorf("%w: %d-byte ipsec record", ErrBadRecord, len(rec.Payload))
 		}
 		off := int(binary.BigEndian.Uint16(rec.Payload[:2]))
 		frame := rec.Payload[IPsecReqPrefix:]
 		if off > len(frame) {
-			return fmt.Errorf("%w: offset %d beyond %d-byte frame", ErrBadRecord, off, len(frame))
+			return nil, fmt.Errorf("%w: offset %d beyond %d-byte frame", ErrBadRecord, off, len(frame))
 		}
 		m.seq++
 		iv := m.seq
-		resp := make([]byte, 0, len(frame)+IPsecGrowth)
-		resp = append(resp, frame[:off]...)
-		resp = binary.BigEndian.AppendUint64(resp, iv)
-		ct := append([]byte(nil), frame[off:]...)
-		tag := m.engine.Seal(ct, iv)
-		resp = append(resp, ct...)
-		resp = append(resp, tag[:]...)
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
+		dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, len(frame)+IPsecGrowth)
+		if aerr != nil {
+			return nil, aerr
+		}
+		dst = append(dst, frame[:off]...)
+		dst = binary.BigEndian.AppendUint64(dst, iv)
+		ctStart := len(dst)
+		dst = append(dst, frame[off:]...)
+		tag := m.engine.Seal(dst[ctStart:], iv)
+		dst = append(dst, tag[:]...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // --- pattern-matching --------------------------------------------------
@@ -193,6 +201,19 @@ func (m *IPsecCrypto) ProcessBatch(in []byte) ([]byte, error) {
 // firstPatternID is 0xffff when nothing matched.
 type PatternMatching struct {
 	matcher *acmatch.Matcher
+
+	// Per-scan accumulator state plus the bound callback, so ProcessBatch
+	// does not materialize a capturing closure per record.
+	count     int
+	first     uint16
+	onMatchFn func(acmatch.Match)
+}
+
+func (m *PatternMatching) onMatch(match acmatch.Match) {
+	if m.count == 0 {
+		m.first = uint16(match.PatternID)
+	}
+	m.count++
 }
 
 var _ fpga.Module = (*PatternMatching)(nil)
@@ -256,36 +277,42 @@ func (m *PatternMatching) Configure(params []byte) error {
 	return nil
 }
 
-// ProcessBatch scans every record and appends the match trailer.
-func (m *PatternMatching) ProcessBatch(in []byte) ([]byte, error) {
+// ProcessBatch scans every record and appends it to dst with the match
+// trailer.
+func (m *PatternMatching) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if m.matcher == nil {
 		return nil, ErrNotConfigured
 	}
-	out := make([]byte, 0, len(in)+64)
-	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
-		first := uint16(0xffff)
-		count := 0
-		m.matcher.Scan(rec.Payload, func(match acmatch.Match) {
-			if count == 0 {
-				first = uint16(match.PatternID)
-			}
-			count++
-		})
+	if m.onMatchFn == nil {
+		m.onMatchFn = m.onMatch
+	}
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		m.count, m.first = 0, 0xffff
+		m.matcher.Scan(rec.Payload, m.onMatchFn)
+		count := m.count
 		if count > 0xffff {
 			count = 0xffff
 		}
-		resp := make([]byte, 0, len(rec.Payload)+PatternMatchTrailer)
-		resp = append(resp, rec.Payload...)
-		resp = binary.BigEndian.AppendUint16(resp, uint16(count))
-		resp = binary.BigEndian.AppendUint16(resp, first)
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
+		dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, len(rec.Payload)+PatternMatchTrailer)
+		if aerr != nil {
+			return nil, aerr
+		}
+		dst = append(dst, rec.Payload...)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(count))
+		dst = binary.BigEndian.AppendUint16(dst, m.first)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodePatternTrailer splits a pattern-matching response payload into the
@@ -312,9 +339,8 @@ var _ fpga.Module = (*Loopback)(nil)
 // Configure accepts and ignores any parameters.
 func (Loopback) Configure([]byte) error { return nil }
 
-// ProcessBatch echoes the batch.
-func (Loopback) ProcessBatch(in []byte) ([]byte, error) {
-	out := make([]byte, len(in))
-	copy(out, in)
-	return out, nil
+// ProcessBatch echoes the batch into dst — allocation-free when dst has
+// capacity, which is what makes loopback the pure-DMA benchmark module.
+func (Loopback) ProcessBatch(dst, in []byte) ([]byte, error) {
+	return append(dst, in...), nil
 }

@@ -52,7 +52,7 @@ func TestSpecsMatchTableVI(t *testing.T) {
 func TestIPsecCryptoNotConfigured(t *testing.T) {
 	m := &IPsecCrypto{}
 	batch, _ := dhlproto.AppendRecord(nil, 1, 1, []byte{0, 0, 'x'})
-	if _, err := m.ProcessBatch(batch); !errors.Is(err, ErrNotConfigured) {
+	if _, err := m.ProcessBatch(nil, batch); !errors.Is(err, ErrNotConfigured) {
 		t.Errorf("unconfigured: %v", err)
 	}
 }
@@ -90,7 +90,7 @@ func TestIPsecCryptoEncryptsAndIsDecryptable(t *testing.T) {
 		t.Fatal(err)
 	}
 	batch, _ := dhlproto.AppendRecord(nil, 7, 3, req)
-	out, err := m.ProcessBatch(batch)
+	out, err := m.ProcessBatch(nil, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestIPsecCryptoUniqueIVs(t *testing.T) {
 		req, _ := EncodeIPsecRequest(nil, []byte("same frame"), 0)
 		batch, _ = dhlproto.AppendRecord(batch, 1, 1, req)
 	}
-	out, err := m.ProcessBatch(batch)
+	out, err := m.ProcessBatch(nil, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,13 +155,13 @@ func TestIPsecCryptoBadRecords(t *testing.T) {
 	_ = m.Configure(blob)
 	// Record shorter than the offset prefix.
 	batch, _ := dhlproto.AppendRecord(nil, 1, 1, []byte{9})
-	if _, err := m.ProcessBatch(batch); !errors.Is(err, ErrBadRecord) {
+	if _, err := m.ProcessBatch(nil, batch); !errors.Is(err, ErrBadRecord) {
 		t.Errorf("short record: %v", err)
 	}
 	// Offset beyond the frame.
 	req := []byte{0xFF, 0xFF, 'a', 'b'}
 	batch2, _ := dhlproto.AppendRecord(nil, 1, 1, req)
-	if _, err := m.ProcessBatch(batch2); !errors.Is(err, ErrBadRecord) {
+	if _, err := m.ProcessBatch(nil, batch2); !errors.Is(err, ErrBadRecord) {
 		t.Errorf("bad offset: %v", err)
 	}
 	if _, err := EncodeIPsecRequest(nil, []byte("ab"), 5); !errors.Is(err, ErrBadRecord) {
@@ -172,7 +172,7 @@ func TestIPsecCryptoBadRecords(t *testing.T) {
 func TestPatternMatchingConfigureAndMatch(t *testing.T) {
 	m := &PatternMatching{}
 	batch, _ := dhlproto.AppendRecord(nil, 1, 1, []byte("x"))
-	if _, err := m.ProcessBatch(batch); !errors.Is(err, ErrNotConfigured) {
+	if _, err := m.ProcessBatch(nil, batch); !errors.Is(err, ErrNotConfigured) {
 		t.Errorf("unconfigured: %v", err)
 	}
 	blob, err := EncodePatternConfig([][]byte{[]byte("attack"), []byte("evil")}, false)
@@ -186,7 +186,7 @@ func TestPatternMatchingConfigureAndMatch(t *testing.T) {
 	var in []byte
 	in, _ = dhlproto.AppendRecord(in, 2, 9, []byte("an attack and more evil attack"))
 	in, _ = dhlproto.AppendRecord(in, 3, 9, []byte("benign traffic"))
-	out, err := m.ProcessBatch(in)
+	out, err := m.ProcessBatch(nil, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestPatternMatchingCaseFold(t *testing.T) {
 	blob, _ := EncodePatternConfig([][]byte{[]byte("CMD.exe")}, true)
 	_ = m.Configure(blob)
 	in, _ := dhlproto.AppendRecord(nil, 1, 1, []byte("run cmd.EXE now"))
-	out, err := m.ProcessBatch(in)
+	out, err := m.ProcessBatch(nil, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestLoopbackEchoes(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := []byte{1, 2, 3, 4, 5}
-	out, err := m.ProcessBatch(in)
+	out, err := m.ProcessBatch(nil, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestQuickIPsecRoundTrip(t *testing.T) {
 			return false
 		}
 		batch, _ := dhlproto.AppendRecord(nil, 1, 1, req)
-		out, err := m.ProcessBatch(batch)
+		out, err := m.ProcessBatch(nil, batch)
 		if err != nil {
 			return false
 		}

@@ -7,6 +7,7 @@ import (
 	"crypto/md5"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 
 	"github.com/opencloudnext/dhl-go/internal/dhlproto"
@@ -117,41 +118,56 @@ var _ fpga.Module = (*IPsecDecrypt)(nil)
 // Configure installs keys from an EncodeIPsecCryptoConfig blob.
 func (m *IPsecDecrypt) Configure(params []byte) error { return m.inner.Configure(params) }
 
-// ProcessBatch authenticates and decrypts every record.
-func (m *IPsecDecrypt) ProcessBatch(in []byte) ([]byte, error) {
+// ProcessBatch authenticates and decrypts every record, producing the
+// plaintext in place in dst.
+func (m *IPsecDecrypt) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if m.inner.engine == nil {
 		return nil, ErrNotConfigured
 	}
-	out := make([]byte, 0, len(in))
-	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		if len(rec.Payload) < IPsecReqPrefix {
-			return fmt.Errorf("%w: %d-byte decrypt record", ErrBadRecord, len(rec.Payload))
+			return nil, fmt.Errorf("%w: %d-byte decrypt record", ErrBadRecord, len(rec.Payload))
 		}
 		off := int(binary.BigEndian.Uint16(rec.Payload[:2]))
 		frame := rec.Payload[IPsecReqPrefix:]
 		if off > len(frame) || len(frame)-off < IPsecGrowth {
-			return fmt.Errorf("%w: %d-byte encrypted body at offset %d", ErrBadRecord, len(frame), off)
+			return nil, fmt.Errorf("%w: %d-byte encrypted body at offset %d", ErrBadRecord, len(frame), off)
 		}
 		body := frame[off:]
 		iv := binary.BigEndian.Uint64(body[:8])
-		ct := append([]byte(nil), body[8:len(body)-12]...)
 		var tag [12]byte
 		copy(tag[:], body[len(body)-12:])
-		resp := make([]byte, 0, len(frame))
-		resp = append(resp, frame[:off]...)
-		if derr := m.inner.engine.Open(ct, iv, tag); derr == nil {
-			resp = append(resp, ct...)
-		}
-		// On auth failure resp carries only the cleartext header: the NF
-		// sees a truncated packet and drops it.
+		hdrStart := len(dst)
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
+		dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, len(frame)-IPsecGrowth)
+		if aerr != nil {
+			return nil, aerr
+		}
+		dst = append(dst, frame[:off]...)
+		ctStart := len(dst)
+		dst = append(dst, body[8:len(body)-12]...)
+		if derr := m.inner.engine.Open(dst[ctStart:], iv, tag); derr != nil {
+			// On auth failure the response carries only the cleartext
+			// header: the NF sees a truncated packet and drops it.
+			dst = dst[:hdrStart]
+			dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, off)
+			if aerr != nil {
+				return nil, aerr
+			}
+			dst = append(dst, frame[:off]...)
+		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // --- md5-auth -------------------------------------------------------------
@@ -161,6 +177,9 @@ func (m *IPsecDecrypt) ProcessBatch(in []byte) ([]byte, error) {
 //	response: [payload...][digest:16]
 type MD5Auth struct {
 	key []byte
+	// mac is the HMAC state, created once at Configure and Reset per
+	// record so ProcessBatch does not rebuild the keyed hash every time.
+	mac hash.Hash
 }
 
 var _ fpga.Module = (*MD5Auth)(nil)
@@ -171,29 +190,38 @@ func (m *MD5Auth) Configure(params []byte) error {
 		return fmt.Errorf("%w: md5-auth key must be 1..64 bytes, got %d", ErrBadConfig, len(params))
 	}
 	m.key = append([]byte(nil), params...)
+	m.mac = hmac.New(md5.New, m.key)
 	return nil
 }
 
-// ProcessBatch appends the digest trailer to every record.
-func (m *MD5Auth) ProcessBatch(in []byte) ([]byte, error) {
-	if m.key == nil {
+// ProcessBatch appends each record to dst with its digest trailer; the
+// digest is summed directly into the output buffer.
+func (m *MD5Auth) ProcessBatch(dst, in []byte) ([]byte, error) {
+	if m.mac == nil {
 		return nil, ErrNotConfigured
 	}
-	out := make([]byte, 0, len(in)+64)
-	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
-		mac := hmac.New(md5.New, m.key)
-		mac.Write(rec.Payload)
-		resp := make([]byte, 0, len(rec.Payload)+MD5DigestSize)
-		resp = append(resp, rec.Payload...)
-		resp = mac.Sum(resp)
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		m.mac.Reset()
+		m.mac.Write(rec.Payload)
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
+		dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, len(rec.Payload)+MD5DigestSize)
+		if aerr != nil {
+			return nil, aerr
+		}
+		dst = append(dst, rec.Payload...)
+		dst = m.mac.Sum(dst)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // VerifyMD5Trailer checks a response record against a key, returning the
@@ -278,13 +306,22 @@ func (m *RegexClassifier) Configure(params []byte) error {
 	return nil
 }
 
-// ProcessBatch classifies every record.
-func (m *RegexClassifier) ProcessBatch(in []byte) ([]byte, error) {
+// ProcessBatch classifies every record into dst.
+func (m *RegexClassifier) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if m.rules == nil {
 		return nil, ErrNotConfigured
 	}
-	out := make([]byte, 0, len(in)+64)
-	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		bitmap := uint16(0)
 		first := uint16(0xffff)
 		for i, d := range m.rules {
@@ -295,18 +332,16 @@ func (m *RegexClassifier) ProcessBatch(in []byte) ([]byte, error) {
 				}
 			}
 		}
-		resp := make([]byte, 0, len(rec.Payload)+RegexTrailer)
-		resp = append(resp, rec.Payload...)
-		resp = binary.BigEndian.AppendUint16(resp, bitmap)
-		resp = binary.BigEndian.AppendUint16(resp, first)
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
+		dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, len(rec.Payload)+RegexTrailer)
+		if aerr != nil {
+			return nil, aerr
+		}
+		dst = append(dst, rec.Payload...)
+		dst = binary.BigEndian.AppendUint16(dst, bitmap)
+		dst = binary.BigEndian.AppendUint16(dst, first)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeRegexTrailer splits a regex-classifier response.
@@ -329,6 +364,9 @@ func DecodeRegexTrailer(resp []byte) (payload []byte, bitmap uint16, first uint1
 type DataCompression struct {
 	level      int
 	decompress bool
+	// scratch stages one transformed payload (its length must be known
+	// before the record header is written), reused across records.
+	scratch bytes.Buffer
 }
 
 var _ fpga.Module = (*DataCompression)(nil)
@@ -354,41 +392,48 @@ func (m *DataCompression) Configure(params []byte) error {
 	return nil
 }
 
-// ProcessBatch transforms every record.
-func (m *DataCompression) ProcessBatch(in []byte) ([]byte, error) {
+// ProcessBatch transforms every record into dst, staging each payload in
+// the module's reusable scratch buffer to learn its compressed length
+// before the record header is written.
+func (m *DataCompression) ProcessBatch(dst, in []byte) ([]byte, error) {
 	if m.level == 0 && !m.decompress {
 		return nil, ErrNotConfigured
 	}
-	out := make([]byte, 0, len(in))
-	err := dhlproto.Walk(in, func(rec dhlproto.Record) error {
-		var resp []byte
+	var cur dhlproto.Cursor
+	cur.SetBatch(in)
+	var rec dhlproto.Record
+	for {
+		ok, err := cur.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		m.scratch.Reset()
 		if m.decompress {
 			r := flate.NewReader(bytes.NewReader(rec.Payload))
-			plain, derr := io.ReadAll(io.LimitReader(r, 64*1024))
-			if derr != nil {
-				return fmt.Errorf("%w: inflate: %v", ErrBadRecord, derr)
+			if _, derr := io.Copy(&m.scratch, io.LimitReader(r, 64*1024)); derr != nil {
+				return nil, fmt.Errorf("%w: inflate: %v", ErrBadRecord, derr)
 			}
-			resp = plain
 		} else {
-			var buf bytes.Buffer
-			w, werr := flate.NewWriter(&buf, m.level)
+			w, werr := flate.NewWriter(&m.scratch, m.level)
 			if werr != nil {
-				return werr
+				return nil, werr
 			}
 			if _, werr := w.Write(rec.Payload); werr != nil {
-				return werr
+				return nil, werr
 			}
 			if werr := w.Close(); werr != nil {
-				return werr
+				return nil, werr
 			}
-			resp = buf.Bytes()
 		}
 		var aerr error
-		out, aerr = dhlproto.AppendRecord(out, rec.NFID, rec.AccID, resp)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
+		dst, aerr = dhlproto.AppendRecordHeader(dst, rec.NFID, rec.AccID, m.scratch.Len())
+		if aerr != nil {
+			return nil, aerr
+		}
+		dst = append(dst, m.scratch.Bytes()...)
 	}
-	return out, nil
+	return dst, nil
 }

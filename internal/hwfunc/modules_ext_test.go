@@ -40,7 +40,7 @@ func TestIPsecDecryptRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dec := &IPsecDecrypt{}
-	if _, err := dec.ProcessBatch(nil); !errors.Is(err, ErrNotConfigured) {
+	if _, err := dec.ProcessBatch(nil, nil); !errors.Is(err, ErrNotConfigured) {
 		t.Errorf("unconfigured decrypt: %v", err)
 	}
 	if err := dec.Configure(blob); err != nil {
@@ -51,7 +51,7 @@ func TestIPsecDecryptRoundTrip(t *testing.T) {
 	const off = 10
 	req, _ := EncodeIPsecRequest(nil, frame, off)
 	batch, _ := dhlproto.AppendRecord(nil, 4, 1, req)
-	encOut, err := enc.ProcessBatch(batch)
+	encOut, err := enc.ProcessBatch(nil, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestIPsecDecryptRoundTrip(t *testing.T) {
 		decIn, _ = dhlproto.AppendRecord(decIn, r.NFID, r.AccID, req2)
 		return nil
 	})
-	decOut, err := dec.ProcessBatch(decIn)
+	decOut, err := dec.ProcessBatch(nil, decIn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestIPsecDecryptAuthFailureSignalled(t *testing.T) {
 	fake := append([]byte("HDR"), make([]byte, swcrypto.IVSize+10+swcrypto.TagSize)...)
 	req, _ := EncodeIPsecRequest(nil, fake, 3)
 	batch, _ := dhlproto.AppendRecord(nil, 1, 1, req)
-	out, err := dec.ProcessBatch(batch)
+	out, err := dec.ProcessBatch(nil, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestIPsecDecryptAuthFailureSignalled(t *testing.T) {
 
 func TestMD5Auth(t *testing.T) {
 	m := &MD5Auth{}
-	if _, err := m.ProcessBatch(nil); !errors.Is(err, ErrNotConfigured) {
+	if _, err := m.ProcessBatch(nil, nil); !errors.Is(err, ErrNotConfigured) {
 		t.Errorf("unconfigured: %v", err)
 	}
 	if err := m.Configure(nil); !errors.Is(err, ErrBadConfig) {
@@ -113,7 +113,7 @@ func TestMD5Auth(t *testing.T) {
 	}
 	payload := []byte("authenticate this payload")
 	batch, _ := dhlproto.AppendRecord(nil, 1, 1, payload)
-	out, err := m.ProcessBatch(batch)
+	out, err := m.ProcessBatch(nil, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestMD5Auth(t *testing.T) {
 
 func TestRegexClassifier(t *testing.T) {
 	m := &RegexClassifier{}
-	if _, err := m.ProcessBatch(nil); !errors.Is(err, ErrNotConfigured) {
+	if _, err := m.ProcessBatch(nil, nil); !errors.Is(err, ErrNotConfigured) {
 		t.Errorf("unconfigured: %v", err)
 	}
 	blob, err := EncodeRegexConfig([]string{
@@ -168,7 +168,7 @@ func TestRegexClassifier(t *testing.T) {
 	}
 	for _, c := range cases {
 		batch, _ := dhlproto.AppendRecord(nil, 1, 1, []byte(c.payload))
-		out, perr := m.ProcessBatch(batch)
+		out, perr := m.ProcessBatch(nil, batch)
 		if perr != nil {
 			t.Fatal(perr)
 		}
@@ -239,7 +239,7 @@ func TestPatternMatchingStateBudget(t *testing.T) {
 
 func TestDataCompressionBothDirections(t *testing.T) {
 	comp := &DataCompression{}
-	if _, err := comp.ProcessBatch(nil); !errors.Is(err, ErrNotConfigured) {
+	if _, err := comp.ProcessBatch(nil, nil); !errors.Is(err, ErrNotConfigured) {
 		t.Errorf("unconfigured: %v", err)
 	}
 	if err := comp.Configure([]byte{0}); !errors.Is(err, ErrBadConfig) {
@@ -261,7 +261,7 @@ func TestDataCompressionBothDirections(t *testing.T) {
 
 	payload := bytes.Repeat([]byte("flow compression "), 30)
 	batch, _ := dhlproto.AppendRecord(nil, 1, 1, payload)
-	compressed, err := comp.ProcessBatch(batch)
+	compressed, err := comp.ProcessBatch(nil, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestDataCompressionBothDirections(t *testing.T) {
 	if compressedLen >= len(payload) {
 		t.Errorf("compression grew payload: %d -> %d", len(payload), compressedLen)
 	}
-	restored, err := decomp.ProcessBatch(back)
+	restored, err := decomp.ProcessBatch(nil, back)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestDataCompressionBothDirections(t *testing.T) {
 	})
 	// Garbage input to the decompressor is a bad record, not a crash.
 	junk, _ := dhlproto.AppendRecord(nil, 1, 1, []byte{0xde, 0xad, 0xbe, 0xef})
-	if _, err := decomp.ProcessBatch(junk); !errors.Is(err, ErrBadRecord) {
+	if _, err := decomp.ProcessBatch(nil, junk); !errors.Is(err, ErrBadRecord) {
 		t.Errorf("garbage inflate: %v", err)
 	}
 }

@@ -1,0 +1,38 @@
+package mbuf
+
+import "testing"
+
+// TestAllocFreeZeroAllocs is the pool's allocation-budget gate: after the
+// pool is built, alloc/free churn must never touch the heap — the data
+// path's mbuf traffic rides entirely on the preallocated slots and the
+// per-core cache.
+func TestAllocFreeZeroAllocs(t *testing.T) {
+	p := newPool(t, 256)
+	bufs := make([]*Mbuf, 64)
+	payload := []byte("budget gate payload")
+	cycle := func() {
+		for i := range bufs {
+			m, err := p.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AppendBytes(payload); err != nil {
+				t.Fatal(err)
+			}
+			bufs[i] = m
+		}
+		for i := range bufs {
+			if err := p.Free(bufs[i]); err != nil {
+				t.Fatal(err)
+			}
+			bufs[i] = nil
+		}
+	}
+	cycle() // warm the cache
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("alloc/free churn allocates %.1f objects per cycle, want 0", avg)
+	}
+	if p.InUse() != 0 {
+		t.Errorf("%d mbufs leaked", p.InUse())
+	}
+}

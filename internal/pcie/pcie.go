@@ -172,15 +172,24 @@ func (e *Engine) oneWayLatency() eventsim.Time {
 	return lat
 }
 
+// tooLarge is the cold constructor for the detailed ErrTooLarge, keeping
+// fmt out of the hot Transfer path.
+func tooLarge(size int) error {
+	return fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+}
+
 // Transfer schedules a transfer of size bytes on direction dir and invokes
 // done when the data has fully arrived at the other side. It returns the
-// scheduled completion time.
+// scheduled completion time. Transfer is on the per-batch data path and
+// does not allocate.
+//
+//dhl:hotpath
 func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, error) {
 	if size <= 0 {
 		return 0, ErrZeroSize
 	}
 	if size > MaxTransfer {
-		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+		return 0, tooLarge(size)
 	}
 	ch := &e.h2c
 	if dir == C2H {
@@ -205,6 +214,8 @@ func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, 
 // Backlog reports how far in the future the direction's channel is booked,
 // used by the runtime to apply back-pressure instead of queueing unbounded
 // work on the DMA engine.
+//
+//dhl:hotpath
 func (e *Engine) Backlog(dir Direction) eventsim.Time {
 	ch := &e.h2c
 	if dir == C2H {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench.sh — the allocation-budget benchmark gate.
+#
+# Three passes, cheapest-smoke first:
+#   1. every benchmark in the repo once (-benchtime=1x) with -benchmem, so
+#      a benchmark that panics or b.Fatals fails the gate fast;
+#   2. the cmd/dhl-bench harness as an end-to-end smoke;
+#   3. the data-path pair (Packer->...->Distributor pipeline + Distributor
+#      in isolation) at a measuring benchtime, emitting BENCH_pr3.json:
+#      ns/op, B/op and allocs/op next to the pre-arena baseline recorded
+#      when the pooled batch pipeline landed, so a regression that
+#      reintroduces per-batch heap traffic shows up as a diff in a
+#      reviewed file.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 100x for pass 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-100x}"
+out="BENCH_pr3.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench . -benchmem -benchtime=1x (all packages, smoke)"
+go test -run '^$' -bench . -benchmem -benchtime=1x -count=1 ./...
+
+echo "==> cmd/dhl-bench smoke (table1)"
+go run ./cmd/dhl-bench table1 >/dev/null
+
+echo "==> go test -bench 'Pipeline|Distributor' -benchmem -benchtime=$benchtime ./internal/core"
+go test -run '^$' -bench 'Pipeline|Distributor' -benchmem -benchtime="$benchtime" -count=1 ./internal/core | tee "$raw"
+
+echo "==> writing $out"
+awk -v benchtime="$benchtime" '
+BEGIN {
+    n = 0
+}
+/^Benchmark/ && NF >= 3 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 3; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns  = $(i-1)
+        if ($(i) == "B/op")      bop = $(i-1)
+        if ($(i) == "allocs/op") aop = $(i-1)
+    }
+    if (ns != "") {
+        names[n] = name; nss[n] = ns; bops[n] = bop; aops[n] = aop; n++
+    }
+}
+END {
+    print "{"
+    print "  \"pr\": 3,"
+    print "  \"benchtime\": \"" benchtime "\","
+    print "  \"baseline\": {"
+    print "    \"note\": \"pre-arena numbers (benchtime=100x), before the pooled batch pipeline\","
+    print "    \"BenchmarkPipeline64B\": {\"ns_op\": 1358724, \"B_op\": 517462, \"allocs_op\": 20989},"
+    print "    \"BenchmarkPipeline1500B\": {\"ns_op\": 1346836, \"B_op\": 670794, \"allocs_op\": 20955},"
+    print "    \"BenchmarkDistributor\": {\"ns_op\": 2219, \"B_op\": 0, \"allocs_op\": 0}"
+    print "  },"
+    print "  \"current\": {"
+    for (i = 0; i < n; i++) {
+        line = "    \"" names[i] "\": {\"ns_op\": " nss[i]
+        if (bops[i] != "") line = line ", \"B_op\": " bops[i]
+        if (aops[i] != "") line = line ", \"allocs_op\": " aops[i]
+        line = line "}"
+        if (i < n-1) line = line ","
+        print line
+    }
+    print "  }"
+    print "}"
+}' "$raw" > "$out"
+
+echo "OK: $out"

@@ -32,4 +32,7 @@ go test -race -short -count=1 ./...
 echo "==> go test -race (full) internal/ring internal/mbuf"
 go test -race -count=1 ./internal/ring ./internal/mbuf
 
+echo "==> bench smoke (1 iteration, -benchmem)"
+go test -run '^$' -bench 'Pipeline|Distributor' -benchmem -benchtime=1x -count=1 ./internal/core
+
 echo "OK"
