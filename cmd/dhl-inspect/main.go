@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill]
+//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill] [-chaos-seed N]
 //
 // -fill keeps loading copies of the first module until the board rejects
 // the next one, demonstrating the §V-F packing bound.
+//
+// -chaos-seed arms deterministic fault injection and pushes a short burst
+// of loopback traffic through the board, then prints the health FSM state
+// and the fault-attribution ledger; the same seed reproduces the same run.
 package main
 
 import (
@@ -17,24 +21,39 @@ import (
 	"strings"
 
 	dhl "github.com/opencloudnext/dhl-go"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/hwfunc"
 )
 
 func main() {
 	modules := flag.String("modules", "ipsec-crypto,pattern-matching", "comma-separated hardware function names to load")
 	fill := flag.Bool("fill", false, "load copies of the first module until the board is full")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "arm fault injection with this seed and run a loopback chaos burst (0: off)")
 	flag.Parse()
-	if err := run(*modules, *fill); err != nil {
+	if err := run(*modules, *fill, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "dhl-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modules string, fill bool) error {
-	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+func run(modules string, fill bool, chaosSeed uint64) error {
+	var plan *dhl.FaultPlan
+	if chaosSeed != 0 {
+		var err error
+		plan, err = dhl.NewFaultPlan(chaosSeed,
+			dhl.FaultSpec{Kind: dhl.FaultModuleError, EveryN: 1, Count: 8},
+			dhl.FaultSpec{Kind: dhl.FaultDMAH2CError, EveryN: 5, Count: 4},
+		)
+		if err != nil {
+			return err
+		}
+	}
+	sys, err := dhl.NewSystem(dhl.SystemConfig{Faults: plan})
 	if err != nil {
 		return err
 	}
 	names := strings.Split(modules, ",")
+	var loaded []dhl.AccID
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -44,6 +63,7 @@ func run(modules string, fill bool) error {
 		if lerr != nil {
 			return fmt.Errorf("load %q: %w", name, lerr)
 		}
+		loaded = append(loaded, acc)
 		fmt.Printf("loaded %q as acc_id %d\n", name, acc)
 	}
 	if fill && len(names) > 0 {
@@ -59,9 +79,28 @@ func run(modules string, fill bool) error {
 	}
 	sys.Settle()
 
+	if plan != nil {
+		acc, cerr := chaosBurst(sys, chaosSeed)
+		if cerr != nil {
+			return cerr
+		}
+		loaded = append(loaded, acc)
+	}
+
 	fmt.Println("\nHardware function table:")
 	for _, row := range sys.HFTable() {
 		fmt.Println(" ", row)
+	}
+	if plan != nil {
+		fmt.Println("\nAccelerator health:")
+		for _, acc := range loaded {
+			rep, herr := sys.AccHealth(acc)
+			if herr != nil {
+				return herr
+			}
+			fmt.Printf("  acc_id %d: %s (faults %d, quarantines %d, reloads %d, fallback active: %v)\n",
+				acc, rep.Health, rep.Faults, rep.Quarantines, rep.Reloads, rep.FallbackActive)
+		}
 	}
 	fmt.Println()
 	dev, err := sys.Device(0)
@@ -70,4 +109,98 @@ func run(modules string, fill bool) error {
 	}
 	fmt.Print(dev.Floorplan())
 	return nil
+}
+
+// chaosBurst pushes paced loopback traffic through the armed system: the
+// injected module errors drive the loopback accelerator through the health
+// FSM (degraded, then quarantined with the software fallback carrying the
+// tail) while the DMA retry masks the transient H2C faults.
+func chaosBurst(sys *dhl.System, seed uint64) (dhl.AccID, error) {
+	acc, err := sys.SearchByName(dhl.Loopback, 0)
+	if err != nil {
+		return acc, err
+	}
+	spec := hwfunc.Specs()[hwfunc.LoopbackName]
+	if err := sys.RegisterFallback(dhl.Loopback, 0, spec.New); err != nil {
+		return acc, err
+	}
+	sys.Settle() // the loopback bitstream loads over ICAP
+	nf, err := sys.Register("inspect-chaos", 0)
+	if err != nil {
+		return acc, err
+	}
+	sim, pool := sys.Sim(), sys.Pool()
+	payload := []byte("dhl-inspect chaos probe")
+	var sent, ok, fallback, unprocessed int
+	scratch := make([]*dhl.Packet, 32)
+	drain := func() error {
+		for {
+			n, derr := sys.ReceivePackets(nf, scratch)
+			if derr != nil {
+				return derr
+			}
+			if n == 0 {
+				return nil
+			}
+			for _, m := range scratch[:n] {
+				switch m.Status {
+				case dhl.StatusFallback:
+					fallback++
+				case dhl.StatusUnprocessed:
+					unprocessed++
+				default:
+					ok++
+				}
+				if ferr := pool.Free(m); ferr != nil {
+					return ferr
+				}
+			}
+		}
+	}
+	for round := 0; round < 24; round++ {
+		burst := make([]*dhl.Packet, 0, 8)
+		for i := 0; i < 8; i++ {
+			m, aerr := pool.Alloc()
+			if aerr != nil {
+				return acc, aerr
+			}
+			if aerr := m.AppendBytes(payload); aerr != nil {
+				if ferr := pool.Free(m); ferr != nil {
+					return acc, ferr
+				}
+				return acc, aerr
+			}
+			m.AccID = uint16(acc)
+			burst = append(burst, m)
+		}
+		n, serr := sys.SendPackets(nf, burst)
+		if serr != nil {
+			return acc, serr
+		}
+		sent += n
+		for _, m := range burst[n:] {
+			if ferr := pool.Free(m); ferr != nil {
+				return acc, ferr
+			}
+		}
+		sim.Run(sim.Now() + 50*eventsim.Microsecond)
+		if derr := drain(); derr != nil {
+			return acc, derr
+		}
+	}
+	sim.Run(sim.Now() + 5*eventsim.Millisecond)
+	if derr := drain(); derr != nil {
+		return acc, derr
+	}
+	st, err := sys.Stats(0)
+	if err != nil {
+		return acc, err
+	}
+	fmt.Printf("\nchaos burst (seed %d): sent %d, delivered ok/fallback/unprocessed %d/%d/%d\n",
+		seed, sent, ok, fallback, unprocessed)
+	fmt.Printf("fault ledger: dma retries %d (give-ups %d), corrupt batches %d, faulted-batch drops %d pkts,\n",
+		st.DMARetries, st.DMARetryGiveUps, st.CorruptBatches, st.DropFault)
+	fmt.Printf("              watchdog timeouts %d, forced quarantines %d\n",
+		st.WatchdogTimeouts, st.ForcedQuarantines)
+	return acc, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/hwfunc"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
@@ -66,6 +67,64 @@ const (
 	DataCompression = hwfunc.DataCompressionName
 )
 
+// Fault-injection types for chaos runs (see internal/faultinject): a
+// FaultPlan is a seeded, deterministic schedule of injected faults shared
+// by the DMA engines, the FPGA devices and the runtime's transfer cores.
+type (
+	// FaultKind selects an injected failure mode.
+	FaultKind = faultinject.Kind
+	// FaultSpec schedules one fault kind (every-Nth draw and/or
+	// probabilistic, with an optional budget and stall duration).
+	FaultSpec = faultinject.Spec
+	// FaultPlan is the seeded deterministic injection schedule.
+	FaultPlan = faultinject.Plan
+)
+
+// Injectable fault kinds.
+const (
+	FaultDMAH2CError     = faultinject.DMAH2CError
+	FaultDMAH2CCorrupt   = faultinject.DMAH2CCorrupt
+	FaultDMAH2CStall     = faultinject.DMAH2CStall
+	FaultDMAC2HError     = faultinject.DMAC2HError
+	FaultDMAC2HCorrupt   = faultinject.DMAC2HCorrupt
+	FaultDMAC2HStall     = faultinject.DMAC2HStall
+	FaultModuleError     = faultinject.ModuleError
+	FaultModuleGarbage   = faultinject.ModuleGarbage
+	FaultModuleHang      = faultinject.ModuleHang
+	FaultRegionSEU       = faultinject.RegionSEU
+	FaultCompletionStall = faultinject.CompletionStall
+)
+
+// NewFaultPlan builds a deterministic fault plan from a seed; the same
+// seed and specs reproduce the same injection schedule.
+func NewFaultPlan(seed uint64, specs ...FaultSpec) (*FaultPlan, error) {
+	return faultinject.NewPlan(seed, specs...)
+}
+
+// Health is an accelerator's health state (healthy/degraded/quarantined).
+type Health = core.Health
+
+// Accelerator health states.
+const (
+	Healthy     = core.HealthHealthy
+	Degraded    = core.HealthDegraded
+	Quarantined = core.HealthQuarantined
+)
+
+// HealthReport is a point-in-time accelerator health snapshot.
+type HealthReport = core.HealthReport
+
+// TransferStats is the per-node transfer-layer counter snapshot,
+// including the fault/recovery and drop-attribution ledger.
+type TransferStats = core.TransferStats
+
+// Packet dispositions stamped on delivered packets (Packet.Status).
+const (
+	StatusOK          = mbuf.StatusOK
+	StatusFallback    = mbuf.StatusFallback
+	StatusUnprocessed = mbuf.StatusUnprocessed
+)
+
 // SystemConfig parameterizes NewSystem.
 type SystemConfig struct {
 	// Nodes is the NUMA node count. Zero selects 1.
@@ -85,6 +144,14 @@ type SystemConfig struct {
 	// CoreHz is the simulated CPU clock. Zero selects the testbed's
 	// 2.1 GHz.
 	CoreHz float64
+	// Faults arms deterministic fault injection: the plan is shared by
+	// every DMA engine, FPGA device and the transfer cores, so one seed
+	// reproduces a whole chaos run. Also enables the batch watchdog and
+	// the accelerator health FSM.
+	Faults *FaultPlan
+	// WatchdogTimeoutUs overrides the per-batch watchdog deadline
+	// (microseconds; default 250 when Faults is set).
+	WatchdogTimeoutUs int
 }
 
 // System bundles a complete simulated DHL deployment: the discrete-event
@@ -127,7 +194,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	id := 0
 	for node := 0; node < cfg.Nodes; node++ {
 		for i := 0; i < cfg.FPGAsPerNode; i++ {
-			dev, derr := fpga.NewDevice(sim, fpga.Config{ID: id, Node: node})
+			dev, derr := fpga.NewDevice(sim, fpga.Config{ID: id, Node: node, Faults: cfg.Faults})
 			if derr != nil {
 				return nil, derr
 			}
@@ -135,7 +202,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			if cfg.InKernelDriver {
 				mode = pcie.InKernel
 			}
-			dma := pcie.NewEngine(sim, pcie.Config{Mode: mode})
+			dma := pcie.NewEngine(sim, pcie.Config{Mode: mode, Faults: cfg.Faults})
 			sys.devices = append(sys.devices, dev)
 			sys.engines = append(sys.engines, dma)
 			attachments = append(attachments, core.FPGAAttachment{Device: dev, DMA: dma})
@@ -143,11 +210,13 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 	}
 	rt, err := core.NewRuntime(core.Config{
-		Sim:        sim,
-		Nodes:      cfg.Nodes,
-		FPGAs:      attachments,
-		Batching:   cfg.Batching,
-		BatchBytes: cfg.BatchBytes,
+		Sim:             sim,
+		Nodes:           cfg.Nodes,
+		FPGAs:           attachments,
+		Batching:        cfg.Batching,
+		BatchBytes:      cfg.BatchBytes,
+		Faults:          cfg.Faults,
+		WatchdogTimeout: eventsim.Time(cfg.WatchdogTimeoutUs) * eventsim.Microsecond,
 	})
 	if err != nil {
 		return nil, err
@@ -246,6 +315,26 @@ func (s *System) ReceivePackets(id NFID, dst []*Packet) (int, error) {
 // RegisterModule adds a self-built accelerator module to the database.
 func (s *System) RegisterModule(spec ModuleSpec) error {
 	return s.rt.RegisterModule(spec)
+}
+
+// RegisterFallback installs a software implementation for a loaded
+// hardware function; while the accelerator is quarantined, its traffic is
+// processed by the fallback (delivered with StatusFallback) instead of
+// passing through unprocessed.
+func (s *System) RegisterFallback(hfName string, node int, factory func() Module) error {
+	return s.rt.RegisterFallback(hfName, node, factory)
+}
+
+// AccHealth reports an accelerator's health FSM state and fault/recovery
+// counters.
+func (s *System) AccHealth(acc AccID) (HealthReport, error) {
+	return s.rt.AccHealth(acc)
+}
+
+// Stats snapshots a node's transfer-layer counters, including the
+// fault-attribution and drop ledger.
+func (s *System) Stats(node int) (TransferStats, error) {
+	return s.rt.Stats(node)
 }
 
 // HFTable renders the hardware function table for inspection.

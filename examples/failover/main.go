@@ -1,0 +1,84 @@
+// Failover example: deterministic fault injection, accelerator health and
+// software-fallback recovery.
+//
+// A paced packet stream runs through the ipsec-crypto accelerator while a
+// seeded fault plan injects transient DMA errors (masked by the bounded
+// retry) and one persistent region SEU that garbles every response batch.
+// The health FSM attributes the corrupt batches, quarantines the region
+// and reloads its bitstream over ICAP (~29 ms for 5.6 MB). The example
+// prints the goodput-over-time curve of three runs sharing one seed:
+//
+//   - baseline (no faults),
+//   - the fault run without a fallback (goodput collapses until the
+//     reload completes — the dip width is the MTTR),
+//   - the fault run with a software ipsec module registered as the
+//     quarantine fallback (goodput barely dips).
+//
+// Run with: go run ./examples/failover [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/opencloudnext/dhl-go/internal/harness"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "fault-plan seed (same seed, same chaos)")
+	flag.Parse()
+	if err := run(*seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed uint64) error {
+	res, err := harness.RunFailover(harness.FailoverConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failure-recovery experiment (seed %d, baseline %.1f Mbps)\n\n",
+		res.Seed, res.BaselineGoodBps/1e6)
+	for _, r := range []*harness.FailoverRun{&res.Baseline, &res.NoFallback, &res.Fallback} {
+		fmt.Printf("%-18s %s\n", r.Label, sparkline(r.Curve, res.BaselineGoodBps))
+		mttr := "none"
+		switch {
+		case r.MTTRUs > 0:
+			mttr = fmt.Sprintf("%.0f ms", r.MTTRUs/1000)
+		case r.MTTRUs < 0:
+			mttr = "not recovered"
+		}
+		fmt.Printf("%-18s outage %s | floor %.1f Mbps | recovered %.1f Mbps | ok/fallback/unprocessed %d/%d/%d\n",
+			"", mttr, r.MinRateBps/1e6, r.RecoveredGoodBps/1e6,
+			r.DeliveredOK, r.DeliveredFallback, r.DeliveredUnprocessed)
+		fmt.Printf("%-18s health %s | faults %d | quarantines %d | reloads %d | dma retries %d\n\n",
+			"", r.Health.Health, r.Health.Faults, r.Health.Quarantines, r.Health.Reloads,
+			r.Stats.DMARetries)
+	}
+	fmt.Println("each column is 1 ms of goodput; the no-fallback dip is the ICAP reload")
+	fmt.Println("of the 5.6 MB ipsec bitstream, the fallback run rides it out in software")
+	return nil
+}
+
+// sparkline renders a goodput curve against the baseline mean.
+func sparkline(curve []float64, baseline float64) string {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, r := range curve {
+		frac := 0.0
+		if baseline > 0 {
+			frac = r / baseline
+		}
+		i := int(frac * float64(len(levels)-1))
+		if i >= len(levels) {
+			i = len(levels) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"errors"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/pcie"
@@ -99,8 +103,18 @@ func (a *batchArena) outstanding() int { return int(a.grown) - len(a.free) }
 // transfer completes. Both return to the arena in releaseInflight — on
 // success after the Distributor decodes out, on failure from fail(),
 // which also frees the staged originals back to the mbuf pool.
+// Processing modes: the sunny-day FPGA chain, the software fallback run
+// on the TX core when the accelerator is quarantined, and unprocessed
+// pass-through when it is quarantined with no fallback registered.
+const (
+	modeFPGA uint8 = iota
+	modeFallback
+	modeUnprocessed
+)
+
 type inflight struct {
 	t         *txEngine
+	hf        *hfEntry // routing entry, for health attribution
 	dma       *pcie.Engine
 	dev       *fpga.Device
 	regionIdx int
@@ -109,9 +123,17 @@ type inflight struct {
 	out       []byte       // encoded response batch (usually aliases outSeg)
 	outSeg    []byte       // arena segment leased for the response
 
+	mode     uint8
+	retries  int           // DMA retry budget consumed
+	deadline eventsim.Time // watchdog soft deadline (valid while watched)
+	watchIdx int           // index in the rx watch list, -1 when unwatched
+	overdue  bool          // soft deadline already counted by the watchdog
+
 	h2cDoneFn      func()
 	dispatchDoneFn func(out []byte, err error)
 	c2hDoneFn      func()
+	sendFn         func() // bound for H2C retry backoff
+	postC2HFn      func() // bound for C2H retry backoff
 }
 
 //dhl:hotpath
@@ -126,10 +148,12 @@ func (t *txEngine) getInflight() *inflight {
 }
 
 func (t *txEngine) newInflight() *inflight {
-	ib := &inflight{t: t}
+	ib := &inflight{t: t, watchIdx: -1}
 	ib.h2cDoneFn = ib.h2cDone
 	ib.dispatchDoneFn = ib.dispatchDone
 	ib.c2hDoneFn = ib.c2hDone
+	ib.sendFn = ib.send
+	ib.postC2HFn = ib.postC2H
 	return ib
 }
 
@@ -139,6 +163,14 @@ func (t *txEngine) newInflight() *inflight {
 //
 //dhl:hotpath
 func (t *txEngine) releaseInflight(ib *inflight) {
+	if ib.watchIdx >= 0 {
+		t.r.nodeRx[t.node].watchRemove(ib)
+	}
+	// Unprocessed pass-through aliases out to buf; never return the same
+	// segment twice.
+	if ib.mode == modeUnprocessed {
+		ib.outSeg = nil
+	}
 	t.arena.ret(ib.buf)
 	t.arena.ret(ib.outSeg)
 	ib.buf, ib.out, ib.outSeg = nil, nil, nil
@@ -146,19 +178,87 @@ func (t *txEngine) releaseInflight(ib *inflight) {
 		ib.meta[i] = nil
 	}
 	ib.meta = ib.meta[:0]
-	ib.dma, ib.dev, ib.regionIdx = nil, nil, 0
+	ib.hf, ib.dma, ib.dev, ib.regionIdx = nil, nil, nil, 0
+	ib.mode, ib.retries, ib.deadline, ib.overdue = modeFPGA, 0, 0, false
 	t.ibFree = append(t.ibFree, ib)
 }
 
+// retryDMA handles a failed DMA post: injected transfer faults are
+// transient by definition, so they are re-posted with exponential backoff
+// through the bound thunk until the retry budget runs out. Any other
+// error (and an exhausted budget) falls through to the caller's fail
+// edge. Reports whether a retry was scheduled.
+//
+//dhl:hotpath
+func (ib *inflight) retryDMA(err error, again func()) bool {
+	t := ib.t
+	if !errors.Is(err, pcie.ErrTransferFault) {
+		return false
+	}
+	if ib.retries >= t.r.cfg.MaxDMARetries {
+		t.stats.DMARetryGiveUps++
+		return false
+	}
+	ib.retries++
+	t.stats.DMARetries++
+	t.r.sim.After(t.r.cfg.RetryBackoff<<(ib.retries-1), again)
+	return true
+}
+
 // send posts the H2C transfer; txEngine.commit calls it once the packing
-// iteration's cycle cost has been paid.
+// iteration's cycle cost has been paid. Batches rerouted by graceful
+// degradation never touch the DMA engine: the fallback runs on the TX
+// core, and unprocessed batches loop straight back to the Distributor.
 //
 //dhl:hotpath
 func (ib *inflight) send() {
-	if _, err := ib.dma.Transfer(pcie.H2C, len(ib.buf), ib.h2cDoneFn); err != nil {
-		ib.t.stats.DispatchErrors++
-		ib.fail()
+	switch ib.mode {
+	case modeFallback:
+		ib.runFallback()
+		return
+	case modeUnprocessed:
+		// The request batch is valid dhlproto framing carrying the
+		// original payloads; the Distributor returns them untouched with
+		// StatusUnprocessed.
+		ib.out = ib.buf
+		ib.c2hDone()
+		return
 	}
+	_, fo, err := ib.dma.Transfer(pcie.H2C, len(ib.buf), ib.h2cDoneFn)
+	if err != nil {
+		if ib.retryDMA(err, ib.sendFn) {
+			return
+		}
+		ib.t.stats.DispatchErrors++
+		ib.t.r.noteFault(ib.hf)
+		ib.fail()
+		return
+	}
+	if fo&faultinject.Corrupted != 0 {
+		// The DMA model moves sizes, not bytes: apply the injected damage
+		// to the request batch so the module (or the Distributor, for
+		// modules that echo framing) detects it downstream.
+		faultinject.CorruptBatchHeader(ib.buf)
+	}
+}
+
+// runFallback processes the batch with the accelerator's registered
+// software module right here on the TX core and forwards the result
+// through the normal completion path, so the Distributor and the OBQ
+// keep a single producer.
+//
+//dhl:hotpath
+func (ib *inflight) runFallback() {
+	t := ib.t
+	ib.outSeg = t.arena.lease()
+	out, err := ib.hf.fallback.ProcessBatch(ib.outSeg, ib.buf)
+	if err != nil {
+		t.stats.DispatchErrors++
+		ib.fail()
+		return
+	}
+	ib.out = out
+	ib.c2hDone()
 }
 
 // h2cDone runs when the request batch has landed on the board: lease the
@@ -169,6 +269,7 @@ func (ib *inflight) h2cDone() {
 	ib.outSeg = ib.t.arena.lease()
 	if _, err := ib.dev.Dispatch(ib.regionIdx, ib.buf, ib.outSeg, ib.dispatchDoneFn); err != nil {
 		ib.t.stats.DispatchErrors++
+		ib.t.r.noteFault(ib.hf)
 		ib.fail()
 	}
 }
@@ -179,13 +280,30 @@ func (ib *inflight) h2cDone() {
 func (ib *inflight) dispatchDone(out []byte, err error) {
 	if err != nil {
 		ib.t.stats.DispatchErrors++
+		ib.t.r.noteFault(ib.hf)
 		ib.fail()
 		return
 	}
 	ib.out = out
-	if _, cerr := ib.dma.Transfer(pcie.C2H, len(out), ib.c2hDoneFn); cerr != nil {
+	ib.postC2H()
+}
+
+// postC2H posts the response transfer back to host memory.
+//
+//dhl:hotpath
+func (ib *inflight) postC2H() {
+	_, fo, cerr := ib.dma.Transfer(pcie.C2H, len(ib.out), ib.c2hDoneFn)
+	if cerr != nil {
+		if ib.retryDMA(cerr, ib.postC2HFn) {
+			return
+		}
 		ib.t.stats.DispatchErrors++
+		ib.t.r.noteFault(ib.hf)
 		ib.fail()
+		return
+	}
+	if fo&faultinject.Corrupted != 0 {
+		faultinject.CorruptBatchHeader(ib.out)
 	}
 }
 
@@ -194,7 +312,20 @@ func (ib *inflight) dispatchDone(out []byte, err error) {
 //
 //dhl:hotpath
 func (ib *inflight) c2hDone() {
-	rx := ib.t.r.nodeRx[ib.t.node]
+	t := ib.t
+	if f := t.r.cfg.Faults; f != nil && f.Fire(faultinject.CompletionStall) {
+		t.stats.CompletionStalls++
+		t.r.sim.After(f.StallFor(faultinject.CompletionStall), ib.c2hDoneFn)
+		return
+	}
+	rx := t.r.nodeRx[t.node]
+	if t.stopped {
+		// The RX loop is gone; nothing will ever drain the ring. Count
+		// the completion as dropped and reclaim the buffers now.
+		rx.stats.CompletionDrops++
+		ib.fail()
+		return
+	}
 	if !rx.completions.Enqueue(ib) {
 		rx.stats.CompletionDrops++
 		ib.fail()
@@ -203,11 +334,13 @@ func (ib *inflight) c2hDone() {
 
 // fail is the single failure edge: free the staged originals to the mbuf
 // pool and return the segments to the arena. Every error branch of the
-// DMA/Dispatch chain funnels here exactly once.
+// DMA/Dispatch chain funnels here exactly once; the freed packets are
+// attributed to the DropFault reason.
 //
 //dhl:hotpath
 func (ib *inflight) fail() {
 	t := ib.t
+	t.stats.DropFault += uint64(len(ib.meta))
 	for _, m := range ib.meta {
 		_ = t.pool.Free(m)
 	}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+)
+
+// Health is the per-accelerator health state, driven by a
+// consecutive-failure policy over batch outcomes:
+//
+//	Healthy --DegradeAfter fails--> Degraded --QuarantineAfter fails--> Quarantined
+//	   ^___________any success___________/                                  |
+//	   \________________PR reload completes + config replayed______________/
+//
+// A quarantined accelerator receives no FPGA traffic: the Packer reroutes
+// its batches to the registered software fallback (or delivers them
+// unprocessed), while the runtime re-programs the region through ICAP in
+// the background and replays the recorded configuration. The FSM is
+// active only when the runtime is armed (Config.Faults or
+// WatchdogTimeout); otherwise batch failures behave exactly as before.
+type Health int
+
+// Health states.
+const (
+	// HealthHealthy: batches flow to the accelerator normally.
+	HealthHealthy Health = iota + 1
+	// HealthDegraded: consecutive failures crossed DegradeAfter; traffic
+	// still flows but one more streak quarantines.
+	HealthDegraded
+	// HealthQuarantined: traffic is rerouted and a background PR reload
+	// is (or has been) attempted.
+	HealthQuarantined
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// HealthReport is an accelerator's health snapshot for AccHealth.
+type HealthReport struct {
+	Health           Health
+	ConsecutiveFails int
+	// Faults is the lifetime count of batch failures attributed to this
+	// accelerator (DMA give-ups, dispatch/module errors, corrupt
+	// responses, watchdog timeouts).
+	Faults      uint64
+	Quarantines uint64
+	// Reloads counts completed recovery PR re-programs.
+	Reloads uint64
+	// Reloading reports a recovery PR currently in flight.
+	Reloading bool
+	// FallbackActive reports a registered software fallback currently
+	// carrying the accelerator's traffic.
+	FallbackActive bool
+}
+
+// RegisterFallback installs a software implementation for the hardware
+// function hfName on node: when the backing accelerator is quarantined,
+// the transfer layer runs this module on the TX core instead of dropping
+// the traffic. Every configuration blob the accelerator has accepted is
+// replayed into the fallback at registration (and mirrored afterwards),
+// so a faithful implementation — swcrypto for ipsec-crypto, acmatch for
+// pattern-matching — is functionally equivalent, not approximate.
+func (r *Runtime) RegisterFallback(hfName string, node int, factory func() fpga.Module) error {
+	e, ok := r.hfByKey[hfKey{hfName, node}]
+	if !ok {
+		return fmt.Errorf("%w: %q on node %d", ErrUnknownHF, hfName, node)
+	}
+	if factory == nil {
+		return fmt.Errorf("core: nil fallback factory for %q", hfName)
+	}
+	m := factory()
+	if m == nil {
+		return fmt.Errorf("core: fallback factory for %q returned nil", hfName)
+	}
+	for _, blob := range e.cfgBlobs {
+		if err := m.Configure(blob); err != nil {
+			return fmt.Errorf("core: fallback for %q rejected recorded config: %w", hfName, err)
+		}
+	}
+	e.fallback = m
+	return nil
+}
+
+// AccHealth reports an accelerator's health state and fault counters.
+func (r *Runtime) AccHealth(acc AccID) (HealthReport, error) {
+	e, ok := r.hfByAcc[acc]
+	if !ok {
+		return HealthReport{}, fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	h := e.health
+	if h == 0 {
+		h = HealthHealthy
+	}
+	return HealthReport{
+		Health:           h,
+		ConsecutiveFails: e.consecFails,
+		Faults:           e.faults,
+		Quarantines:      e.quarantines,
+		Reloads:          e.reloads,
+		Reloading:        e.reloading,
+		FallbackActive:   e.health == HealthQuarantined && e.fallback != nil,
+	}, nil
+}
+
+// noteFault records one failed batch against the accelerator and advances
+// the health FSM. Cheap and allocation-free when unarmed or already
+// quarantined — it sits on the failure edges of the hot chain. The
+// quarantine guard doubles as the reentrancy break: quarantining flushes
+// hung batches, whose failures land back here without recursing.
+//
+//dhl:hotpath
+func (r *Runtime) noteFault(e *hfEntry) {
+	if !r.armed || e == nil {
+		return
+	}
+	e.faults++
+	if e.health == HealthQuarantined {
+		return
+	}
+	e.consecFails++
+	if e.consecFails >= r.cfg.QuarantineAfter {
+		r.quarantine(e)
+	} else if e.consecFails >= r.cfg.DegradeAfter {
+		e.health = HealthDegraded
+	}
+}
+
+// noteSuccess records one cleanly distributed batch: any non-quarantined
+// accelerator heals back to Healthy.
+//
+//dhl:hotpath
+func (r *Runtime) noteSuccess(e *hfEntry) {
+	if !r.armed || e == nil || e.health == HealthQuarantined {
+		return
+	}
+	e.consecFails = 0
+	e.health = HealthHealthy
+}
+
+// quarantine moves the accelerator to Quarantined and starts the
+// background recovery: a PR reload of its region through ICAP. Cold path;
+// the closure allocation is fine here.
+func (r *Runtime) quarantine(e *hfEntry) {
+	e.health = HealthQuarantined
+	e.quarantines++
+	if e.reloading {
+		return
+	}
+	dev := r.cfg.FPGAs[e.fpgaIdx].Device
+	e.reloading = true
+	if err := dev.Reload(e.regionIdx, func() { r.reloaded(e) }); err != nil {
+		// Device gone or region unusable: stay quarantined for good — the
+		// fallback (or unprocessed delivery) carries the traffic from
+		// here on. Reload flushed nothing, so there is nothing to leak.
+		e.reloading = false
+	}
+}
+
+// reloaded completes a recovery: replay the recorded configuration into
+// the fresh module instance and return the accelerator to service.
+func (r *Runtime) reloaded(e *hfEntry) {
+	e.reloading = false
+	e.reloads++
+	dev := r.cfg.FPGAs[e.fpgaIdx].Device
+	for _, blob := range e.cfgBlobs {
+		// A blob the module accepted once and rejects now would be a
+		// module bug; traffic failures would re-quarantine, so recovery
+		// stays safe either way.
+		_ = dev.Configure(e.regionIdx, blob)
+	}
+	e.consecFails = 0
+	e.health = HealthHealthy
+}
+
+// forceRecover is the watchdog's hard-deadline action against an
+// accelerator holding batches past any reasonable completion time:
+// quarantine it (which reloads the region, flushing withheld
+// completions), or — if quarantine already failed to reload — reset the
+// region directly so parked batches still flush.
+func (r *Runtime) forceRecover(e *hfEntry) {
+	if !r.armed || e == nil {
+		return
+	}
+	if e.health != HealthQuarantined {
+		e.faults++
+		r.quarantine(e)
+		return
+	}
+	if !e.reloading {
+		_ = r.cfg.FPGAs[e.fpgaIdx].Device.ResetRegion(e.regionIdx)
+	}
+}

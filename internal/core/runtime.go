@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/pcie"
@@ -102,6 +103,34 @@ type Config struct {
 	// IBQ packets (TX) or DMA completions (RX) one poll claims. Zero
 	// selects 64, the rte_eth_rx_burst convention.
 	Burst int
+
+	// Faults is the shared fault-injection plan. Setting it (or a nonzero
+	// WatchdogTimeout) arms the detection/recovery machinery: the batch
+	// watchdog, the per-accelerator health state machine, and graceful
+	// degradation to registered software fallbacks. Nil leaves the
+	// fault-free hot path exactly as before — no watch-list bookkeeping,
+	// no health accounting, zero allocations.
+	Faults *faultinject.Plan
+	// WatchdogTimeout is the RX engine's per-batch soft deadline, on the
+	// simulation clock, measured from H2C post to completion-ring
+	// delivery. A batch past its deadline counts one WatchdogTimeout and
+	// one health fault; a batch past deadline + 3x timeout forces the
+	// accelerator's quarantine (and, if already quarantined, a region
+	// reset) so withheld completions flush. Zero with Faults set derives
+	// 250us — an order of magnitude above the perf model's worst
+	// DMA+module round trip at 6 KB batches.
+	WatchdogTimeout eventsim.Time
+	// MaxDMARetries bounds re-posts of a transfer failed with
+	// pcie.ErrTransferFault. Zero selects 2.
+	MaxDMARetries int
+	// RetryBackoff is the first retry's delay; each further retry doubles
+	// it. Zero selects 2us.
+	RetryBackoff eventsim.Time
+	// DegradeAfter and QuarantineAfter are the health FSM thresholds:
+	// consecutive batch failures to move an accelerator Healthy→Degraded
+	// and →Quarantined. Zero selects 2 and 5.
+	DegradeAfter    int
+	QuarantineAfter int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -141,6 +170,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Burst < 0 {
 		return c, fmt.Errorf("%w: burst %d", ErrBadBatchConfig, c.Burst)
 	}
+	if c.WatchdogTimeout == 0 && c.Faults != nil {
+		c.WatchdogTimeout = 250 * eventsim.Microsecond
+	}
+	if c.MaxDMARetries == 0 {
+		c.MaxDMARetries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * eventsim.Microsecond
+	}
+	if c.DegradeAfter == 0 {
+		c.DegradeAfter = 2
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 5
+	}
 	return c, nil
 }
 
@@ -153,7 +197,22 @@ type hfEntry struct {
 	fpgaIdx   int
 	regionIdx int
 	ready     bool
+	spec      fpga.ModuleSpec
 	pendingCf [][]byte // AccConfigure blobs queued while PR is in flight
+
+	// cfgBlobs records every applied AccConfigure blob so recovery can
+	// replay them: into the fresh module after a PR reload, and into a
+	// software fallback at registration so it is functionally equivalent.
+	cfgBlobs [][]byte
+
+	// Health FSM state (active only when the runtime is armed).
+	health      Health
+	consecFails int
+	faults      uint64 // lifetime batch failures attributed to this acc
+	quarantines uint64
+	reloads     uint64
+	reloading   bool
+	fallback    fpga.Module
 }
 
 // nfEntry is the Controller's per-NF state.
@@ -182,6 +241,11 @@ type Runtime struct {
 	ibqs   []*ring.Ring[*mbuf.Mbuf]
 	nodeTx []*txEngine
 	nodeRx []*rxEngine
+	pools  []*mbuf.Pool // per-node pool recorded by AttachCores
+
+	// armed caches whether the fault detection/recovery machinery is on
+	// (Config.Faults set or WatchdogTimeout > 0).
+	armed bool
 }
 
 type hfKey struct {
@@ -205,6 +269,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		hfByAcc: make(map[AccID]*hfEntry),
 		nodeTx:  make([]*txEngine, cfg.Nodes),
 		nodeRx:  make([]*rxEngine, cfg.Nodes),
+		pools:   make([]*mbuf.Pool, cfg.Nodes),
+		armed:   cfg.Faults != nil || cfg.WatchdogTimeout > 0,
 	}
 	for node := 0; node < cfg.Nodes; node++ {
 		ibq, rerr := ring.New[*mbuf.Mbuf](fmt.Sprintf("ibq-node%d", node),
@@ -268,17 +334,31 @@ func (r *Runtime) Register(name string, node int) (NFID, error) {
 	return NFID(len(r.nfs)), nil
 }
 
-// Unregister removes an NF. Its OBQ is drained (mbufs freed by the caller
-// owning the pool is not possible here, so entries are simply dropped for
-// the distributor to skip) and any data still in flight for it is
-// discarded on return — the isolation guarantee that a departing NF cannot
-// receive another NF's packets, nor leak its own to a successor nf_id.
+// Unregister removes an NF. Packets already parked on its OBQ are freed
+// back to the node's pool immediately, and packets still in flight return
+// through the Distributor's closed-NF path (counted DropNFClosed) as each
+// batch completes — nothing is stranded, and the isolation guarantee
+// holds: a departing NF cannot receive another NF's packets, nor leak its
+// own to a successor nf_id.
 func (r *Runtime) Unregister(id NFID) error {
 	nf, err := r.nf(id)
 	if err != nil {
 		return err
 	}
 	nf.closed = true
+	if pool := r.pools[nf.node]; pool != nil {
+		var burst [64]*mbuf.Mbuf
+		for {
+			n := nf.obq.DequeueBurst(burst[:])
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				_ = pool.Free(burst[i])
+				burst[i] = nil
+			}
+		}
+	}
 	return nil
 }
 
@@ -345,7 +425,7 @@ func (r *Runtime) LoadPR(name string, node int) (AccID, error) {
 }
 
 func (r *Runtime) tryLoad(fpgaIdx int, spec fpga.ModuleSpec) (*hfEntry, error) {
-	e := &hfEntry{fpgaIdx: fpgaIdx}
+	e := &hfEntry{fpgaIdx: fpgaIdx, spec: spec, health: HealthHealthy}
 	dev := r.cfg.FPGAs[fpgaIdx].Device
 	regionIdx, err := dev.LoadPR(spec, func(int) {
 		e.ready = true
@@ -372,13 +452,26 @@ func (r *Runtime) AccConfigure(acc AccID, params []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
 	}
+	cp := make([]byte, len(params))
+	copy(cp, params)
 	if !e.ready {
-		cp := make([]byte, len(params))
-		copy(cp, params)
 		e.pendingCf = append(e.pendingCf, cp)
+		e.cfgBlobs = append(e.cfgBlobs, cp)
 		return nil
 	}
-	return r.cfg.FPGAs[e.fpgaIdx].Device.Configure(e.regionIdx, params)
+	if err := r.cfg.FPGAs[e.fpgaIdx].Device.Configure(e.regionIdx, params); err != nil {
+		return err
+	}
+	// Record for recovery replay (PR reload, fallback) only once the
+	// module has accepted the blob, and mirror it into a registered
+	// fallback so both implementations stay configured identically.
+	e.cfgBlobs = append(e.cfgBlobs, cp)
+	if e.fallback != nil {
+		if err := e.fallback.Configure(cp); err != nil {
+			return fmt.Errorf("core: fallback for %q rejected config: %w", e.name, err)
+		}
+	}
+	return nil
 }
 
 // SharedIBQ implements DHL_get_shared_IBQ(): the per-NUMA-node
@@ -449,6 +542,9 @@ func (r *Runtime) HFTable() []string {
 		state := "loading"
 		if e.ready {
 			state = "ready"
+		}
+		if r.armed && e.health != HealthHealthy {
+			state += "/" + e.health.String()
 		}
 		rows = append(rows, fmt.Sprintf("hf=%-18s s.id=%d a.id=%d f.id=%d region=%d (%s)",
 			e.name, e.node, e.accID, e.fpgaIdx, e.regionIdx, state))

@@ -13,6 +13,14 @@ import (
 
 // TransferStats are the data transfer layer's lifetime counters for one
 // NUMA node's TX/RX core pair.
+//
+// The Drop* fields break packet drops down by attributable reason; their
+// sum plus PktsDistributed accounts for every packet the Packer accepted,
+// so chaos tests can assert conservation:
+//
+//	IBQDrained == PktsPacked + StagingDrops
+//	PktsPacked == PktsDistributed + DropFault + DropCorrupt + DropMismatch + DropNoRoute
+//	PktsDistributed == OBQ-delivered + DropUnknownNF + DropNFClosed + DropOBQFull
 type TransferStats struct {
 	PktsPacked      uint64
 	BatchesSent     uint64
@@ -28,6 +36,42 @@ type TransferStats struct {
 	// encoded into a batch segment: oversized records, or staging for a
 	// still-reconfiguring region outgrowing its fixed segment.
 	StagingDrops uint64
+
+	// DMARetries counts transient transfer-fault re-posts; DMARetryGiveUps
+	// counts batches that exhausted the retry budget and failed.
+	DMARetries      uint64
+	DMARetryGiveUps uint64
+	// CompletionStalls counts injected completion-ring delivery stalls.
+	CompletionStalls uint64
+	// WatchdogTimeouts counts batches that missed their soft completion
+	// deadline; ForcedQuarantines counts hard-deadline recovery actions.
+	WatchdogTimeouts  uint64
+	ForcedQuarantines uint64
+	// CorruptBatches counts response batches whose framing failed to
+	// decode (DMA corruption, module garbage, SEU damage).
+	CorruptBatches uint64
+	// FallbackBatches / UnprocessedBatches count batches rerouted away
+	// from a quarantined accelerator; PktsFallback / PktsUnprocessed count
+	// the packets delivered from them (stamped with the matching
+	// mbuf.Status).
+	FallbackBatches    uint64
+	UnprocessedBatches uint64
+	PktsFallback       uint64
+	PktsUnprocessed    uint64
+
+	// Packet drops by reason. DropFault: the batch's DMA/dispatch chain
+	// failed. DropNoRoute: no routable accelerator (unknown acc_id, or
+	// staged work torn down by StopCores). DropCorrupt: record lost to a
+	// corrupt response batch. DropMismatch: record withheld because its
+	// nf_id did not match the original (isolation). DropUnknownNF /
+	// DropNFClosed / DropOBQFull: delivery-side drops at the OBQ.
+	DropFault     uint64
+	DropNoRoute   uint64
+	DropCorrupt   uint64
+	DropMismatch  uint64
+	DropUnknownNF uint64
+	DropNFClosed  uint64
+	DropOBQFull   uint64
 }
 
 // accState is the Packer's per-accelerator staging area plus the adaptive
@@ -62,6 +106,14 @@ type txEngine struct {
 	sends    []*inflight
 	ibFree   []*inflight
 	commitFn func()
+
+	// stopped flips when StopCores tears the pair down: completions that
+	// arrive afterwards are counted and failed instead of enqueued onto a
+	// ring nobody drains. watchdog caches Config.WatchdogTimeout (zero
+	// when the runtime is unarmed) so commit can skip the watch-list
+	// bookkeeping entirely on the fault-free path.
+	stopped  bool
+	watchdog eventsim.Time
 }
 
 // rxEngine is one node's RX poll core: DMA completion polling +
@@ -78,6 +130,17 @@ type rxEngine struct {
 	// reused across polls; commitFn is bound once like txEngine's.
 	pending  []*inflight
 	commitFn func()
+
+	// Batch watchdog (armed runtimes only): every committed inflight is
+	// watched from DMA post until release; a periodic timer sweeps for
+	// deadline misses. The watchdog only observes and escalates — it
+	// never releases an inflight itself, so a late completion can still
+	// arrive safely (no ABA on recycled objects).
+	watch     []*inflight
+	wdScratch []*inflight
+	wdTimer   *eventsim.Timer
+	wdPeriod  eventsim.Time
+	timeout   eventsim.Time
 }
 
 // AttachCores binds a TX and an RX poll core to a NUMA node and starts the
@@ -112,8 +175,15 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 	}
 	tx.commitFn = tx.commit
 	tx.loop = eventsim.NewPollLoop(r.sim, txCore, perf.PollIdleCycles, tx.body)
+	if r.armed && r.cfg.WatchdogTimeout > 0 {
+		tx.watchdog = r.cfg.WatchdogTimeout
+		rx.timeout = r.cfg.WatchdogTimeout
+		rx.wdPeriod = max(r.cfg.WatchdogTimeout/2, eventsim.Microsecond)
+		rx.wdTimer = r.sim.NewTimer(rx.watchdogFire)
+	}
 	r.nodeTx[node] = tx
 	r.nodeRx[node] = rx
+	r.pools[node] = pool
 	tx.loop.Start()
 	rx.loop.Start()
 	return nil
@@ -129,19 +199,70 @@ func (r *Runtime) Stats(node int) (TransferStats, error) {
 	s.PktsDistributed = rxs.PktsDistributed
 	s.NFIDMismatches = rxs.NFIDMismatches
 	s.CompletionDrops = rxs.CompletionDrops
+	s.WatchdogTimeouts = rxs.WatchdogTimeouts
+	s.ForcedQuarantines = rxs.ForcedQuarantines
+	s.CorruptBatches = rxs.CorruptBatches
+	s.PktsFallback = rxs.PktsFallback
+	s.PktsUnprocessed = rxs.PktsUnprocessed
+	s.DropCorrupt = rxs.DropCorrupt
+	s.DropMismatch = rxs.DropMismatch
+	s.DropUnknownNF = rxs.DropUnknownNF
+	s.DropNFClosed = rxs.DropNFClosed
+	s.DropOBQFull = rxs.DropOBQFull
 	return s, nil
 }
 
-// StopCores halts both poll loops (used by tests that re-wire a testbed).
+// StopCores halts both poll loops and reclaims the transfer layer's
+// buffered work: staged (never-sent) packets are freed as DropNoRoute,
+// completions already on the ring are failed so their buffers return, and
+// the watchdog timer is disarmed. In-flight DMA/dispatch completions that
+// fire after the stop are counted as CompletionDrops and failed by
+// c2hDone. The shared IBQ is deliberately left intact — its packets are
+// still owned by the producers' flow-control loop, and a restarted
+// transfer layer (tests re-wire testbeds) would drain them.
 func (r *Runtime) StopCores(node int) {
 	if node < 0 || node >= r.cfg.Nodes {
 		return
 	}
-	if r.nodeTx[node] != nil {
-		r.nodeTx[node].loop.Stop()
+	tx := r.nodeTx[node]
+	rx := r.nodeRx[node]
+	if rx != nil {
+		rx.loop.Stop()
+		if rx.wdTimer != nil {
+			rx.wdTimer.Stop()
+		}
 	}
-	if r.nodeRx[node] != nil {
-		r.nodeRx[node].loop.Stop()
+	if tx == nil {
+		return
+	}
+	tx.loop.Stop()
+	tx.stopped = true
+	for _, acc := range tx.order {
+		st := tx.staging[acc]
+		for i, m := range st.mbufs {
+			tx.stats.DropNoRoute++
+			_ = tx.pool.Free(m)
+			st.mbufs[i] = nil
+		}
+		st.mbufs = st.mbufs[:0]
+		if st.buf != nil {
+			tx.arena.ret(st.buf)
+			st.buf = nil
+		}
+	}
+	if rx != nil {
+		var burst [64]*inflight
+		for {
+			n := rx.completions.DequeueBurst(burst[:])
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				rx.stats.CompletionDrops++
+				burst[i].fail()
+				burst[i] = nil
+			}
+		}
 	}
 }
 
@@ -241,12 +362,17 @@ func (t *txEngine) pendingCommit() func() {
 	return t.commitFn
 }
 
-// commit posts the iteration's staged batches to the DMA engines.
+// commit posts the iteration's staged batches to the DMA engines,
+// registering each with the RX watchdog first so the watch covers the
+// whole post-to-completion window.
 //
 //dhl:hotpath
 func (t *txEngine) commit() {
 	for i, ib := range t.sends {
 		t.sends[i] = nil
+		if t.watchdog > 0 {
+			t.r.nodeRx[t.node].watchAdd(ib)
+		}
 		ib.send()
 	}
 	t.sends = t.sends[:0]
@@ -259,12 +385,18 @@ func (t *txEngine) commit() {
 // slice move into the inflight; the staging area keeps the recycled
 // (empty) mbuf slice so neither side reallocates.
 //
+// Graceful degradation routes here: a quarantined accelerator's batches
+// go to the registered software fallback (or straight back to the NF,
+// unprocessed) instead of to the board; a shut-down device is treated as
+// permanently quarantined so its traffic is never stranded.
+//
 //dhl:hotpath
 func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 	e, ok := t.r.hfByAcc[acc]
 	if !ok || len(st.mbufs) == 0 {
 		// Unknown acc_id: nothing routable; drop the staged packets and
 		// return the segment.
+		t.stats.DropNoRoute += uint64(len(st.mbufs))
 		for i, m := range st.mbufs {
 			_ = t.pool.Free(m)
 			st.mbufs[i] = nil
@@ -274,7 +406,12 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 		st.buf = nil
 		return nil
 	}
-	if !e.ready {
+	att := &t.r.cfg.FPGAs[e.fpgaIdx]
+	quarantined := t.r.armed && e.health == HealthQuarantined
+	if att.Device.IsShutdown() {
+		quarantined = true
+	}
+	if !quarantined && !e.ready {
 		return nil // hold until partial reconfiguration completes
 	}
 
@@ -297,10 +434,20 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 	ib.buf, st.buf = st.buf, nil
 	ib.meta, st.mbufs = st.mbufs, ib.meta
 
-	att := &t.r.cfg.FPGAs[e.fpgaIdx]
+	ib.hf = e
 	ib.dma = att.DMA
 	ib.dev = att.Device
 	ib.regionIdx = e.regionIdx
+	if quarantined {
+		if e.fallback != nil {
+			ib.mode = modeFallback
+			t.stats.FallbackBatches++
+		} else {
+			ib.mode = modeUnprocessed
+			t.stats.UnprocessedBatches++
+		}
+		return ib
+	}
 	t.stats.BatchesSent++
 	t.stats.BytesSent += uint64(len(ib.buf))
 	return ib
@@ -336,14 +483,91 @@ func (x *rxEngine) commit() {
 	x.pending = x.pending[:0]
 }
 
+// --- Batch watchdog ----------------------------------------------------
+
+// watchAdd registers a committed inflight with the deadline watchdog.
+// Cold relative to the fault-free path: only armed runtimes call it.
+func (x *rxEngine) watchAdd(ib *inflight) {
+	ib.deadline = x.r.sim.Now() + x.timeout
+	ib.overdue = false
+	ib.watchIdx = len(x.watch)
+	x.watch = append(x.watch, ib)
+	if !x.wdTimer.Armed() {
+		x.wdTimer.Reset(x.wdPeriod)
+	}
+}
+
+// watchRemove takes an inflight off the watch list (swap-remove by its
+// stored index). releaseInflight calls it on every exit path, so an
+// entry leaves the list exactly when its buffers are reclaimed.
+func (x *rxEngine) watchRemove(ib *inflight) {
+	i := ib.watchIdx
+	ib.watchIdx = -1
+	if i < 0 || i >= len(x.watch) || x.watch[i] != ib {
+		return
+	}
+	last := len(x.watch) - 1
+	x.watch[i] = x.watch[last]
+	x.watch[i].watchIdx = i
+	x.watch[last] = nil
+	x.watch = x.watch[:last]
+}
+
+// watchdogFire sweeps the watch list for overdue batches. A soft-deadline
+// miss is counted once per batch and attributed as a health fault; a
+// batch still outstanding at deadline + 3x timeout forces recovery
+// (quarantine + PR reload, or a region reset if quarantine is already in
+// progress), which flushes completions a hung module withheld. The sweep
+// works over a snapshot because fault attribution can release inflights
+// mid-scan — each entry is revalidated by identity before use. The
+// watchdog never releases an inflight itself: the completion path owns
+// the buffers, late completions included.
+func (x *rxEngine) watchdogFire() {
+	now := x.r.sim.Now()
+	x.wdScratch = append(x.wdScratch[:0], x.watch...)
+	for i, ib := range x.wdScratch {
+		x.wdScratch[i] = nil
+		if ib.watchIdx < 0 || ib.watchIdx >= len(x.watch) || x.watch[ib.watchIdx] != ib {
+			continue // released (and possibly recycled) during this sweep
+		}
+		if now < ib.deadline {
+			continue
+		}
+		if !ib.overdue {
+			ib.overdue = true
+			x.stats.WatchdogTimeouts++
+			x.r.noteFault(ib.hf)
+		}
+		if now >= ib.deadline+3*x.timeout {
+			x.stats.ForcedQuarantines++
+			x.r.forceRecover(ib.hf)
+			// Re-escalate only if the batch is still stuck a full hard
+			// window later.
+			ib.deadline = now
+		}
+	}
+	if len(x.watch) > 0 {
+		x.wdTimer.Reset(x.wdPeriod)
+	}
+}
+
 // distribute is the Distributor (§IV-A3): it decapsulates the returned
 // batch and routes each record to the owning NF's private OBQ by nf_id,
 // then releases the inflight — returning both arena segments — once the
-// decode is done.
+// decode is done. Fallback and unprocessed batches flow through the same
+// decode; their packets are stamped with the matching mbuf.Status so NFs
+// can tell degraded results from accelerator output.
 //
 //dhl:hotpath
 func (x *rxEngine) distribute(cb *inflight) {
 	pool := cb.t.pool
+	var status mbuf.Status
+	switch cb.mode {
+	case modeFallback:
+		status = mbuf.StatusFallback
+	case modeUnprocessed:
+		status = mbuf.StatusUnprocessed
+	}
 	var cur dhlproto.Cursor
 	cur.SetBatch(cb.out)
 	var rec dhlproto.Record
@@ -369,23 +593,39 @@ func (x *rxEngine) distribute(cb *inflight) {
 		if rec.NFID != m.NFID {
 			// Isolation violation: never deliver another NF's data.
 			x.stats.NFIDMismatches++
+			x.stats.DropMismatch++
 			_ = pool.Free(m)
 			continue
 		}
 		// Overwrite the original mbuf with the post-processed payload.
 		if err := m.SetLen(len(rec.Payload)); err != nil {
+			x.stats.DropCorrupt++
 			_ = pool.Free(m)
 			continue
 		}
 		copy(m.Data(), rec.Payload)
+		m.Status = status
 		x.deliver(NFID(rec.NFID), m, pool)
 		x.stats.PktsDistributed++
+		switch status {
+		case mbuf.StatusFallback:
+			x.stats.PktsFallback++
+		case mbuf.StatusUnprocessed:
+			x.stats.PktsUnprocessed++
+		}
 	}
 	if corrupt {
 		// Remaining originals cannot be matched; free them.
+		x.stats.CorruptBatches++
+		x.stats.DropCorrupt += uint64(len(cb.meta) - i)
 		for ; i < len(cb.meta); i++ {
 			_ = pool.Free(cb.meta[i])
 		}
+		if cb.mode == modeFPGA {
+			x.r.noteFault(cb.hf)
+		}
+	} else if cb.mode == modeFPGA {
+		x.r.noteSuccess(cb.hf)
 	}
 	cb.t.releaseInflight(cb)
 }
@@ -393,11 +633,13 @@ func (x *rxEngine) distribute(cb *inflight) {
 //dhl:hotpath
 func (x *rxEngine) deliver(id NFID, m *mbuf.Mbuf, pool *mbuf.Pool) {
 	if id == 0 || int(id) > len(x.r.nfs) {
+		x.stats.DropUnknownNF++
 		_ = pool.Free(m)
 		return
 	}
 	nf := x.r.nfs[id-1]
 	if nf.closed {
+		x.stats.DropNFClosed++
 		_ = pool.Free(m)
 		return
 	}
@@ -406,5 +648,6 @@ func (x *rxEngine) deliver(id NFID, m *mbuf.Mbuf, pool *mbuf.Pool) {
 		return
 	}
 	nf.obqDrops++
+	x.stats.DropOBQFull++
 	_ = pool.Free(m)
 }

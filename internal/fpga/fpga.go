@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 )
 
@@ -30,6 +31,12 @@ var (
 	ErrBadSpec        = errors.New("fpga: invalid module spec")
 	ErrReconfiguring  = errors.New("fpga: region is reconfiguring")
 	ErrDeviceShutdown = errors.New("fpga: device is shut down")
+	// ErrModuleFault reports an injected module-logic fault: the batch
+	// reached the region but produced no usable response.
+	ErrModuleFault = errors.New("fpga: module fault")
+	// ErrModuleHang is delivered to the withheld completions of a hung
+	// region when the region is reset, reloaded or the device shuts down.
+	ErrModuleHang = errors.New("fpga: module hang (batch flushed by region reset)")
 )
 
 // Module is the functional behaviour of an accelerator module. The
@@ -116,10 +123,28 @@ type Region struct {
 	// top of it.
 	freeAt eventsim.Time
 
+	// seu marks an injected single-event upset in the region's
+	// configuration memory: every batch is garbled until the region is
+	// re-programmed (Reload clears it; a soft ResetRegion does not, since
+	// the corruption lives in the configuration bits).
+	seu bool
+	// hung parks the dispatch contexts of batches whose completion an
+	// injected module hang withheld. They are flushed — completing
+	// exactly once, with ErrModuleHang — by ResetRegion, Reload, Unload
+	// or Shutdown, so the transfer layer's buffers are never stranded.
+	hung []*dispatchCtx
+
 	batches uint64
 	bytes   uint64
 	busyPs  eventsim.Time
 }
+
+// SEU reports whether the region's configuration memory carries an
+// un-repaired injected upset.
+func (r *Region) SEU() bool { return r.seu }
+
+// Hung reports the number of batches parked by injected module hangs.
+func (r *Region) Hung() int { return len(r.hung) }
 
 // Index reports the region's floorplan slot.
 func (r *Region) Index() int { return r.idx }
@@ -149,6 +174,10 @@ type Config struct {
 	ClockHz float64
 	// ICAPBytesPerSec defaults to the calibrated ICAP bandwidth.
 	ICAPBytesPerSec float64
+	// Faults is the shared fault-injection plan; nil disables injection.
+	// The module kinds (ModuleError/Garbage/Hang, RegionSEU) are drawn in
+	// Dispatch, once per batch, mutually exclusive per draw site.
+	Faults *faultinject.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -187,11 +216,41 @@ type Device struct {
 
 	dispatched uint64
 	dropped    uint64
+	reloads    uint64
+	shutdown   bool
+	fstats     FaultStats
 
 	// ctxFree recycles dispatch contexts so Dispatch schedules module
 	// completion without allocating a closure per batch.
 	ctxFree []*dispatchCtx
 }
+
+// FaultStats are the device's lifetime injected-fault observations; the
+// chaos soak reconciles them against the plan's injected counters.
+type FaultStats struct {
+	// ModuleErrors counts batches completed with ErrModuleFault.
+	ModuleErrors uint64
+	// GarbageBatches counts batches whose output framing was garbled by
+	// an injected ModuleGarbage fault.
+	GarbageBatches uint64
+	// Hangs counts injected module hangs (batches parked on a region).
+	Hangs uint64
+	// SEUs counts injected configuration upsets.
+	SEUs uint64
+	// SEUGarbage counts batches garbled because they ran through a
+	// region with an un-repaired SEU (>= SEUs; downstream damage, not
+	// separate injections).
+	SEUGarbage uint64
+	// HungFlushed counts parked batches flushed with ErrModuleHang. Once
+	// recovery has run, HungFlushed == Hangs.
+	HungFlushed uint64
+}
+
+// FaultCounters reports the device's injected-fault observations.
+func (d *Device) FaultCounters() FaultStats { return d.fstats }
+
+// Reloads reports how many PR reloads (recovery re-programs) completed.
+func (d *Device) Reloads() uint64 { return d.reloads }
 
 // dispatchCtx carries one in-flight batch from Dispatch to its completion
 // event. runFn is bound once at construction; the context returns to the
@@ -204,15 +263,32 @@ type dispatchCtx struct {
 	dst    []byte
 	done   func(out []byte, err error)
 	runFn  func()
+
+	// fault, when set, completes the batch with this error instead of
+	// running the module; garbage runs the module but garbles its output
+	// framing. Both are injected by Dispatch's fault draws.
+	fault   error
+	garbage bool
 }
 
 func (c *dispatchCtx) run() {
 	d, module, batch, dst, done := c.d, c.module, c.batch, c.dst, c.done
+	fault, garbage := c.fault, c.garbage
 	c.module, c.batch, c.dst, c.done = nil, nil, nil, nil
+	c.fault, c.garbage = nil, false
 	d.ctxFree = append(d.ctxFree, c)
+	if fault != nil {
+		d.dropped++
+		if done != nil {
+			done(nil, fault)
+		}
+		return
+	}
 	out, perr := module.ProcessBatch(dst, batch)
 	if perr != nil {
 		d.dropped++
+	} else if garbage {
+		faultinject.CorruptBatchHeader(out)
 	}
 	if done != nil {
 		done(out, perr)
@@ -295,12 +371,117 @@ func (d *Device) PRTime(bitstreamBytes int) eventsim.Time {
 	return eventsim.Time(float64(bitstreamBytes) / d.cfg.ICAPBytesPerSec * 1e12)
 }
 
+// Shutdown marks the device dead: every subsequent LoadPR, Reload,
+// Configure, Unload or Dispatch returns ErrDeviceShutdown, in-flight
+// ICAP writes are abandoned (their regions stay inert in
+// RegionReconfiguring and their completion callbacks never run), and
+// batches parked by injected hangs are flushed to their completion
+// callbacks with ErrModuleHang so no transfer-layer buffer is stranded.
+// Batches already scheduled on a module pipeline still complete — the
+// data had left the host before the power went.
+func (d *Device) Shutdown() {
+	if d.shutdown {
+		return
+	}
+	d.shutdown = true
+	for i := range d.regions {
+		d.flushHung(&d.regions[i])
+	}
+}
+
+// IsShutdown reports whether Shutdown has been called.
+func (d *Device) IsShutdown() bool { return d.shutdown }
+
+// flushHung completes every parked batch of r exactly once with
+// ErrModuleHang, recycling the contexts first so a completion that
+// re-dispatches reuses the hottest object.
+func (d *Device) flushHung(r *Region) {
+	for len(r.hung) > 0 {
+		n := len(r.hung)
+		c := r.hung[n-1]
+		r.hung[n-1] = nil
+		r.hung = r.hung[:n-1]
+		done := c.done
+		c.module, c.batch, c.dst, c.done = nil, nil, nil, nil
+		c.fault, c.garbage = nil, false
+		d.ctxFree = append(d.ctxFree, c)
+		d.fstats.HungFlushed++
+		d.dropped++
+		if done != nil {
+			done(nil, ErrModuleHang)
+		}
+	}
+}
+
+// ResetRegion is the soft recovery path: it flushes batches parked by a
+// hang (each completes with ErrModuleHang) and clears the ingress
+// pipeline, without a PR cycle. The module instance — and any SEU in the
+// configuration memory — survives; persistent corruption needs Reload.
+// ResetRegion works even on a shut-down device so callers can always
+// reclaim parked buffers.
+func (d *Device) ResetRegion(regionIdx int) error {
+	r, err := d.Region(regionIdx)
+	if err != nil {
+		return err
+	}
+	d.flushHung(r)
+	if r.freeAt > d.sim.Now() {
+		r.freeAt = d.sim.Now()
+	}
+	return nil
+}
+
+// Reload re-programs a loaded region with its own spec through ICAP — the
+// recovery path for persistent module faults (the runtime quarantines the
+// accelerator, reloads in the background, then replays its recorded
+// configuration). Parked batches are flushed with ErrModuleHang, the
+// fresh configuration write clears any SEU, and done (optionally nil)
+// runs when the region is back up with a fresh module instance. Unlike
+// LoadPR the region's resources stay reserved: it never becomes free for
+// other specs mid-recovery.
+func (d *Device) Reload(regionIdx int, done func()) error {
+	if d.shutdown {
+		return ErrDeviceShutdown
+	}
+	r, err := d.Region(regionIdx)
+	if err != nil {
+		return err
+	}
+	switch r.state {
+	case RegionReconfiguring:
+		return ErrReconfiguring
+	case RegionEmpty:
+		return ErrNotLoaded
+	}
+	d.flushHung(r)
+	spec := r.spec
+	r.state = RegionReconfiguring
+	r.module = nil
+	d.sim.After(d.PRTime(spec.BitstreamBytes), func() {
+		if d.shutdown {
+			return // abandoned mid-ICAP; the region stays inert
+		}
+		r.module = spec.New()
+		r.state = RegionLoaded
+		r.seu = false
+		r.freeAt = d.sim.Now()
+		d.reloads++
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
 // LoadPR starts partial reconfiguration of a free region with spec and
 // invokes done (optionally nil) with the region index when the ICAP write
 // completes. Running modules in other regions are untouched — the paper's
 // §V-E "no throughput degradation of the running NF" property holds by
 // construction, since only the targeted Region's state changes.
 func (d *Device) LoadPR(spec ModuleSpec, done func(regionIdx int)) (int, error) {
+	if d.shutdown {
+		return -1, ErrDeviceShutdown
+	}
 	if err := spec.validate(); err != nil {
 		return -1, err
 	}
@@ -324,6 +505,9 @@ func (d *Device) LoadPR(spec ModuleSpec, done func(regionIdx int)) (int, error) 
 	d.usedLUTs += spec.LUTs
 	d.usedBRAM += spec.BRAM
 	d.sim.After(d.PRTime(spec.BitstreamBytes), func() {
+		if d.shutdown {
+			return // abandoned mid-ICAP; the region stays inert
+		}
 		r.module = spec.New()
 		r.state = RegionLoaded
 		r.freeAt = d.sim.Now()
@@ -335,7 +519,11 @@ func (d *Device) LoadPR(spec ModuleSpec, done func(regionIdx int)) (int, error) 
 }
 
 // Unload frees a loaded region, returning its resources to the pool.
+// Batches parked by a hang are flushed with ErrModuleHang first.
 func (d *Device) Unload(regionIdx int) error {
+	if d.shutdown {
+		return ErrDeviceShutdown
+	}
 	r, err := d.Region(regionIdx)
 	if err != nil {
 		return err
@@ -346,17 +534,22 @@ func (d *Device) Unload(regionIdx int) error {
 	case RegionEmpty:
 		return ErrNotLoaded
 	}
+	d.flushHung(r)
 	d.usedLUTs -= r.spec.LUTs
 	d.usedBRAM -= r.spec.BRAM
 	r.state = RegionEmpty
 	r.spec = ModuleSpec{}
 	r.module = nil
+	r.seu = false
 	return nil
 }
 
 // Configure forwards an NF parameter blob to a loaded region's module via
 // the static Config module (Figure 2's "Config" block).
 func (d *Device) Configure(regionIdx int, params []byte) error {
+	if d.shutdown {
+		return ErrDeviceShutdown
+	}
 	r, err := d.Region(regionIdx)
 	if err != nil {
 		return err
@@ -381,6 +574,9 @@ func (d *Device) Configure(regionIdx int, params []byte) error {
 //
 //dhl:hotpath
 func (d *Device) Dispatch(regionIdx int, batch, dst []byte, done func(out []byte, err error)) (eventsim.Time, error) {
+	if d.shutdown {
+		return 0, ErrDeviceShutdown
+	}
 	r, err := d.Region(regionIdx)
 	if err != nil {
 		return 0, err
@@ -404,6 +600,30 @@ func (d *Device) Dispatch(regionIdx int, batch, dst []byte, done func(out []byte
 	complete := r.freeAt + delay
 	ctx := d.getCtx()
 	ctx.module, ctx.batch, ctx.dst, ctx.done = r.module, batch, dst, done
+	// Fault draws, mutually exclusive per batch so every injection has
+	// one unambiguous observable: an un-repaired SEU garbles everything
+	// it touches; otherwise at most one of hang/error/garbage strikes.
+	if f := d.cfg.Faults; f != nil {
+		if r.seu {
+			ctx.garbage = true
+			d.fstats.SEUGarbage++
+		} else if f.Fire(faultinject.RegionSEU) {
+			r.seu = true
+			d.fstats.SEUs++
+			ctx.garbage = true
+			d.fstats.SEUGarbage++
+		} else if f.Fire(faultinject.ModuleHang) {
+			d.fstats.Hangs++
+			r.hung = append(r.hung, ctx)
+			return complete, nil // completion withheld until region reset
+		} else if f.Fire(faultinject.ModuleError) {
+			d.fstats.ModuleErrors++
+			ctx.fault = ErrModuleFault
+		} else if f.Fire(faultinject.ModuleGarbage) {
+			d.fstats.GarbageBatches++
+			ctx.garbage = true
+		}
+	}
 	d.sim.At(complete, ctx.runFn)
 	return complete, nil
 }

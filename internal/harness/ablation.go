@@ -156,12 +156,12 @@ func streamLoopback(sim *eventsim.Sim, dev deviceDispatcher, dma *pcie.Engine, r
 	launch = func() {
 		for inflight < 16 {
 			inflight++
-			if _, err := dma.Transfer(pcie.H2C, size, func() {
+			if _, _, err := dma.Transfer(pcie.H2C, size, func() {
 				_, _ = dev.Dispatch(region, payload, nil, func(out []byte, merr error) {
 					if merr != nil {
 						return
 					}
-					_, _ = dma.Transfer(pcie.C2H, size, func() {
+					_, _, _ = dma.Transfer(pcie.C2H, size, func() {
 						completed += uint64(size)
 						inflight--
 						if sim.Now() < horizon {

@@ -101,12 +101,12 @@ func RunDMALoopback(variant DMAVariant, size int) (DMAResult, error) {
 		}
 		start := sim.Now()
 		var done eventsim.Time
-		if _, err := dma.Transfer(pcie.H2C, size, func() {
+		if _, _, err := dma.Transfer(pcie.H2C, size, func() {
 			if _, derr := dev.Dispatch(region, batch, nil, func(out []byte, merr error) {
 				if merr != nil {
 					return
 				}
-				if _, cerr := dma.Transfer(pcie.C2H, size, func() {
+				if _, _, cerr := dma.Transfer(pcie.C2H, size, func() {
 					done = sim.Now()
 				}); cerr != nil {
 					done = 0
@@ -161,12 +161,12 @@ func RunDMALoopback(variant DMAVariant, size int) (DMAResult, error) {
 		launch = func() {
 			for inflight < window {
 				inflight++
-				if _, err := dma.Transfer(pcie.H2C, size, func() {
+				if _, _, err := dma.Transfer(pcie.H2C, size, func() {
 					_, _ = dev.Dispatch(region, batch, nil, func(out []byte, merr error) {
 						if merr != nil {
 							return
 						}
-						_, _ = dma.Transfer(pcie.C2H, size, func() {
+						_, _, _ = dma.Transfer(pcie.C2H, size, func() {
 							// Measure steady state: discard everything
 							// before the first completion (pipeline fill).
 							if firstDone == 0 {

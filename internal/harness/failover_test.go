@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestFailoverChaosRecovery is the failure-recovery acceptance run: the
+// SEU fault run without fallback must show a measurable outage (MTTR on
+// the order of the ~29 ms ICAP reload) and recover, while the run with the
+// software fallback registered must hold goodput within 10% of baseline
+// throughout.
+func TestFailoverChaosRecovery(t *testing.T) {
+	cfg := FailoverConfig{Seed: 42}
+	res, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineGoodBps <= 0 {
+		t.Fatalf("baseline goodput %v", res.BaselineGoodBps)
+	}
+	t.Logf("seed=%d baseline=%.1f Mbps", res.Seed, res.BaselineGoodBps/1e6)
+
+	for _, run := range []*FailoverRun{&res.Baseline, &res.NoFallback, &res.Fallback} {
+		t.Logf("%-18s mttr=%.0fus min=%.1f Mbps recovered=%.1f Mbps ok=%d fb=%d unproc=%d",
+			run.Label, run.MTTRUs, run.MinRateBps/1e6, run.RecoveredGoodBps/1e6,
+			run.DeliveredOK, run.DeliveredFallback, run.DeliveredUnprocessed)
+		if run.Leaked != 0 {
+			t.Errorf("%s: %d mbufs leaked", run.Label, run.Leaked)
+		}
+		if run.SourceDrops != 0 {
+			t.Errorf("%s: %d source drops (pool or IBQ exhausted)", run.Label, run.SourceDrops)
+		}
+		// Every run must end the window fully recovered.
+		if run.RecoveredGoodBps < 0.9*res.BaselineGoodBps {
+			t.Errorf("%s: recovered goodput %.1f Mbps < 90%% of baseline %.1f Mbps",
+				run.Label, run.RecoveredGoodBps/1e6, res.BaselineGoodBps/1e6)
+		}
+	}
+
+	// Baseline: flat curve, no degradation, everything processed on the
+	// FPGA path.
+	if res.Baseline.MTTRUs != 0 {
+		t.Errorf("baseline degraded: MTTR %vus", res.Baseline.MTTRUs)
+	}
+	if res.Baseline.DeliveredFallback != 0 || res.Baseline.DeliveredUnprocessed != 0 {
+		t.Errorf("baseline saw degraded deliveries: fallback=%d unprocessed=%d",
+			res.Baseline.DeliveredFallback, res.Baseline.DeliveredUnprocessed)
+	}
+
+	// No fallback: the SEU must cause a real outage — quarantine, reload,
+	// unprocessed passthrough — and the curve must come back.
+	nf := &res.NoFallback
+	if nf.Health.Quarantines == 0 || nf.Health.Reloads == 0 {
+		t.Errorf("no-fallback: quarantines=%d reloads=%d, want both > 0",
+			nf.Health.Quarantines, nf.Health.Reloads)
+	}
+	if nf.DeliveredUnprocessed == 0 {
+		t.Error("no-fallback: no unprocessed deliveries during quarantine")
+	}
+	if nf.MTTRUs <= 0 {
+		t.Errorf("no-fallback: MTTR %vus, want a positive measurable outage", nf.MTTRUs)
+	}
+	// The outage is dominated by the ICAP reload of the 5.6 MB bitstream
+	// (~29 ms); allow generous slack on both sides.
+	if nf.MTTRUs < 5_000 || nf.MTTRUs > 45_000 {
+		t.Errorf("no-fallback: MTTR %.0fus outside the expected reload window", nf.MTTRUs)
+	}
+
+	// Fallback: same fault schedule, but the software module carries the
+	// traffic — no measurable outage, and the fallback actually ran.
+	fb := &res.Fallback
+	if fb.Health.Quarantines == 0 || fb.Health.Reloads == 0 {
+		t.Errorf("fallback: quarantines=%d reloads=%d, want both > 0",
+			fb.Health.Quarantines, fb.Health.Reloads)
+	}
+	if fb.DeliveredFallback == 0 {
+		t.Error("fallback: fallback module never delivered")
+	}
+	if fb.MTTRUs != 0 {
+		t.Errorf("fallback: degraded below 50%% of baseline (MTTR %.0fus), want none", fb.MTTRUs)
+	}
+	if fb.MinRateBps < 0.5*res.BaselineGoodBps {
+		t.Errorf("fallback: goodput floor %.1f Mbps below half of baseline %.1f Mbps",
+			fb.MinRateBps/1e6, res.BaselineGoodBps/1e6)
+	}
+
+	// The transient DMA faults must have been masked by the bounded retry
+	// in both fault runs.
+	for _, run := range []*FailoverRun{nf, fb} {
+		if run.Stats.DMARetries == 0 {
+			t.Errorf("%s: injected H2C faults but no DMA retries recorded", run.Label)
+		}
+		if run.Stats.DMARetryGiveUps != 0 {
+			t.Errorf("%s: %d retry give-ups, transient faults should be masked", run.Label, run.Stats.DMARetryGiveUps)
+		}
+	}
+
+	// Determinism: same seed, same schedule — the two fault runs observe
+	// the identical fault positions, so their fault counters agree.
+	if nf.Health.Faults == 0 || fb.Health.Faults == 0 {
+		t.Errorf("fault runs recorded no accelerator faults: nf=%d fb=%d", nf.Health.Faults, fb.Health.Faults)
+	}
+}

@@ -124,7 +124,12 @@ func (tb *testbed) core() *eventsim.Core {
 // newRuntime stands up a DHL runtime with one FPGA (VC709-class), its DMA
 // engine and the stock accelerator module database.
 func (tb *testbed) newRuntime(dmaCfg pcie.Config, coreCfg core.Config) (*core.Runtime, *fpga.Device, *pcie.Engine, error) {
-	dev, err := fpga.NewDevice(tb.sim, fpga.Config{ID: 0, Node: 0})
+	// A fault plan on the runtime config is shared with the DMA engine and
+	// the FPGA device, so one seed drives every injection layer.
+	if dmaCfg.Faults == nil {
+		dmaCfg.Faults = coreCfg.Faults
+	}
+	dev, err := fpga.NewDevice(tb.sim, fpga.Config{ID: 0, Node: 0, Faults: coreCfg.Faults})
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -14,24 +14,28 @@ type CheckedErr struct{}
 
 // apiMethods are the DHL API methods whose results must not be dropped.
 // The list covers the Table II surface (Register/LoadPR/SearchByName/
-// AccConfigure/Unregister/SendPackets/ReceivePackets) plus the mempool
+// AccConfigure/Unregister/SendPackets/ReceivePackets), the mempool
 // contract entry points (Pool.Free/FreeBulk/Retain/AllocBulk, Cache.Free/
-// Flush) on any type in this module that defines them.
+// Flush), and the recovery surface (Device.Reload/ResetRegion,
+// Runtime.RegisterFallback) on any type in this module that defines them.
 var apiMethods = map[string]bool{
-	"SendPackets":    true,
-	"ReceivePackets": true,
-	"Register":       true,
-	"Unregister":     true,
-	"LoadPR":         true,
-	"SearchByName":   true,
-	"AccConfigure":   true,
-	"RegisterModule": true,
-	"AttachCores":    true,
-	"Free":           true,
-	"FreeBulk":       true,
-	"Retain":         true,
-	"AllocBulk":      true,
-	"Flush":          true,
+	"SendPackets":      true,
+	"ReceivePackets":   true,
+	"Register":         true,
+	"Unregister":       true,
+	"LoadPR":           true,
+	"SearchByName":     true,
+	"AccConfigure":     true,
+	"RegisterModule":   true,
+	"AttachCores":      true,
+	"Free":             true,
+	"FreeBulk":         true,
+	"Retain":           true,
+	"AllocBulk":        true,
+	"Flush":            true,
+	"Reload":           true,
+	"ResetRegion":      true,
+	"RegisterFallback": true,
 }
 
 // Name implements Analyzer.

@@ -86,6 +86,8 @@ func TestGoldenPositives(t *testing.T) {
 				"result of AllocBulk",
 				"result of FreeBulk",
 				"result of Retain",
+				"result of Reload",
+				"result of ResetRegion",
 			},
 		},
 	}

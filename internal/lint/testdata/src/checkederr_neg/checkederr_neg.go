@@ -2,7 +2,10 @@
 // the checkederr analyzer must stay quiet.
 package checkederr_neg
 
-import "github.com/opencloudnext/dhl-go/internal/mbuf"
+import (
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
 
 // Propagated returns the API error to the caller.
 func Propagated(p *mbuf.Pool, m *mbuf.Mbuf) error {
@@ -24,4 +27,12 @@ func Inspected(p *mbuf.Pool, dst []*mbuf.Mbuf) bool {
 // and is allowed by policy.
 func Deliberate(p *mbuf.Pool, m *mbuf.Mbuf) {
 	_ = p.Free(m)
+}
+
+// RecoveryHandled propagates the recovery surface's errors.
+func RecoveryHandled(d *fpga.Device) error {
+	if err := d.Reload(0, nil); err != nil {
+		return err
+	}
+	return d.ResetRegion(0)
 }

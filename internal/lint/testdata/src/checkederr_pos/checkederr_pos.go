@@ -2,7 +2,10 @@
 // analyzer must flag every statement-position drop.
 package checkederr_pos
 
-import "github.com/opencloudnext/dhl-go/internal/mbuf"
+import (
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
 
 // DropFree discards Pool.Free's double-free/foreign-mbuf verdict.
 func DropFree(p *mbuf.Pool, m *mbuf.Mbuf) {
@@ -18,4 +21,11 @@ func DropBulk(p *mbuf.Pool, dst []*mbuf.Mbuf) {
 // DropInGoroutine discards an error on a spawned call.
 func DropInGoroutine(p *mbuf.Pool, m *mbuf.Mbuf) {
 	go p.Retain(m) // dropped error
+}
+
+// DropRecovery discards the recovery surface's rejections: Reload's
+// already-reconfiguring/shutdown errors and ResetRegion's not-loaded error.
+func DropRecovery(d *fpga.Device) {
+	d.Reload(0, nil) // dropped error
+	d.ResetRegion(0) // dropped error
 }

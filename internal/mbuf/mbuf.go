@@ -55,6 +55,41 @@ type Mbuf struct {
 	RxTimestamp int64
 	// Userdata carries per-packet NF scratch state (e.g. matched rule IDs).
 	Userdata uint64
+	// Status reports how the runtime processed the packet on its way to
+	// the OBQ: graceful degradation surfaces fallback and unprocessed
+	// deliveries here instead of dropping silently.
+	Status Status
+}
+
+// Status is the per-packet processing disposition the transfer layer
+// stamps before OBQ delivery.
+type Status uint8
+
+// Packet statuses.
+const (
+	// StatusOK: processed by the accelerator module as requested.
+	StatusOK Status = iota
+	// StatusFallback: the accelerator was quarantined; a registered
+	// software fallback produced this (functionally equivalent) result.
+	StatusFallback
+	// StatusUnprocessed: the accelerator was quarantined and no fallback
+	// is registered; the packet is returned untouched so the NF can
+	// decide (retry, software path, drop) instead of losing it.
+	StatusUnprocessed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusFallback:
+		return "fallback"
+	case StatusUnprocessed:
+		return "unprocessed"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
 }
 
 // Data returns the packet payload as a mutable slice aliasing the buffer.
@@ -85,6 +120,7 @@ func (m *Mbuf) Reset() {
 	m.Port = 0
 	m.RxTimestamp = 0
 	m.Userdata = 0
+	m.Status = StatusOK
 }
 
 // Append grows the packet by n bytes at the tail and returns the new region.

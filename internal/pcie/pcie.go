@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 )
 
@@ -63,6 +64,10 @@ var (
 	ErrTooLarge = errors.New("pcie: transfer exceeds 64KB scatter-gather limit")
 	// ErrZeroSize reports an empty transfer.
 	ErrZeroSize = errors.New("pcie: zero-size transfer")
+	// ErrTransferFault reports an injected DMA fault: the descriptor post
+	// failed and no data moved. Transient by definition — the transfer
+	// layer retries with backoff before giving up.
+	ErrTransferFault = errors.New("pcie: dma transfer fault")
 )
 
 // MaxTransfer is the largest supported single transfer.
@@ -83,6 +88,10 @@ type Config struct {
 	BaseRTTPs float64
 	// RemoteNUMA applies the cross-socket access penalty (§IV-A2).
 	RemoteNUMA bool
+	// Faults is the shared fault-injection plan; nil disables injection.
+	// The DMA kinds (DMAH2CError/Corrupt/Stall and the C2H trio) are
+	// drawn here, after size validation, once per posted transfer.
+	Faults *faultinject.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +129,16 @@ type Stats struct {
 	Bytes     uint64
 	// BusyPs is accumulated channel occupancy, for utilization reporting.
 	BusyPs eventsim.Time
+	// Faults counts transfers failed by an injected DMA error (no data
+	// moved; the post returned ErrTransferFault).
+	Faults uint64
+	// Corrupted counts transfers delivered with a garbled payload header.
+	Corrupted uint64
+	// Stalled counts transfers whose completion was delayed by an
+	// injected stall.
+	Stalled uint64
+	// StallPs is the total injected stall time.
+	StallPs eventsim.Time
 }
 
 type channel struct {
@@ -178,22 +197,55 @@ func tooLarge(size int) error {
 	return fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
 }
 
+// faultKinds maps a channel to its fault-kind triple (error, corrupt,
+// stall) in the shared plan.
+var (
+	h2cFaultKinds = [3]faultinject.Kind{faultinject.DMAH2CError, faultinject.DMAH2CCorrupt, faultinject.DMAH2CStall}
+	c2hFaultKinds = [3]faultinject.Kind{faultinject.DMAC2HError, faultinject.DMAC2HCorrupt, faultinject.DMAC2HStall}
+)
+
 // Transfer schedules a transfer of size bytes on direction dir and invokes
 // done when the data has fully arrived at the other side. It returns the
-// scheduled completion time. Transfer is on the per-batch data path and
-// does not allocate.
+// scheduled completion time and, when fault injection is armed, the
+// injected Outcome: a Stalled bit means the completion time already
+// includes the injected delay; a Corrupted bit means the caller — who
+// owns the bytes the size stands for — must garble the payload header
+// (faultinject.CorruptBatchHeader) before the data is consumed. An
+// injected error fails the post with ErrTransferFault after validation
+// but before any channel time is booked. Transfer is on the per-batch
+// data path and does not allocate.
 //
 //dhl:hotpath
-func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, error) {
+func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, faultinject.Outcome, error) {
 	if size <= 0 {
-		return 0, ErrZeroSize
+		return 0, 0, ErrZeroSize
 	}
 	if size > MaxTransfer {
-		return 0, tooLarge(size)
+		return 0, 0, tooLarge(size)
 	}
 	ch := &e.h2c
+	kinds := &h2cFaultKinds
 	if dir == C2H {
 		ch = &e.c2h
+		kinds = &c2hFaultKinds
+	}
+	var outcome faultinject.Outcome
+	var stall eventsim.Time
+	if f := e.cfg.Faults; f != nil {
+		if f.Fire(kinds[0]) {
+			ch.stats.Faults++
+			return 0, 0, ErrTransferFault
+		}
+		if f.Fire(kinds[1]) {
+			ch.stats.Corrupted++
+			outcome |= faultinject.Corrupted
+		}
+		if f.Fire(kinds[2]) {
+			ch.stats.Stalled++
+			outcome |= faultinject.Stalled
+			stall = f.StallFor(kinds[2])
+			ch.stats.StallPs += stall
+		}
 	}
 	start := e.sim.Now()
 	if ch.freeAt > start {
@@ -204,11 +256,14 @@ func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, 
 	ch.stats.Transfers++
 	ch.stats.Bytes += uint64(size)
 	ch.stats.BusyPs += occ
-	complete := ch.freeAt + e.oneWayLatency()
+	// An injected stall extends this transfer's pipeline latency only —
+	// it does not book channel occupancy, so one stalled descriptor does
+	// not back-pressure the whole direction into a timeout cascade.
+	complete := ch.freeAt + e.oneWayLatency() + stall
 	if done != nil {
 		e.sim.At(complete, done)
 	}
-	return complete, nil
+	return complete, outcome, nil
 }
 
 // Backlog reports how far in the future the direction's channel is booked,

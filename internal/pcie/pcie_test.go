@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 )
 
@@ -72,10 +73,10 @@ func TestRoundTripAnchors(t *testing.T) {
 func TestTransferValidation(t *testing.T) {
 	sim := eventsim.New()
 	e := NewEngine(sim, Config{})
-	if _, err := e.Transfer(H2C, 0, nil); !errors.Is(err, ErrZeroSize) {
+	if _, _, err := e.Transfer(H2C, 0, nil); !errors.Is(err, ErrZeroSize) {
 		t.Errorf("zero: %v", err)
 	}
-	if _, err := e.Transfer(H2C, MaxTransfer+1, nil); !errors.Is(err, ErrTooLarge) {
+	if _, _, err := e.Transfer(H2C, MaxTransfer+1, nil); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("oversized: %v", err)
 	}
 }
@@ -84,11 +85,11 @@ func TestTransferSerializesPerDirection(t *testing.T) {
 	sim := eventsim.New()
 	e := NewEngine(sim, Config{})
 	var first, second eventsim.Time
-	c1, err := e.Transfer(H2C, 6144, func() { first = sim.Now() })
+	c1, _, err := e.Transfer(H2C, 6144, func() { first = sim.Now() })
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := e.Transfer(H2C, 6144, func() { second = sim.Now() })
+	c2, _, err := e.Transfer(H2C, 6144, func() { second = sim.Now() })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +107,8 @@ func TestDirectionsAreIndependent(t *testing.T) {
 	sim := eventsim.New()
 	e := NewEngine(sim, Config{})
 	var h2c, c2h eventsim.Time
-	_, _ = e.Transfer(H2C, 6144, func() { h2c = sim.Now() })
-	_, _ = e.Transfer(C2H, 6144, func() { c2h = sim.Now() })
+	_, _, _ = e.Transfer(H2C, 6144, func() { h2c = sim.Now() })
+	_, _, _ = e.Transfer(C2H, 6144, func() { c2h = sim.Now() })
 	sim.RunAll()
 	if h2c != c2h {
 		t.Errorf("full-duplex directions should complete together: %v vs %v", h2c, c2h)
@@ -121,7 +122,7 @@ func TestBacklogAndStats(t *testing.T) {
 		t.Error("idle backlog non-zero")
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := e.Transfer(H2C, 6144, nil); err != nil {
+		if _, _, err := e.Transfer(H2C, 6144, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -149,7 +150,7 @@ func TestMeasuredThroughputMatchesCurve(t *testing.T) {
 		var bytes uint64
 		n := 2000
 		for i := 0; i < n; i++ {
-			if _, err := e.Transfer(H2C, size, func() { bytes += uint64(size) }); err != nil {
+			if _, _, err := e.Transfer(H2C, size, func() { bytes += uint64(size) }); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -162,5 +163,67 @@ func TestMeasuredThroughputMatchesCurve(t *testing.T) {
 		if rel := got / want; rel < 0.999 || rel > 1.001 {
 			t.Errorf("%dB: measured %.3f Gbps, curve %.3f Gbps", size, got/1e9, want/1e9)
 		}
+	}
+}
+
+func TestTransferInjectedError(t *testing.T) {
+	sim := eventsim.New()
+	plan := faultinject.MustPlan(1, faultinject.Spec{Kind: faultinject.DMAH2CError, EveryN: 2})
+	e := NewEngine(sim, Config{Faults: plan})
+	if _, _, err := e.Transfer(H2C, 1024, nil); err != nil {
+		t.Fatalf("first transfer: %v", err)
+	}
+	if _, _, err := e.Transfer(H2C, 1024, nil); !errors.Is(err, ErrTransferFault) {
+		t.Fatalf("second transfer: %v, want ErrTransferFault", err)
+	}
+	st := e.DirStats(H2C)
+	if st.Faults != 1 || st.Transfers != 1 {
+		t.Errorf("stats %+v: want 1 fault, 1 completed transfer", st)
+	}
+	if plan.Injected(faultinject.DMAH2CError) != st.Faults {
+		t.Error("injected != observed")
+	}
+	// C2H must be unaffected by H2C specs.
+	if _, _, err := e.Transfer(C2H, 1024, nil); err != nil {
+		t.Errorf("c2h: %v", err)
+	}
+}
+
+func TestTransferInjectedCorruptAndStall(t *testing.T) {
+	sim := eventsim.New()
+	const stall = 25 * eventsim.Microsecond
+	plan := faultinject.MustPlan(1,
+		faultinject.Spec{Kind: faultinject.DMAC2HCorrupt, EveryN: 1, Count: 1},
+		faultinject.Spec{Kind: faultinject.DMAC2HStall, EveryN: 1, Count: 1, Stall: stall},
+	)
+	e := NewEngine(sim, Config{Faults: plan})
+	clean := NewEngine(sim, Config{})
+	want, _, err := clean.Transfer(C2H, 2048, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, outcome, err := e.Transfer(C2H, 2048, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome&faultinject.Corrupted == 0 || outcome&faultinject.Stalled == 0 {
+		t.Fatalf("outcome %b, want corrupted|stalled", outcome)
+	}
+	if got != want+stall {
+		t.Errorf("stalled completion %v, want %v + %v", got, want, stall)
+	}
+	st := e.DirStats(C2H)
+	if st.Corrupted != 1 || st.Stalled != 1 || st.StallPs != stall {
+		t.Errorf("stats %+v", st)
+	}
+	// Counts exhausted: the next transfer is clean and, critically, the
+	// stall did not book channel occupancy.
+	next, outcome, err := e.Transfer(C2H, 2048, nil)
+	if err != nil || outcome != 0 {
+		t.Fatalf("post-storm transfer outcome=%b err=%v", outcome, err)
+	}
+	nextClean, _, _ := clean.Transfer(C2H, 2048, nil)
+	if next != nextClean {
+		t.Errorf("stall leaked into channel occupancy: %v vs %v", next, nextClean)
 	}
 }

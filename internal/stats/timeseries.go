@@ -1,0 +1,76 @@
+package stats
+
+// TimeSeries accumulates weighted observations into fixed-width time
+// buckets, producing rate-over-time curves: the failure-recovery harness
+// feeds it delivered bytes keyed by virtual time and reads back a
+// goodput curve to locate the fault dip and measure time-to-recovery.
+//
+// Times are float64 seconds (callers convert from the simulation's
+// picosecond clock); observations before time zero or at/after the
+// horizon are counted as spilled rather than silently folded into the
+// edge buckets.
+type TimeSeries struct {
+	width   float64
+	buckets []float64
+	spilled uint64
+}
+
+// NewTimeSeries creates a time series covering [0, horizon) seconds with
+// n equal buckets. Invalid shapes (n <= 0, horizon <= 0) yield a single
+// bucket covering the horizon (or 1s) so callers never divide by zero.
+func NewTimeSeries(horizon float64, n int) *TimeSeries {
+	if horizon <= 0 {
+		horizon = 1
+	}
+	if n <= 0 {
+		n = 1
+	}
+	return &TimeSeries{width: horizon / float64(n), buckets: make([]float64, n)}
+}
+
+// Add accumulates weight w into the bucket containing time t.
+func (ts *TimeSeries) Add(t, w float64) {
+	i := int(t / ts.width)
+	if t < 0 || i >= len(ts.buckets) {
+		ts.spilled++
+		return
+	}
+	ts.buckets[i] += w
+}
+
+// Buckets returns the per-bucket accumulated weights (aliased, not
+// copied).
+func (ts *TimeSeries) Buckets() []float64 { return ts.buckets }
+
+// BucketWidth reports the bucket width in seconds.
+func (ts *TimeSeries) BucketWidth() float64 { return ts.width }
+
+// Spilled reports observations that fell outside [0, horizon).
+func (ts *TimeSeries) Spilled() uint64 { return ts.spilled }
+
+// Rate reports bucket i's accumulated weight divided by the bucket
+// width — bytes in, bytes-per-second out.
+func (ts *TimeSeries) Rate(i int) float64 {
+	if i < 0 || i >= len(ts.buckets) {
+		return 0
+	}
+	return ts.buckets[i] / ts.width
+}
+
+// MeanRate reports the average rate over buckets [lo, hi).
+func (ts *TimeSeries) MeanRate(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ts.buckets) {
+		hi = len(ts.buckets)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var sum float64
+	for _, w := range ts.buckets[lo:hi] {
+		sum += w
+	}
+	return sum / (float64(hi-lo) * ts.width)
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts := NewTimeSeries(10, 10) // 10 buckets of 1s
+	ts.Add(0, 100)
+	ts.Add(0.5, 100)
+	ts.Add(1.0, 50)
+	ts.Add(9.999, 25)
+	if got := ts.Buckets()[0]; got != 200 {
+		t.Errorf("bucket 0 = %v, want 200", got)
+	}
+	if got := ts.Buckets()[1]; got != 50 {
+		t.Errorf("bucket 1 = %v, want 50", got)
+	}
+	if got := ts.Buckets()[9]; got != 25 {
+		t.Errorf("bucket 9 = %v, want 25", got)
+	}
+	if ts.Spilled() != 0 {
+		t.Errorf("spilled %d", ts.Spilled())
+	}
+}
+
+func TestTimeSeriesSpill(t *testing.T) {
+	ts := NewTimeSeries(1, 4)
+	ts.Add(-0.1, 1)
+	ts.Add(1.0, 1) // horizon is exclusive
+	ts.Add(5, 1)
+	if ts.Spilled() != 3 {
+		t.Errorf("spilled %d, want 3", ts.Spilled())
+	}
+	for i, w := range ts.Buckets() {
+		if w != 0 {
+			t.Errorf("bucket %d = %v, want 0", i, w)
+		}
+	}
+}
+
+func TestTimeSeriesRates(t *testing.T) {
+	ts := NewTimeSeries(2, 4) // 0.5s buckets
+	ts.Add(0.1, 50)
+	ts.Add(0.6, 100)
+	ts.Add(1.1, 200)
+	ts.Add(1.6, 400)
+	if got := ts.Rate(1); got != 200 {
+		t.Errorf("rate(1) = %v, want 200", got)
+	}
+	if got := ts.Rate(-1); got != 0 {
+		t.Errorf("rate(-1) = %v", got)
+	}
+	if got := ts.Rate(4); got != 0 {
+		t.Errorf("rate(4) = %v", got)
+	}
+	// Mean over the second half: (200+400)/(2*0.5s).
+	if got := ts.MeanRate(2, 4); math.Abs(got-600) > 1e-9 {
+		t.Errorf("meanRate(2,4) = %v, want 600", got)
+	}
+	if got := ts.MeanRate(3, 3); got != 0 {
+		t.Errorf("empty window rate = %v", got)
+	}
+	if got := ts.MeanRate(-5, 99); math.Abs(got-375) > 1e-9 {
+		t.Errorf("clamped full-window rate = %v, want 375", got)
+	}
+}
+
+func TestTimeSeriesDegenerateShape(t *testing.T) {
+	ts := NewTimeSeries(0, 0)
+	ts.Add(0.5, 10)
+	if got := ts.Rate(0); got != 10 {
+		t.Errorf("degenerate rate = %v, want 10", got)
+	}
+}

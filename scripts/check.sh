@@ -35,4 +35,7 @@ go test -race -count=1 ./internal/ring ./internal/mbuf
 echo "==> bench smoke (1 iteration, -benchmem)"
 go test -run '^$' -bench 'Pipeline|Distributor' -benchmem -benchtime=1x -count=1 ./internal/core
 
+echo "==> chaos smoke (seeded fault-injection soak, -short)"
+go test -run Chaos -short -count=1 ./internal/core ./internal/harness
+
 echo "OK"
