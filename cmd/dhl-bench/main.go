@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|all]
+//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|all]
 //
 // With no argument it runs everything. Full-fidelity windows take a few
 // minutes of wall time; pass -quick for shorter measurement windows.
@@ -18,6 +18,7 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
 	"github.com/opencloudnext/dhl-go/internal/harness"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func run(targets []string, quick bool) error {
 		{"table6", runTable6},
 		{"table7", runTable7},
 		{"ablation", runAblation},
+		{"telemetry", runTelemetry},
 	}
 	known := make(map[string]bool, len(steps))
 	for _, s := range steps {
@@ -59,7 +61,7 @@ func run(targets []string, quick bool) error {
 	}
 	for t := range want {
 		if t != "all" && !known[t] {
-			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|all)", t)
+			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|all)", t)
 		}
 	}
 	for _, s := range steps {
@@ -235,6 +237,49 @@ func runTable7(bool) error {
 	for _, r := range harness.RunTable7() {
 		fmt.Printf("%-18s %d LoC\n", r.Module, r.LoC)
 	}
+	return nil
+}
+
+// runTelemetry measures the DHL IPsec gateway's capacity at 512B frames,
+// replays the run at 80% of that load with the stage clock armed, and
+// prints where each batch's time goes: the EXPERIMENTS.md per-stage
+// latency breakdown.
+func runTelemetry(quick bool) error {
+	header("Telemetry: per-stage latency breakdown (DHL IPsec, 512B, 80% capacity)")
+	capRes, err := harness.RunSingleNF(singleCfg(quick, harness.SingleNFConfig{
+		Kind: harness.IPsecGateway, Mode: harness.DHL, FrameSize: 512}))
+	if err != nil {
+		return err
+	}
+	capBps := capRes.Throughput.WireBps
+	tel := telemetry.New(0)
+	res, err := harness.RunSingleNF(singleCfg(quick, harness.SingleNFConfig{
+		Kind: harness.IPsecGateway, Mode: harness.DHL, FrameSize: 512,
+		OfferedWireBps: 0.8 * capBps, Telemetry: tel}))
+	if err != nil {
+		return err
+	}
+	snap := tel.Snapshot()
+	fmt.Printf("capacity %.2f Gbps wire; offered %.2f Gbps (80%%), carried %.2f Gbps\n",
+		capBps/1e9, 0.8*capBps/1e9, res.Throughput.WireBps/1e9)
+	fmt.Printf("%d batches, %d packets, %d bytes through the FPGA chain\n",
+		snap.CounterTotal(telemetry.CounterBatches), snap.CounterTotal(telemetry.CounterPackets),
+		snap.CounterTotal(telemetry.CounterBytes))
+	fmt.Printf("%-12s %9s %10s %10s %10s\n", "stage", "count", "p50(ns)", "p99(ns)", "mean(ns)")
+	for s := telemetry.StageIBQWait; s < telemetry.NumStages; s++ {
+		h := snap.Stages[s]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %9d %10.0f %10.0f %10.0f\n",
+			s, h.Count, h.QuantileNs(0.50), h.QuantileNs(0.99), h.MeanNs())
+	}
+	fmt.Printf("%-12s %9d %10.0f %10.0f %10.0f  (pcie service)\n",
+		"dma_h2c", snap.DMAH2C.Count, snap.DMAH2C.QuantileNs(0.50), snap.DMAH2C.QuantileNs(0.99), snap.DMAH2C.MeanNs())
+	fmt.Printf("%-12s %9d %10.0f %10.0f %10.0f  (pcie service)\n",
+		"dma_c2h", snap.DMAC2H.Count, snap.DMAC2H.QuantileNs(0.50), snap.DMAC2H.QuantileNs(0.99), snap.DMAC2H.MeanNs())
+	fmt.Printf("%-12s %9d %10.0f %10.0f %10.0f  (dispatcher service)\n",
+		"dispatch", snap.Dispatch.Count, snap.Dispatch.QuantileNs(0.50), snap.Dispatch.QuantileNs(0.99), snap.Dispatch.MeanNs())
 	return nil
 }
 

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill] [-chaos-seed N]
+//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill]
+//	            [-chaos-seed N] [-watch N] [-metrics addr]
 //
 // -fill keeps loading copies of the first module until the board rejects
 // the next one, demonstrating the §V-F packing bound.
@@ -12,6 +13,15 @@
 // -chaos-seed arms deterministic fault injection and pushes a short burst
 // of loopback traffic through the board, then prints the health FSM state
 // and the fault-attribution ledger; the same seed reproduces the same run.
+//
+// -watch arms the telemetry subsystem, paces N rounds of loopback traffic
+// through the board, and after each round prints the per-stage latency
+// delta (count, p50, p99, mean) plus the batch counters for that round —
+// the live operator's view of the pipeline.
+//
+// -metrics additionally serves the telemetry registry over HTTP at the
+// given address for the duration of the run: Prometheus text on /metrics,
+// expvar JSON on /debug/vars, pprof under /debug/pprof/.
 package main
 
 import (
@@ -29,14 +39,16 @@ func main() {
 	modules := flag.String("modules", "ipsec-crypto,pattern-matching", "comma-separated hardware function names to load")
 	fill := flag.Bool("fill", false, "load copies of the first module until the board is full")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "arm fault injection with this seed and run a loopback chaos burst (0: off)")
+	watch := flag.Int("watch", 0, "arm telemetry and print per-stage latency deltas for N paced loopback rounds (0: off)")
+	metrics := flag.String("metrics", "", "serve Prometheus/expvar/pprof at this address while running (e.g. 127.0.0.1:9090; implies telemetry)")
 	flag.Parse()
-	if err := run(*modules, *fill, *chaosSeed); err != nil {
+	if err := run(*modules, *fill, *chaosSeed, *watch, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "dhl-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modules string, fill bool, chaosSeed uint64) error {
+func run(modules string, fill bool, chaosSeed uint64, watch int, metrics string) error {
 	var plan *dhl.FaultPlan
 	if chaosSeed != 0 {
 		var err error
@@ -48,9 +60,17 @@ func run(modules string, fill bool, chaosSeed uint64) error {
 			return err
 		}
 	}
-	sys, err := dhl.NewSystem(dhl.SystemConfig{Faults: plan})
+	sys, err := dhl.NewSystem(dhl.SystemConfig{Faults: plan, Telemetry: watch > 0 || metrics != ""})
 	if err != nil {
 		return err
+	}
+	if metrics != "" {
+		exp, merr := sys.ServeMetrics(metrics)
+		if merr != nil {
+			return merr
+		}
+		defer func() { _ = exp.Close() }()
+		fmt.Printf("serving metrics at http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", exp.Addr())
 	}
 	names := strings.Split(modules, ",")
 	var loaded []dhl.AccID
@@ -86,6 +106,11 @@ func run(modules string, fill bool, chaosSeed uint64) error {
 		}
 		loaded = append(loaded, acc)
 	}
+	if watch > 0 {
+		if werr := watchLoop(sys, watch); werr != nil {
+			return werr
+		}
+	}
 
 	fmt.Println("\nHardware function table:")
 	for _, row := range sys.HFTable() {
@@ -108,6 +133,76 @@ func run(modules string, fill bool, chaosSeed uint64) error {
 		return err
 	}
 	fmt.Print(dev.Floorplan())
+	return nil
+}
+
+// watchLoop paces rounds of loopback traffic through the telemetry-armed
+// system and prints the per-stage latency view after every round: the
+// TelemetrySnapshot delta against the previous round isolates exactly the
+// batches that completed in that window.
+func watchLoop(sys *dhl.System, rounds int) error {
+	acc, err := sys.SearchByName(dhl.Loopback, 0)
+	if err != nil {
+		return err
+	}
+	sys.Settle() // the loopback bitstream loads over ICAP
+	nf, err := sys.Register("inspect-watch", 0)
+	if err != nil {
+		return err
+	}
+	sim, pool := sys.Sim(), sys.Pool()
+	payload := []byte("dhl-inspect watch probe........................................")
+	const nPkts = 32
+	pkts := make([]*dhl.Packet, nPkts)
+	out := make([]*dhl.Packet, 2*nPkts)
+	prev := sys.Snapshot()
+	fmt.Printf("\nwatch: %d rounds x %d loopback packets\n", rounds, nPkts)
+	for round := 1; round <= rounds; round++ {
+		for i := range pkts {
+			m, aerr := pool.Alloc()
+			if aerr != nil {
+				return aerr
+			}
+			if aerr := m.AppendBytes(payload); aerr != nil {
+				_ = pool.Free(m)
+				return aerr
+			}
+			m.AccID = uint16(acc)
+			pkts[i] = m
+		}
+		n, serr := sys.SendPackets(nf, pkts)
+		if serr != nil {
+			return serr
+		}
+		for _, m := range pkts[n:] {
+			_ = pool.Free(m)
+		}
+		sim.Run(sim.Now() + 300*eventsim.Microsecond)
+		got, rerr := sys.ReceivePackets(nf, out)
+		if rerr != nil {
+			return rerr
+		}
+		for i := 0; i < got; i++ {
+			if ferr := pool.Free(out[i]); ferr != nil {
+				return ferr
+			}
+		}
+		snap := sys.Snapshot()
+		d := snap.Delta(prev)
+		prev = snap
+		fmt.Printf("round %2d: %d batches, %d pkts, %d bytes delivered\n",
+			round, d.CounterTotal(dhl.CounterBatches), d.CounterTotal(dhl.CounterPackets),
+			d.CounterTotal(dhl.CounterBytes))
+		fmt.Printf("  %-12s %7s %10s %10s %10s\n", "stage", "count", "p50(ns)", "p99(ns)", "mean(ns)")
+		for s := dhl.StageIBQWait; s < dhl.NumStages; s++ {
+			h := d.Stages[s]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-12s %7d %10.0f %10.0f %10.0f\n",
+				s, h.Count, h.QuantileNs(0.50), h.QuantileNs(0.99), h.MeanNs())
+		}
+	}
 	return nil
 }
 

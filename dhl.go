@@ -12,6 +12,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/pcie"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 	"github.com/opencloudnext/dhl-go/internal/ring"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // Identifier types from the paper's data plane tags.
@@ -101,6 +102,62 @@ func NewFaultPlan(seed uint64, specs ...FaultSpec) (*FaultPlan, error) {
 	return faultinject.NewPlan(seed, specs...)
 }
 
+// Telemetry types from internal/telemetry, re-exported so applications
+// can consume snapshots and spans without importing an internal package.
+type (
+	// TelemetryRegistry is the system's metric registry: per-stage latency
+	// histograms, per-core counters, health-FSM transition counters, pull
+	// gauges and the batch span ring.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of every metric; subtract
+	// two with Delta for interval rates.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySpan is one batch's trace through the pipeline: identity
+	// (nf_id, acc_id), sizes, per-stage completion timestamps and outcome.
+	TelemetrySpan = telemetry.Span
+	// TelemetryStage indexes the pipeline stages a batch passes through
+	// (ibq_wait, pack, h2c, accelerator, c2h, distribute).
+	TelemetryStage = telemetry.Stage
+	// MetricsExporter serves the registry over HTTP: Prometheus text on
+	// /metrics, expvar JSON on /debug/vars, pprof under /debug/pprof/.
+	MetricsExporter = telemetry.Exporter
+)
+
+// Pipeline stages of the per-stage latency histograms
+// (TelemetrySnapshot.Stages indexes).
+const (
+	StageIBQWait    = telemetry.StageIBQWait
+	StagePack       = telemetry.StagePack
+	StageH2C        = telemetry.StageH2C
+	StageAccel      = telemetry.StageAccel
+	StageC2H        = telemetry.StageC2H
+	StageDistribute = telemetry.StageDistribute
+	// NumStages is the length of TelemetrySnapshot.Stages; iterate
+	// stages with `for s := StageIBQWait; s < NumStages; s++`.
+	NumStages = telemetry.NumStages
+)
+
+// Per-core telemetry counter kinds (TelemetrySnapshot.CounterTotal).
+const (
+	CounterBatches            = telemetry.CounterBatches
+	CounterPackets            = telemetry.CounterPackets
+	CounterBytes              = telemetry.CounterBytes
+	CounterFallbackBatches    = telemetry.CounterFallbackBatches
+	CounterUnprocessedBatches = telemetry.CounterUnprocessedBatches
+	CounterFailedBatches      = telemetry.CounterFailedBatches
+	CounterCorruptBatches     = telemetry.CounterCorruptBatches
+	CounterDMARetries         = telemetry.CounterDMARetries
+)
+
+// Batch span outcomes (TelemetrySpan.Outcome).
+const (
+	OutcomeOK          = telemetry.OutcomeOK
+	OutcomeFallback    = telemetry.OutcomeFallback
+	OutcomeUnprocessed = telemetry.OutcomeUnprocessed
+	OutcomeFailed      = telemetry.OutcomeFailed
+	OutcomeCorrupt     = telemetry.OutcomeCorrupt
+)
+
 // Health is an accelerator's health state (healthy/degraded/quarantined).
 type Health = core.Health
 
@@ -152,6 +209,14 @@ type SystemConfig struct {
 	// WatchdogTimeoutUs overrides the per-batch watchdog deadline
 	// (microseconds; default 250 when Faults is set).
 	WatchdogTimeoutUs int
+	// Telemetry arms the zero-allocation telemetry subsystem: per-stage
+	// latency histograms, per-core counters, occupancy gauges and the
+	// batch span ring. Off (the default) leaves the hot path exactly as
+	// before; on, recording stays allocation-free in steady state.
+	Telemetry bool
+	// TelemetrySpanCap bounds the batch trace-span ring. Zero selects
+	// telemetry.DefaultSpanCap (256); older spans are overwritten.
+	TelemetrySpanCap int
 }
 
 // System bundles a complete simulated DHL deployment: the discrete-event
@@ -163,6 +228,7 @@ type System struct {
 	rt      *core.Runtime
 	devices []*fpga.Device
 	engines []*pcie.Engine
+	tel     *telemetry.Registry
 	coreHz  float64
 	coreID  int
 }
@@ -189,12 +255,20 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	sys := &System{sim: sim, pool: pool, coreHz: cfg.CoreHz}
+	if cfg.Telemetry {
+		sys.tel = telemetry.New(cfg.TelemetrySpanCap)
+		p := pool
+		sys.tel.RegisterGauge("dhl_mbuf_in_use", "", "Packet buffers currently leased from the shared pool.",
+			func() float64 { return float64(p.InUse()) })
+		sys.tel.RegisterGauge("dhl_mbuf_capacity", "", "Total packet buffers in the shared pool.",
+			func() float64 { return float64(p.Capacity()) })
+	}
 
 	var attachments []core.FPGAAttachment
 	id := 0
 	for node := 0; node < cfg.Nodes; node++ {
 		for i := 0; i < cfg.FPGAsPerNode; i++ {
-			dev, derr := fpga.NewDevice(sim, fpga.Config{ID: id, Node: node, Faults: cfg.Faults})
+			dev, derr := fpga.NewDevice(sim, fpga.Config{ID: id, Node: node, Faults: cfg.Faults, Telemetry: sys.tel})
 			if derr != nil {
 				return nil, derr
 			}
@@ -202,7 +276,26 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			if cfg.InKernelDriver {
 				mode = pcie.InKernel
 			}
-			dma := pcie.NewEngine(sim, pcie.Config{Mode: mode, Faults: cfg.Faults})
+			dma := pcie.NewEngine(sim, pcie.Config{Mode: mode, Faults: cfg.Faults, Telemetry: sys.tel})
+			if sys.tel != nil {
+				fpgaLabel := fmt.Sprintf("fpga=%q", fmt.Sprint(id))
+				d, e := dev, dma
+				sys.tel.RegisterGauge("dhl_fpga_utilization", fpgaLabel+`,res="luts"`,
+					"Fraction of reconfigurable-part resources in use.",
+					func() float64 { return d.UtilizationLUTs() })
+				sys.tel.RegisterGauge("dhl_fpga_utilization", fpgaLabel+`,res="bram"`,
+					"Fraction of reconfigurable-part resources in use.",
+					func() float64 { return d.UtilizationBRAM() })
+				sys.tel.RegisterGauge("dhl_fpga_reloads", fpgaLabel,
+					"Completed recovery partial-reconfiguration reloads.",
+					func() float64 { return float64(d.Reloads()) })
+				sys.tel.RegisterGauge("dhl_dma_backlog_ps", fpgaLabel+`,dir="h2c"`,
+					"How far in the future the DMA channel is booked, in picoseconds.",
+					func() float64 { return float64(e.Backlog(pcie.H2C)) })
+				sys.tel.RegisterGauge("dhl_dma_backlog_ps", fpgaLabel+`,dir="c2h"`,
+					"How far in the future the DMA channel is booked, in picoseconds.",
+					func() float64 { return float64(e.Backlog(pcie.C2H)) })
+			}
 			sys.devices = append(sys.devices, dev)
 			sys.engines = append(sys.engines, dma)
 			attachments = append(attachments, core.FPGAAttachment{Device: dev, DMA: dma})
@@ -217,6 +310,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		BatchBytes:      cfg.BatchBytes,
 		Faults:          cfg.Faults,
 		WatchdogTimeout: eventsim.Time(cfg.WatchdogTimeoutUs) * eventsim.Microsecond,
+		Telemetry:       sys.tel,
 	})
 	if err != nil {
 		return nil, err
@@ -235,9 +329,58 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	return sys, nil
 }
 
+// Open builds a System with cfg and settles it: virtual time advances far
+// enough that the initial partial reconfigurations are done and the data
+// path is ready for traffic. It is NewSystem followed by Settle — the
+// one-call entry point for applications that do not need to observe the
+// boot sequence.
+func Open(cfg SystemConfig) (*System, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.Settle()
+	return sys, nil
+}
+
 // Sim exposes the simulation clock/event loop so applications can build
 // their own actors (I/O cores, generators) and advance virtual time.
 func (s *System) Sim() *eventsim.Sim { return s.sim }
+
+// Telemetry exposes the system's metric registry, or nil when
+// SystemConfig.Telemetry was off. Counter and histogram reads are atomic;
+// pull gauges read simulation-owned state and must be evaluated between
+// Sim().Run calls (Snapshot and the HTTP exporter evaluate them).
+func (s *System) Telemetry() *TelemetryRegistry { return s.tel }
+
+// Snapshot copies every telemetry metric at this instant: per-stage and
+// DMA/dispatch histograms, per-core counters, health-FSM transition
+// counts, gauge values and the recent batch spans. Returns nil when
+// telemetry is off. Subtract two snapshots with Delta to get
+// interval-scoped counts.
+func (s *System) Snapshot() *TelemetrySnapshot {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.Snapshot()
+}
+
+// ServeMetrics starts the HTTP metrics endpoint on addr (e.g.
+// "127.0.0.1:0" to pick a free port) and returns the running exporter;
+// query its Addr for the bound address and Close it when done. The mux
+// serves Prometheus text on /metrics, expvar JSON on /debug/vars and the
+// standard pprof handlers under /debug/pprof/. Fails with an error when
+// telemetry is off.
+func (s *System) ServeMetrics(addr string) (*MetricsExporter, error) {
+	if s.tel == nil {
+		return nil, fmt.Errorf("dhl: telemetry is not enabled (set SystemConfig.Telemetry)")
+	}
+	e := telemetry.NewExporter(s.tel)
+	if _, err := e.Start(addr); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
 
 // Pool exposes the system's packet-buffer pool.
 func (s *System) Pool() *mbuf.Pool { return s.pool }

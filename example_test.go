@@ -1,0 +1,68 @@
+package dhl_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	dhl "github.com/opencloudnext/dhl-go"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+)
+
+// ExampleOpen_telemetry opens a telemetry-armed system, pushes one batch
+// through the loopback accelerator, and reads the recording back through
+// the Snapshot facade: per-core counters, per-stage histogram counts and
+// the most recent batch trace span. The simulation is deterministic, so
+// the printed numbers are too.
+func ExampleOpen_telemetry() {
+	sys, err := dhl.Open(dhl.SystemConfig{Telemetry: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nf, err := sys.Register("example", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := sys.SearchByName(dhl.Loopback, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Settle() // wait out the partial-reconfiguration load
+
+	pkts := make([]*dhl.Packet, 8)
+	for i := range pkts {
+		m, aerr := sys.Pool().Alloc()
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		if aerr := m.AppendBytes(bytes.Repeat([]byte{byte(i)}, 64)); aerr != nil {
+			log.Fatal(aerr)
+		}
+		m.AccID = uint16(acc)
+		pkts[i] = m
+	}
+	if _, err := sys.SendPackets(nf, pkts); err != nil {
+		log.Fatal(err)
+	}
+	sys.Sim().Run(sys.Sim().Now() + 300*eventsim.Microsecond)
+	out := make([]*dhl.Packet, 16)
+	got, err := sys.ReceivePackets(nf, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < got; i++ {
+		_ = sys.Pool().Free(out[i])
+	}
+
+	snap := sys.Snapshot()
+	fmt.Printf("batches=%d packets=%d\n",
+		snap.CounterTotal(dhl.CounterBatches), snap.CounterTotal(dhl.CounterPackets))
+	fmt.Printf("ibq_wait samples=%d accelerator samples=%d\n",
+		snap.Stages[dhl.StageIBQWait].Count, snap.Stages[dhl.StageAccel].Count)
+	sp := snap.Spans[len(snap.Spans)-1]
+	fmt.Printf("span #%d: %d pkts, outcome %s\n", sp.Seq, sp.Packets, sp.Outcome)
+	// Output:
+	// batches=1 packets=8
+	// ibq_wait samples=8 accelerator samples=1
+	// span #1: 8 pkts, outcome ok
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // batchArena is a per-node freelist of fixed-size batch-buffer segments,
@@ -129,6 +130,12 @@ type inflight struct {
 	watchIdx int           // index in the rx watch list, -1 when unwatched
 	overdue  bool          // soft deadline already counted by the watchdog
 
+	// span is the batch's trace record, assembled in place as the stage
+	// clock crosses each boundary (flush, H2C done, dispatch done, C2H
+	// done, distribute) and pushed to the telemetry ring by telFinalize.
+	// Untouched when telemetry is off.
+	span telemetry.Span
+
 	h2cDoneFn      func()
 	dispatchDoneFn func(out []byte, err error)
 	c2hDoneFn      func()
@@ -180,6 +187,9 @@ func (t *txEngine) releaseInflight(ib *inflight) {
 	ib.meta = ib.meta[:0]
 	ib.hf, ib.dma, ib.dev, ib.regionIdx = nil, nil, nil, 0
 	ib.mode, ib.retries, ib.deadline, ib.overdue = modeFPGA, 0, 0, false
+	if t.tel != nil {
+		ib.span.Reset()
+	}
 	t.ibFree = append(t.ibFree, ib)
 }
 
@@ -201,6 +211,9 @@ func (ib *inflight) retryDMA(err error, again func()) bool {
 	}
 	ib.retries++
 	t.stats.DMARetries++
+	if t.tel != nil {
+		t.telC.Inc(telemetry.CounterDMARetries)
+	}
 	t.r.sim.After(t.r.cfg.RetryBackoff<<(ib.retries-1), again)
 	return true
 }
@@ -266,6 +279,9 @@ func (ib *inflight) runFallback() {
 //
 //dhl:hotpath
 func (ib *inflight) h2cDone() {
+	if ib.t.tel != nil {
+		ib.span.StageEnd[telemetry.StageH2C] = ib.t.r.sim.Now()
+	}
 	ib.outSeg = ib.t.arena.lease()
 	if _, err := ib.dev.Dispatch(ib.regionIdx, ib.buf, ib.outSeg, ib.dispatchDoneFn); err != nil {
 		ib.t.stats.DispatchErrors++
@@ -278,6 +294,9 @@ func (ib *inflight) h2cDone() {
 //
 //dhl:hotpath
 func (ib *inflight) dispatchDone(out []byte, err error) {
+	if ib.t.tel != nil {
+		ib.span.StageEnd[telemetry.StageAccel] = ib.t.r.sim.Now()
+	}
 	if err != nil {
 		ib.t.stats.DispatchErrors++
 		ib.t.r.noteFault(ib.hf)
@@ -313,6 +332,9 @@ func (ib *inflight) postC2H() {
 //dhl:hotpath
 func (ib *inflight) c2hDone() {
 	t := ib.t
+	if t.tel != nil && ib.mode == modeFPGA {
+		ib.span.StageEnd[telemetry.StageC2H] = t.r.sim.Now()
+	}
 	if f := t.r.cfg.Faults; f != nil && f.Fire(faultinject.CompletionStall) {
 		t.stats.CompletionStalls++
 		t.r.sim.After(f.StallFor(faultinject.CompletionStall), ib.c2hDoneFn)
@@ -344,5 +366,53 @@ func (ib *inflight) fail() {
 	for _, m := range ib.meta {
 		_ = t.pool.Free(m)
 	}
+	if t.tel != nil {
+		ib.telFinalize(t.telC, telemetry.OutcomeFailed)
+	}
 	t.releaseInflight(ib)
+}
+
+// telFinalize closes the batch's trace span: it stamps the distribute
+// boundary (except on the failure edge, where distribution never ran),
+// records each completed stage's duration into the per-stage histograms,
+// pushes the span onto the bounded ring, and bumps the finalizing core's
+// counter block. Only called with telemetry armed; everything it touches
+// is preallocated, so the steady-state allocation budget stays zero.
+//
+//dhl:hotpath
+func (ib *inflight) telFinalize(cc *telemetry.CoreCounters, out telemetry.Outcome) {
+	tel := ib.t.tel
+	sp := &ib.span
+	sp.Outcome = out
+	sp.Retries = uint8(ib.retries)
+	if out != telemetry.OutcomeFailed {
+		sp.StageEnd[telemetry.StageDistribute] = ib.t.r.sim.Now()
+	}
+	// Walk the stage boundaries in order; a zero stamp means the stage
+	// did not run (fallback/unprocessed batches skip the DMA and
+	// accelerator legs), so its histogram is skipped and the next
+	// completed stage measures from the last completed boundary.
+	prev := sp.Start
+	for s := telemetry.StagePack; s < telemetry.NumStages; s++ {
+		end := sp.StageEnd[s]
+		if end == 0 || end < prev {
+			continue
+		}
+		tel.Stages[s].Observe(end - prev)
+		prev = end
+	}
+	tel.Spans.Push(sp)
+	cc.Inc(telemetry.CounterBatches)
+	cc.Add(telemetry.CounterPackets, uint64(sp.Packets))
+	cc.Add(telemetry.CounterBytes, uint64(sp.Bytes))
+	switch out {
+	case telemetry.OutcomeFallback:
+		cc.Inc(telemetry.CounterFallbackBatches)
+	case telemetry.OutcomeUnprocessed:
+		cc.Inc(telemetry.CounterUnprocessedBatches)
+	case telemetry.OutcomeFailed:
+		cc.Inc(telemetry.CounterFailedBatches)
+	case telemetry.OutcomeCorrupt:
+		cc.Inc(telemetry.CounterCorruptBatches)
+	}
 }

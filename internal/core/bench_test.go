@@ -9,6 +9,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // benchRig is newRig for benchmarks: one node, one FPGA, one DMA engine,
@@ -28,11 +29,11 @@ func newBenchRig(b *testing.B, cfg Config) *benchRigT {
 	if err != nil {
 		b.Fatal(err)
 	}
-	dev, err := fpga.NewDevice(sim, fpga.Config{})
+	dev, err := fpga.NewDevice(sim, fpga.Config{Telemetry: cfg.Telemetry})
 	if err != nil {
 		b.Fatal(err)
 	}
-	dma := pcie.NewEngine(sim, pcie.Config{})
+	dma := pcie.NewEngine(sim, pcie.Config{Telemetry: cfg.Telemetry})
 	cfg.Sim = sim
 	cfg.FPGAs = []FPGAAttachment{{Device: dev, DMA: dma}}
 	rt, err := NewRuntime(cfg)
@@ -89,7 +90,13 @@ func (r *benchRigT) cycle(b *testing.B, pkts []*mbuf.Mbuf, out []*mbuf.Mbuf, pay
 
 // benchPipeline measures one steady-state burst round trip per iteration.
 func benchPipeline(b *testing.B, nPkts, payloadLen int) {
-	r := newBenchRig(b, Config{FlushTimeout: 5 * eventsim.Microsecond})
+	benchPipelineCfg(b, nPkts, payloadLen, Config{FlushTimeout: 5 * eventsim.Microsecond})
+}
+
+// benchPipelineCfg is benchPipeline with an explicit runtime config (the
+// telemetry variants arm the registry through it).
+func benchPipelineCfg(b *testing.B, nPkts, payloadLen int, cfg Config) {
+	r := newBenchRig(b, cfg)
 	payload := bytes.Repeat([]byte{0xAB}, payloadLen)
 	pkts := make([]*mbuf.Mbuf, nPkts)
 	out := make([]*mbuf.Mbuf, 2*nPkts)
@@ -115,6 +122,20 @@ func BenchmarkPipeline64B(b *testing.B) { benchPipeline(b, 32, 64) }
 // BenchmarkPipeline1500B: 16 MTU packets per burst — batches fill to
 // BatchBytes and flush by size, the Figure 4 peak-throughput regime.
 func BenchmarkPipeline1500B(b *testing.B) { benchPipeline(b, 16, 1500) }
+
+// BenchmarkPipeline64BTelemetry is BenchmarkPipeline64B with the full
+// telemetry subsystem armed (stage clock, histograms, span ring, per-core
+// counters); comparing ns/op and allocs/op against the base benchmark is
+// how EXPERIMENTS.md derives the recording overhead.
+func BenchmarkPipeline64BTelemetry(b *testing.B) {
+	benchPipelineCfg(b, 32, 64, Config{FlushTimeout: 5 * eventsim.Microsecond, Telemetry: telemetry.New(0)})
+}
+
+// BenchmarkPipeline1500BTelemetry is the telemetry-armed variant of
+// BenchmarkPipeline1500B.
+func BenchmarkPipeline1500BTelemetry(b *testing.B) {
+	benchPipelineCfg(b, 16, 1500, Config{FlushTimeout: 5 * eventsim.Microsecond, Telemetry: telemetry.New(0)})
+}
 
 // BenchmarkDistributor isolates the RX half: decode one response batch
 // and route its records to the owning NF's OBQ.

@@ -29,11 +29,11 @@ func newFaultRig(t *testing.T, cfg Config, plan *faultinject.Plan, poolCap int, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev, err := fpga.NewDevice(sim, fpga.Config{Faults: plan})
+	dev, err := fpga.NewDevice(sim, fpga.Config{Faults: plan, Telemetry: cfg.Telemetry})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dma := pcie.NewEngine(sim, pcie.Config{Faults: plan})
+	dma := pcie.NewEngine(sim, pcie.Config{Faults: plan, Telemetry: cfg.Telemetry})
 	cfg.Sim = sim
 	cfg.Faults = plan
 	cfg.FPGAs = []FPGAAttachment{{Device: dev, DMA: dma}}

@@ -133,6 +133,9 @@ func (r *Runtime) noteFault(e *hfEntry) {
 	if e.consecFails >= r.cfg.QuarantineAfter {
 		r.quarantine(e)
 	} else if e.consecFails >= r.cfg.DegradeAfter {
+		if r.tel != nil && e.health != HealthDegraded {
+			r.tel.Health.Degraded.Inc()
+		}
 		e.health = HealthDegraded
 	}
 }
@@ -145,6 +148,9 @@ func (r *Runtime) noteSuccess(e *hfEntry) {
 	if !r.armed || e == nil || e.health == HealthQuarantined {
 		return
 	}
+	if r.tel != nil && e.health != HealthHealthy {
+		r.tel.Health.Recovered.Inc()
+	}
 	e.consecFails = 0
 	e.health = HealthHealthy
 }
@@ -153,6 +159,9 @@ func (r *Runtime) noteSuccess(e *hfEntry) {
 // background recovery: a PR reload of its region through ICAP. Cold path;
 // the closure allocation is fine here.
 func (r *Runtime) quarantine(e *hfEntry) {
+	if r.tel != nil && e.health != HealthQuarantined {
+		r.tel.Health.Quarantined.Inc()
+	}
 	e.health = HealthQuarantined
 	e.quarantines++
 	if e.reloading {
@@ -179,6 +188,9 @@ func (r *Runtime) reloaded(e *hfEntry) {
 		// module bug; traffic failures would re-quarantine, so recovery
 		// stays safe either way.
 		_ = dev.Configure(e.regionIdx, blob)
+	}
+	if r.tel != nil && e.health != HealthHealthy {
+		r.tel.Health.Recovered.Inc()
 	}
 	e.consecFails = 0
 	e.health = HealthHealthy

@@ -18,6 +18,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/pcie"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 	"github.com/opencloudnext/dhl-go/internal/ring"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // NFID identifies a registered network function (paper: nf_id).
@@ -131,6 +132,16 @@ type Config struct {
 	// and →Quarantined. Zero selects 2 and 5.
 	DegradeAfter    int
 	QuarantineAfter int
+
+	// Telemetry, when set, arms the zero-allocation telemetry layer: the
+	// per-batch stage clock (IBQ wait → pack → H2C → accelerator → C2H →
+	// distribute) recorded into the registry's histograms, the per-batch
+	// trace span ring, per-core counter blocks, health-transition
+	// counters, and occupancy pull gauges for the rings and the batch
+	// arena. Nil leaves the hot path exactly as before; with it set, the
+	// steady-state allocation budget is still zero (everything the data
+	// path records into is preallocated and atomic).
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -246,6 +257,9 @@ type Runtime struct {
 	// armed caches whether the fault detection/recovery machinery is on
 	// (Config.Faults set or WatchdogTimeout > 0).
 	armed bool
+	// tel caches Config.Telemetry (nil when telemetry is off) so hot
+	// paths pay one nil check, not a config indirection.
+	tel *telemetry.Registry
 }
 
 type hfKey struct {
@@ -271,6 +285,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		nodeRx:  make([]*rxEngine, cfg.Nodes),
 		pools:   make([]*mbuf.Pool, cfg.Nodes),
 		armed:   cfg.Faults != nil || cfg.WatchdogTimeout > 0,
+		tel:     cfg.Telemetry,
 	}
 	for node := 0; node < cfg.Nodes; node++ {
 		ibq, rerr := ring.New[*mbuf.Mbuf](fmt.Sprintf("ibq-node%d", node),
@@ -279,6 +294,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			return nil, rerr
 		}
 		r.ibqs = append(r.ibqs, ibq)
+		if r.tel != nil {
+			q := ibq
+			r.tel.RegisterGauge("dhl_ring_occupancy", fmt.Sprintf("ring=%q", q.Name()),
+				"Current queue depth of a runtime ring (IBQ, OBQ, DMA completion).",
+				func() float64 { return float64(q.Len()) })
+		}
 	}
 	return r, nil
 }
@@ -331,6 +352,11 @@ func (r *Runtime) Register(name string, node int) (NFID, error) {
 		return 0, err
 	}
 	r.nfs = append(r.nfs, &nfEntry{name: name, node: node, obq: obq})
+	if r.tel != nil {
+		r.tel.RegisterGauge("dhl_ring_occupancy", fmt.Sprintf("ring=%q", obq.Name()),
+			"Current queue depth of a runtime ring (IBQ, OBQ, DMA completion).",
+			func() float64 { return float64(obq.Len()) })
+	}
 	return NFID(len(r.nfs)), nil
 }
 
@@ -421,6 +447,13 @@ func (r *Runtime) LoadPR(name string, node int) (AccID, error) {
 	entry.accID = r.nextAcc
 	r.hfByKey[hfKey{name, node}] = entry
 	r.hfByAcc[entry.accID] = entry
+	if r.tel != nil {
+		e := entry
+		r.tel.RegisterGauge("dhl_acc_health",
+			fmt.Sprintf("acc_id=\"%d\",hf=%q", e.accID, name),
+			"Accelerator health-FSM state: 1 healthy, 2 degraded, 3 quarantined.",
+			func() float64 { return float64(e.health) })
+	}
 	return entry.accID, nil
 }
 
@@ -502,8 +535,17 @@ func (r *Runtime) SendPackets(id NFID, pkts []*mbuf.Mbuf) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// With telemetry armed, stamp IBQ entry so the TX core can record the
+	// queue-wait stage at dequeue. A stamp of zero means "unstamped"; the
+	// simulation's instant zero predates any settled system, so no real
+	// enqueue is lost to the sentinel.
+	var stamp int64
+	if r.tel != nil {
+		stamp = int64(r.sim.Now())
+	}
 	for _, m := range pkts {
 		m.NFID = uint16(id)
+		m.QueuedAt = stamp
 	}
 	n := r.ibqs[nf.node].EnqueueBurst(pkts)
 	nf.sent += uint64(n)

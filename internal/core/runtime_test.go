@@ -77,11 +77,11 @@ func newRig(t *testing.T, cfg Config, specs ...fpga.ModuleSpec) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev, err := fpga.NewDevice(sim, fpga.Config{})
+	dev, err := fpga.NewDevice(sim, fpga.Config{Telemetry: cfg.Telemetry})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dma := pcie.NewEngine(sim, pcie.Config{})
+	dma := pcie.NewEngine(sim, pcie.Config{Telemetry: cfg.Telemetry})
 	cfg.Sim = sim
 	cfg.FPGAs = []FPGAAttachment{{Device: dev, DMA: dma}}
 	rt, err := NewRuntime(cfg)

@@ -9,6 +9,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/pcie"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 	"github.com/opencloudnext/dhl-go/internal/ring"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // TransferStats are the data transfer layer's lifetime counters for one
@@ -114,6 +115,12 @@ type txEngine struct {
 	// bookkeeping entirely on the fault-free path.
 	stopped  bool
 	watchdog eventsim.Time
+
+	// tel/telC are the telemetry registry and this core's padded counter
+	// block, both nil when telemetry is off. Every probe on the hot path
+	// is behind a tel nil check; recording is atomic and allocation-free.
+	tel  *telemetry.Registry
+	telC *telemetry.CoreCounters
 }
 
 // rxEngine is one node's RX poll core: DMA completion polling +
@@ -141,6 +148,10 @@ type rxEngine struct {
 	wdTimer   *eventsim.Timer
 	wdPeriod  eventsim.Time
 	timeout   eventsim.Time
+
+	// tel/telC mirror txEngine's telemetry handles for the RX side.
+	tel  *telemetry.Registry
+	telC *telemetry.CoreCounters
 }
 
 // AttachCores binds a TX and an RX poll core to a NUMA node and starts the
@@ -180,6 +191,24 @@ func (r *Runtime) AttachCores(node int, txCore, rxCore *eventsim.Core, pool *mbu
 		rx.timeout = r.cfg.WatchdogTimeout
 		rx.wdPeriod = max(r.cfg.WatchdogTimeout/2, eventsim.Microsecond)
 		rx.wdTimer = r.sim.NewTimer(rx.watchdogFire)
+	}
+	if tel := r.tel; tel != nil {
+		tx.tel, rx.tel = tel, tel
+		tx.telC = tel.RegisterCore("tx", node)
+		rx.telC = tel.RegisterCore("rx", node)
+		nodeLabel := fmt.Sprintf("node=\"%d\"", node)
+		tel.RegisterGauge("dhl_ring_occupancy", fmt.Sprintf("ring=%q", completions.Name()),
+			"Current queue depth of a runtime ring (IBQ, OBQ, DMA completion).",
+			func() float64 { return float64(completions.Len()) })
+		tel.RegisterGauge("dhl_arena_outstanding", nodeLabel,
+			"Batch-arena segments currently leased out on the node.",
+			func() float64 { return float64(tx.arena.outstanding()) })
+		tel.RegisterGauge("dhl_arena_segments", nodeLabel,
+			"Batch-arena segments ever grown on the node (freelist high-water mark).",
+			func() float64 { return float64(tx.arena.grown) })
+		tel.RegisterGauge("dhl_watchdog_watched", nodeLabel,
+			"Inflight batches currently under the RX watchdog's deadline watch.",
+			func() float64 { return float64(len(rx.watch)) })
 	}
 	r.nodeTx[node] = tx
 	r.nodeRx[node] = rx
@@ -303,6 +332,15 @@ func (t *txEngine) body() (float64, func()) {
 		return cycles, t.pendingCommit()
 	}
 	t.stats.IBQDrained += uint64(n)
+	if t.tel != nil {
+		// IBQ-wait stage: SendPackets stamp -> this dequeue, per packet.
+		for _, m := range t.scratch[:n] {
+			if m.QueuedAt > 0 {
+				t.tel.Stages[telemetry.StageIBQWait].Observe(now - eventsim.Time(m.QueuedAt))
+				m.QueuedAt = 0
+			}
+		}
+	}
 	for _, m := range t.scratch[:n] {
 		acc := AccID(m.AccID)
 		st, ok := t.staging[acc]
@@ -438,6 +476,17 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 	ib.dma = att.DMA
 	ib.dev = att.Device
 	ib.regionIdx = e.regionIdx
+	if t.tel != nil {
+		// Open the batch's trace span: identity, size, and the pack-stage
+		// boundary (first packet staged -> this flush).
+		sp := &ib.span
+		sp.Start = st.firstAt
+		sp.StageEnd[telemetry.StagePack] = t.r.sim.Now()
+		sp.NFID = ib.meta[0].NFID
+		sp.AccID = uint16(acc)
+		sp.Packets = uint32(len(ib.meta))
+		sp.Bytes = uint32(len(ib.buf))
+	}
 	if quarantined {
 		if e.fallback != nil {
 			ib.mode = modeFallback
@@ -626,6 +675,18 @@ func (x *rxEngine) distribute(cb *inflight) {
 		}
 	} else if cb.mode == modeFPGA {
 		x.r.noteSuccess(cb.hf)
+	}
+	if x.tel != nil {
+		out := telemetry.OutcomeOK
+		switch {
+		case corrupt:
+			out = telemetry.OutcomeCorrupt
+		case cb.mode == modeFallback:
+			out = telemetry.OutcomeFallback
+		case cb.mode == modeUnprocessed:
+			out = telemetry.OutcomeUnprocessed
+		}
+		cb.telFinalize(x.telC, out)
 	}
 	cb.t.releaseInflight(cb)
 }

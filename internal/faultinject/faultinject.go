@@ -100,11 +100,16 @@ const (
 // total number of firings (0 = unlimited) so storms end and recovery can
 // be measured. Stall is the injected delay for the stall kinds.
 type Spec struct {
-	Kind   Kind
+	// Kind selects which fault to inject.
+	Kind Kind
+	// EveryN fires the fault on every Nth draw (0 disables the trigger).
 	EveryN uint64
-	Prob   float64
-	Count  uint64
-	Stall  eventsim.Time
+	// Prob fires the fault on each draw with this probability [0, 1].
+	Prob float64
+	// Count caps the total number of firings; 0 means unlimited.
+	Count uint64
+	// Stall is the injected delay for the stall kinds.
+	Stall eventsim.Time
 }
 
 // ErrBadSpec reports an invalid fault spec at plan construction.

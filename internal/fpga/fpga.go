@@ -19,6 +19,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
 	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // Errors returned by device operations.
@@ -178,6 +179,11 @@ type Config struct {
 	// The module kinds (ModuleError/Garbage/Hang, RegionSEU) are drawn in
 	// Dispatch, once per batch, mutually exclusive per draw site.
 	Faults *faultinject.Plan
+	// Telemetry, when set, records every dispatched batch's service time
+	// (queueing + serialization + pipeline delay) into the registry's
+	// Dispatch histogram. Nil records nothing; the probe is atomic and
+	// allocation-free either way.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -598,6 +604,9 @@ func (d *Device) Dispatch(regionIdx int, batch, dst []byte, done func(out []byte
 	// Pipeline latency on top of serialization.
 	delay := eventsim.Time(float64(r.spec.DelayCycles) / d.cfg.ClockHz * 1e12)
 	complete := r.freeAt + delay
+	if tel := d.cfg.Telemetry; tel != nil {
+		tel.Dispatch.Observe(complete - d.sim.Now())
+	}
 	ctx := d.getCtx()
 	ctx.module, ctx.batch, ctx.dst, ctx.done = r.module, batch, dst, done
 	// Fault draws, mutually exclusive per batch so every injection has

@@ -125,11 +125,16 @@ func (tb *testbed) core() *eventsim.Core {
 // engine and the stock accelerator module database.
 func (tb *testbed) newRuntime(dmaCfg pcie.Config, coreCfg core.Config) (*core.Runtime, *fpga.Device, *pcie.Engine, error) {
 	// A fault plan on the runtime config is shared with the DMA engine and
-	// the FPGA device, so one seed drives every injection layer.
+	// the FPGA device, so one seed drives every injection layer. A
+	// telemetry registry propagates the same way: arming the runtime arms
+	// the DMA service-time and Dispatcher histograms too.
 	if dmaCfg.Faults == nil {
 		dmaCfg.Faults = coreCfg.Faults
 	}
-	dev, err := fpga.NewDevice(tb.sim, fpga.Config{ID: 0, Node: 0, Faults: coreCfg.Faults})
+	if dmaCfg.Telemetry == nil {
+		dmaCfg.Telemetry = coreCfg.Telemetry
+	}
+	dev, err := fpga.NewDevice(tb.sim, fpga.Config{ID: 0, Node: 0, Faults: coreCfg.Faults, Telemetry: coreCfg.Telemetry})
 	if err != nil {
 		return nil, nil, nil, err
 	}

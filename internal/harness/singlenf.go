@@ -11,6 +11,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/pcie"
 	"github.com/opencloudnext/dhl-go/internal/perf"
 	"github.com/opencloudnext/dhl-go/internal/ring"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // SingleNFConfig parameterizes the Figure 6 experiment: one NF instance on
@@ -44,6 +45,10 @@ type SingleNFConfig struct {
 	// PoolCapacity overrides the testbed mbuf pool size (failure
 	// injection runs use a starved pool).
 	PoolCapacity int
+	// Telemetry, when set, arms the runtime's per-stage telemetry for DHL
+	// runs (used by the overhead experiment and the per-stage latency
+	// breakdown). Nil leaves the hot path untouched.
+	Telemetry *telemetry.Registry
 }
 
 func (c SingleNFConfig) withDefaults() SingleNFConfig {
@@ -381,7 +386,7 @@ func wireCPUOnly(tb *testbed, rxPort, txPort *netdev.Port, proc swProcessor, dro
 func wireDHL(tb *testbed, rxPort, txPort *netdev.Port, cfg SingleNFConfig, dropped *uint64) (*core.Runtime, error) {
 	rt, _, _, err := tb.newRuntime(
 		pcie.Config{Mode: cfg.Driver, RemoteNUMA: cfg.RemoteNUMA},
-		core.Config{Batching: cfg.Batching, BatchBytes: cfg.BatchBytes, FlushTimeout: cfg.FlushTimeout},
+		core.Config{Batching: cfg.Batching, BatchBytes: cfg.BatchBytes, FlushTimeout: cfg.FlushTimeout, Telemetry: cfg.Telemetry},
 	)
 	if err != nil {
 		return nil, err

@@ -16,8 +16,11 @@ type CheckedErr struct{}
 // The list covers the Table II surface (Register/LoadPR/SearchByName/
 // AccConfigure/Unregister/SendPackets/ReceivePackets), the mempool
 // contract entry points (Pool.Free/FreeBulk/Retain/AllocBulk, Cache.Free/
-// Flush), and the recovery surface (Device.Reload/ResetRegion,
-// Runtime.RegisterFallback) on any type in this module that defines them.
+// Flush), the recovery surface (Device.Reload/ResetRegion,
+// Runtime.RegisterFallback), and the telemetry exporter lifecycle
+// (Exporter.Serve/Close — a dropped Serve error is a metrics endpoint
+// that silently never came up) on any type in this module that defines
+// them.
 var apiMethods = map[string]bool{
 	"SendPackets":      true,
 	"ReceivePackets":   true,
@@ -36,6 +39,8 @@ var apiMethods = map[string]bool{
 	"Reload":           true,
 	"ResetRegion":      true,
 	"RegisterFallback": true,
+	"Serve":            true,
+	"Close":            true,
 }
 
 // Name implements Analyzer.

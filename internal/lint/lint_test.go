@@ -88,6 +88,8 @@ func TestGoldenPositives(t *testing.T) {
 				"result of Retain",
 				"result of Reload",
 				"result of ResetRegion",
+				"result of Serve",
+				"result of Close",
 			},
 		},
 	}

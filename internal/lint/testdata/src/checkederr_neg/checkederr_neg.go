@@ -3,8 +3,11 @@
 package checkederr_neg
 
 import (
+	"net"
+
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // Propagated returns the API error to the caller.
@@ -35,4 +38,12 @@ func RecoveryHandled(d *fpga.Device) error {
 		return err
 	}
 	return d.ResetRegion(0)
+}
+
+// ExporterHandled propagates Serve and deliberately discards Close, and
+// Close on a type outside the module (net.Listener) stays out of scope.
+func ExporterHandled(e *telemetry.Exporter, ln net.Listener) error {
+	defer func() { _ = e.Close() }()
+	ln.Close()
+	return e.Serve(ln)
 }

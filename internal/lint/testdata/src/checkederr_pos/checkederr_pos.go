@@ -3,8 +3,11 @@
 package checkederr_pos
 
 import (
+	"net"
+
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // DropFree discards Pool.Free's double-free/foreign-mbuf verdict.
@@ -28,4 +31,12 @@ func DropInGoroutine(p *mbuf.Pool, m *mbuf.Mbuf) {
 func DropRecovery(d *fpga.Device) {
 	d.Reload(0, nil) // dropped error
 	d.ResetRegion(0) // dropped error
+}
+
+// DropExporter discards the exporter lifecycle errors: a Serve failure on
+// a goroutine is a metrics endpoint that silently never came up, and a
+// dropped Close loses the shutdown verdict.
+func DropExporter(e *telemetry.Exporter, ln net.Listener) {
+	go e.Serve(ln) // dropped error
+	e.Close()      // dropped error
 }

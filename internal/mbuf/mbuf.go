@@ -53,6 +53,11 @@ type Mbuf struct {
 	// RxTimestamp records virtual ingress time in picoseconds; used for the
 	// end-to-end latency measurements of Figure 6.
 	RxTimestamp int64
+	// QueuedAt records when SendPackets enqueued the packet onto the
+	// shared IBQ (picoseconds on the simulation clock). Stamped only when
+	// telemetry is armed — the TX core consumes it for the IBQ-wait stage
+	// histogram and zeroes it at dequeue; zero means "unstamped".
+	QueuedAt int64
 	// Userdata carries per-packet NF scratch state (e.g. matched rule IDs).
 	Userdata uint64
 	// Status reports how the runtime processed the packet on its way to
@@ -119,6 +124,7 @@ func (m *Mbuf) Reset() {
 	m.AccID = 0
 	m.Port = 0
 	m.RxTimestamp = 0
+	m.QueuedAt = 0
 	m.Userdata = 0
 	m.Status = StatusOK
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
 	"github.com/opencloudnext/dhl-go/internal/faultinject"
 	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
 // DriverMode selects the host driver model.
@@ -92,6 +93,11 @@ type Config struct {
 	// The DMA kinds (DMAH2CError/Corrupt/Stall and the C2H trio) are
 	// drawn here, after size validation, once per posted transfer.
 	Faults *faultinject.Plan
+	// Telemetry, when set, records every accepted transfer's service
+	// time (post to completion, queueing included) into the registry's
+	// per-direction DMA histograms. Nil records nothing; the probe is
+	// atomic and allocation-free either way.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -260,6 +266,13 @@ func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, 
 	// it does not book channel occupancy, so one stalled descriptor does
 	// not back-pressure the whole direction into a timeout cascade.
 	complete := ch.freeAt + e.oneWayLatency() + stall
+	if tel := e.cfg.Telemetry; tel != nil {
+		h := &tel.DMAH2C
+		if dir == C2H {
+			h = &tel.DMAC2H
+		}
+		h.Observe(complete - e.sim.Now())
+	}
 	if done != nil {
 		e.sim.At(complete, done)
 	}

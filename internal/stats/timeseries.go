@@ -28,12 +28,23 @@ func NewTimeSeries(horizon float64, n int) *TimeSeries {
 	return &TimeSeries{width: horizon / float64(n), buckets: make([]float64, n)}
 }
 
-// Add accumulates weight w into the bucket containing time t.
+// Add accumulates weight w into the bucket containing time t. Times
+// outside [0, horizon) — including NaN and the infinities — count as
+// spilled. The range check runs on the float64 before the index
+// conversion: a time far past the horizon (or NaN) converted to int is
+// implementation-defined and can go negative, which would otherwise slip
+// past a post-conversion bounds check and panic.
 func (ts *TimeSeries) Add(t, w float64) {
-	i := int(t / ts.width)
-	if t < 0 || i >= len(ts.buckets) {
+	if !(t >= 0) || t >= ts.width*float64(len(ts.buckets)) {
 		ts.spilled++
 		return
+	}
+	i := int(t / ts.width)
+	if i >= len(ts.buckets) {
+		// Rounding at the exact horizon boundary: t passed the float
+		// comparison but the division landed on len. Clamp to the last
+		// bucket — the observation is inside the covered range.
+		i = len(ts.buckets) - 1
 	}
 	ts.buckets[i] += w
 }

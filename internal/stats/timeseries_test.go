@@ -67,6 +67,75 @@ func TestTimeSeriesRates(t *testing.T) {
 	}
 }
 
+// TestTimeSeriesHorizonWrap pins the Add range check to run on the
+// float64 before any int conversion: a time astronomically past the
+// horizon (or NaN) converted to int is implementation-defined — on amd64
+// it becomes the minimum int64 — and a post-conversion bounds check would
+// accept the negative index and panic.
+func TestTimeSeriesHorizonWrap(t *testing.T) {
+	ts := NewTimeSeries(10, 10)
+	for _, tt := range []float64{1e300, math.MaxFloat64, math.Inf(1), math.Inf(-1), math.NaN(), -1e300} {
+		ts.Add(tt, 1) // must not panic
+	}
+	if got := ts.Spilled(); got != 6 {
+		t.Errorf("spilled = %d, want 6", got)
+	}
+	for i, w := range ts.Buckets() {
+		if w != 0 {
+			t.Errorf("bucket %d = %v, want 0", i, w)
+		}
+	}
+}
+
+// TestTimeSeriesBoundaryRounding exercises the clamp branch: a time just
+// under the horizon whose division rounds up to len lands in the last
+// bucket, not in spilled.
+func TestTimeSeriesBoundaryRounding(t *testing.T) {
+	// width = 0.7/7 = 0.1 is not exactly representable; the largest
+	// double below the horizon can divide to exactly len(buckets).
+	ts := NewTimeSeries(0.7, 7)
+	horizon := ts.BucketWidth() * 7
+	under := math.Nextafter(horizon, 0)
+	ts.Add(under, 3)
+	if ts.Spilled() != 0 {
+		t.Fatalf("spilled = %d, want 0 (t=%v < horizon=%v)", ts.Spilled(), under, horizon)
+	}
+	if got := ts.Buckets()[6]; got != 3 {
+		t.Errorf("last bucket = %v, want 3", got)
+	}
+	ts.Add(horizon, 1) // exactly at the horizon: spilled
+	if ts.Spilled() != 1 {
+		t.Errorf("spilled = %d, want 1", ts.Spilled())
+	}
+}
+
+// TestTimeSeriesSpilledAndMeanRateEdges covers Spilled accounting mixed
+// with in-range adds, and MeanRate on empty/degenerate windows.
+func TestTimeSeriesSpilledAndMeanRateEdges(t *testing.T) {
+	ts := NewTimeSeries(4, 4)
+	ts.Add(0.5, 10)
+	ts.Add(-0.0001, 1)
+	ts.Add(4, 1)
+	ts.Add(math.NaN(), 1)
+	if got := ts.Spilled(); got != 3 {
+		t.Errorf("spilled = %d, want 3", got)
+	}
+	if got := ts.Buckets()[0]; got != 10 {
+		t.Errorf("bucket 0 = %v, want 10", got)
+	}
+	// Empty and inverted windows report zero rather than dividing by zero.
+	if got := ts.MeanRate(2, 2); got != 0 {
+		t.Errorf("empty window = %v, want 0", got)
+	}
+	if got := ts.MeanRate(3, 1); got != 0 {
+		t.Errorf("inverted window = %v, want 0", got)
+	}
+	// A fully-clamped out-of-range window is empty too.
+	if got := ts.MeanRate(17, 99); got != 0 {
+		t.Errorf("out-of-range window = %v, want 0", got)
+	}
+}
+
 func TestTimeSeriesDegenerateShape(t *testing.T) {
 	ts := NewTimeSeries(0, 0)
 	ts.Add(0.5, 10)

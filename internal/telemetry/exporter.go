@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// ErrNotServing is returned by Close when the exporter never started.
+var ErrNotServing = errors.New("telemetry: exporter is not serving")
+
+// Exporter serves a Registry over HTTP:
+//
+//	/metrics      Prometheus text exposition format
+//	/debug/vars   expvar-style JSON: the process's expvar variables plus
+//	              the registry Snapshot under the "dhl" key
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Construct with NewExporter, then either Start (background goroutine on
+// a TCP address) or Serve (caller-owned listener). Close shuts the
+// server down; dropped Serve/Close errors are flagged by dhl-lint's
+// checkederr analyzer, same as the rest of the DHL API surface.
+type Exporter struct {
+	reg *Registry
+
+	mu  sync.Mutex
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewExporter builds an Exporter for reg without binding any socket.
+func NewExporter(reg *Registry) *Exporter {
+	return &Exporter{reg: reg}
+}
+
+// Handler returns the exporter's HTTP mux (metrics + expvar JSON +
+// pprof), for embedding into an existing server.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.metricsHandler)
+	mux.HandleFunc("/debug/vars", e.varsHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve accepts connections on ln until Close (which returns
+// http.ErrServerClosed here) or a listener error. It blocks; use Start
+// for the common background case.
+func (e *Exporter) Serve(ln net.Listener) error {
+	e.mu.Lock()
+	if e.srv == nil {
+		e.srv = &http.Server{Handler: e.Handler()}
+	}
+	srv := e.srv
+	e.ln = ln
+	e.mu.Unlock()
+	return srv.Serve(ln)
+}
+
+// Start binds addr (e.g. "127.0.0.1:9090"; ":0" picks a free port) and
+// serves in a background goroutine, returning the bound address.
+func (e *Exporter) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	// Register the listener here, not in the goroutine, so Addr and Close
+	// see the server as soon as Start returns.
+	e.mu.Lock()
+	if e.srv == nil {
+		e.srv = &http.Server{Handler: e.Handler()}
+	}
+	e.ln = ln
+	e.mu.Unlock()
+	go func() {
+		if serr := e.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			// The listener died under us; nothing to do but stop serving.
+			_ = e.Close()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr reports the listener's address, empty before Serve/Start.
+func (e *Exporter) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ln == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// Close shuts the HTTP server down, closing the listener and any active
+// connections. Returns ErrNotServing if the exporter never started.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	srv := e.srv
+	e.srv, e.ln = nil, nil
+	e.mu.Unlock()
+	if srv == nil {
+		return ErrNotServing
+	}
+	return srv.Close()
+}
+
+// metricsHandler serves the Prometheus text format.
+func (e *Exporter) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// The connection is the only place this error could go.
+	_ = e.reg.WritePrometheus(w)
+}
+
+// varsHandler serves expvar-style JSON: every expvar variable the
+// process has published (cmdline, memstats, ...) plus the registry
+// snapshot under "dhl". The registry is merged in here rather than via
+// expvar.Publish so multiple Systems in one process never collide on the
+// global expvar namespace.
+func (e *Exporter) varsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	snap, err := json.Marshal(e.reg.Snapshot())
+	if err != nil {
+		// A Snapshot is plain data; Marshal cannot fail on it, but keep
+		// the output well-formed regardless.
+		snap = []byte("null")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "dhl", snap)
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): per-stage latency histograms, DMA/dispatch
+// service histograms, per-core counters, health-transition counters, and
+// every registered pull gauge. Families are emitted in a fixed order and
+// gauges are sorted by (name, labels), so identical registry states
+// produce byte-identical output — the golden-file tests rely on that.
+// Cold path only.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ew := &errWriter{w: w}
+
+	// Per-stage latency histograms as one family labelled by stage.
+	ew.printf("# HELP dhl_stage_latency_ns Per-stage batch latency on the simulation clock, nanoseconds.\n")
+	ew.printf("# TYPE dhl_stage_latency_ns histogram\n")
+	for s := Stage(0); s < NumStages; s++ {
+		writeHistogram(ew, "dhl_stage_latency_ns", fmt.Sprintf("stage=%q", s), r.Stages[s].Snapshot())
+	}
+
+	ew.printf("# HELP dhl_dma_service_ns DMA transfer service time, post to completion, nanoseconds.\n")
+	ew.printf("# TYPE dhl_dma_service_ns histogram\n")
+	writeHistogram(ew, "dhl_dma_service_ns", `dir="h2c"`, r.DMAH2C.Snapshot())
+	writeHistogram(ew, "dhl_dma_service_ns", `dir="c2h"`, r.DMAC2H.Snapshot())
+
+	ew.printf("# HELP dhl_dispatch_service_ns Accelerator module service time inside the Dispatcher, nanoseconds.\n")
+	ew.printf("# TYPE dhl_dispatch_service_ns histogram\n")
+	writeHistogram(ew, "dhl_dispatch_service_ns", "", r.Dispatch.Snapshot())
+
+	// Per-core counters: one family per counter kind, labelled by core.
+	r.mu.Lock()
+	cores := append([]*CoreCounters(nil), r.cores...)
+	gauges := append([]GaugeFunc(nil), r.gauges...)
+	r.mu.Unlock()
+	for k := CounterKind(0); k < NumCounters; k++ {
+		name := "dhl_core_" + k.String() + "_total"
+		ew.printf("# HELP %s Transfer-core %s count.\n", name, k)
+		ew.printf("# TYPE %s counter\n", name)
+		for _, cc := range cores {
+			ew.printf("%s{core=%q} %d\n", name, cc.name, cc.Load(k))
+		}
+	}
+
+	ew.printf("# HELP dhl_health_transitions_total Accelerator health-FSM transitions by destination state.\n")
+	ew.printf("# TYPE dhl_health_transitions_total counter\n")
+	ew.printf("dhl_health_transitions_total{to=\"degraded\"} %d\n", r.Health.Degraded.Load())
+	ew.printf("dhl_health_transitions_total{to=\"quarantined\"} %d\n", r.Health.Quarantined.Load())
+	ew.printf("dhl_health_transitions_total{to=\"healthy\"} %d\n", r.Health.Recovered.Load())
+
+	ew.printf("# HELP dhl_spans_total Batch trace spans recorded (the ring retains the most recent %d).\n", r.Spans.Cap())
+	ew.printf("# TYPE dhl_spans_total counter\n")
+	ew.printf("dhl_spans_total %d\n", r.Spans.Count())
+
+	// Registered pull gauges, grouped into families and sorted for
+	// deterministic output.
+	sorted := make([]GaugeSnapshot, 0, len(gauges))
+	help := make(map[string]string, len(gauges))
+	for _, g := range gauges {
+		if _, ok := help[g.Name]; !ok {
+			help[g.Name] = g.Help
+		}
+		sorted = append(sorted, GaugeSnapshot{Name: g.Name, Labels: g.Labels, Value: g.Fn()})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return sorted[i].Labels < sorted[j].Labels
+	})
+	prev := ""
+	for _, g := range sorted {
+		if g.Name != prev {
+			prev = g.Name
+			if h := help[g.Name]; h != "" {
+				ew.printf("# HELP %s %s\n", g.Name, h)
+			}
+			ew.printf("# TYPE %s gauge\n", g.Name)
+		}
+		if g.Labels == "" {
+			ew.printf("%s %s\n", g.Name, formatValue(g.Value))
+		} else {
+			ew.printf("%s{%s} %s\n", g.Name, g.Labels, formatValue(g.Value))
+		}
+	}
+	return ew.err
+}
+
+// writeHistogram emits one histogram's _bucket/_sum/_count samples with
+// cumulative le bounds, Prometheus-style.
+func writeHistogram(ew *errWriter, name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i < NumHistBuckets; i++ {
+		cum += s.Buckets[i]
+		le := "+Inf"
+		if b := BucketBound(i); !math.IsInf(b, 1) {
+			le = strconv.FormatFloat(b, 'f', -1, 64)
+		}
+		ew.printf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	if labels == "" {
+		ew.printf("%s_sum %d\n", name, s.SumNs)
+		ew.printf("%s_count %d\n", name, s.Count)
+	} else {
+		ew.printf("%s_sum{%s} %d\n", name, labels, s.SumNs)
+		ew.printf("%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}
+
+// formatValue renders a gauge value the way Prometheus expects: integral
+// values without a trailing ".0", everything else in shortest-float
+// form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errWriter latches the first write error so the encoder body stays
+// unconditional.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

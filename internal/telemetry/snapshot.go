@@ -1,0 +1,144 @@
+package telemetry
+
+// Snapshot is a point-in-time copy of everything a Registry holds,
+// suitable for JSON encoding (the expvar endpoint serves it verbatim)
+// and for computing per-interval activity with Delta. Taking a snapshot
+// is a cold-path operation: it allocates freely and evaluates every
+// registered pull gauge.
+type Snapshot struct {
+	// Stages holds the per-stage latency histograms, indexed by Stage
+	// (names via Stage.String).
+	Stages [NumStages]HistogramSnapshot
+	// DMAH2C and DMAC2H are the DMA engines' per-transfer service-time
+	// histograms.
+	DMAH2C HistogramSnapshot
+	// DMAC2H is the card-to-host direction of DMAH2C.
+	DMAC2H HistogramSnapshot
+	// Dispatch is the fpga Dispatcher's module service-time histogram.
+	Dispatch HistogramSnapshot
+	// Cores holds each transfer core's counter block.
+	Cores []CoreSnapshot
+	// Health holds the health-FSM transition counts.
+	Health HealthSnapshot
+	// Gauges holds every registered pull gauge, evaluated now.
+	Gauges []GaugeSnapshot
+	// Spans holds the retained trace spans, oldest first.
+	Spans []Span
+}
+
+// CoreSnapshot is one transfer core's counter block at snapshot time.
+type CoreSnapshot struct {
+	// Core is the core label ("tx/0", "rx/0", ...).
+	Core string
+	// Counters holds the block's values indexed by CounterKind.
+	Counters [NumCounters]uint64
+}
+
+// HealthSnapshot copies the health-transition counters.
+type HealthSnapshot struct {
+	// Degraded counts Healthy -> Degraded transitions.
+	Degraded uint64
+	// Quarantined counts transitions into Quarantined.
+	Quarantined uint64
+	// Recovered counts returns to Healthy.
+	Recovered uint64
+}
+
+// GaugeSnapshot is one pull gauge's value at snapshot time.
+type GaugeSnapshot struct {
+	// Name is the metric family name.
+	Name string
+	// Labels is the pre-rendered label list (no braces).
+	Labels string
+	// Value is the gauge's value when the snapshot was taken.
+	Value float64
+}
+
+// Snapshot copies the registry's current state, evaluating every
+// registered pull gauge. Cold path; safe to call while the simulation
+// records.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for i := range r.Stages {
+		s.Stages[i] = r.Stages[i].Snapshot()
+	}
+	s.DMAH2C = r.DMAH2C.Snapshot()
+	s.DMAC2H = r.DMAC2H.Snapshot()
+	s.Dispatch = r.Dispatch.Snapshot()
+	s.Health = HealthSnapshot{
+		Degraded:    r.Health.Degraded.Load(),
+		Quarantined: r.Health.Quarantined.Load(),
+		Recovered:   r.Health.Recovered.Load(),
+	}
+	r.mu.Lock()
+	cores := append([]*CoreCounters(nil), r.cores...)
+	gauges := append([]GaugeFunc(nil), r.gauges...)
+	r.mu.Unlock()
+	for _, cc := range cores {
+		cs := CoreSnapshot{Core: cc.name}
+		for k := CounterKind(0); k < NumCounters; k++ {
+			cs.Counters[k] = cc.Load(k)
+		}
+		s.Cores = append(s.Cores, cs)
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.Name, Labels: g.Labels, Value: g.Fn()})
+	}
+	s.Spans = r.Spans.Snapshot()
+	return s
+}
+
+// Delta subtracts prev's monotonic values from s, yielding the activity
+// between the two snapshots: histogram and counter deltas, gauges at
+// their current (s) values, and only the spans pushed after prev was
+// taken. Both snapshots must come from the same registry; mismatched
+// cores are carried through at their current values.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	d := &Snapshot{}
+	for i := range s.Stages {
+		d.Stages[i] = s.Stages[i].Delta(prev.Stages[i])
+	}
+	d.DMAH2C = s.DMAH2C.Delta(prev.DMAH2C)
+	d.DMAC2H = s.DMAC2H.Delta(prev.DMAC2H)
+	d.Dispatch = s.Dispatch.Delta(prev.Dispatch)
+	d.Health = HealthSnapshot{
+		Degraded:    subClamp(s.Health.Degraded, prev.Health.Degraded),
+		Quarantined: subClamp(s.Health.Quarantined, prev.Health.Quarantined),
+		Recovered:   subClamp(s.Health.Recovered, prev.Health.Recovered),
+	}
+	prevCores := make(map[string]CoreSnapshot, len(prev.Cores))
+	for _, cs := range prev.Cores {
+		prevCores[cs.Core] = cs
+	}
+	for _, cs := range s.Cores {
+		dc := CoreSnapshot{Core: cs.Core}
+		pc := prevCores[cs.Core]
+		for k := range cs.Counters {
+			dc.Counters[k] = subClamp(cs.Counters[k], pc.Counters[k])
+		}
+		d.Cores = append(d.Cores, dc)
+	}
+	d.Gauges = append(d.Gauges, s.Gauges...)
+	var lastSeq uint64
+	if n := len(prev.Spans); n > 0 {
+		lastSeq = prev.Spans[n-1].Seq
+	}
+	for _, sp := range s.Spans {
+		if sp.Seq > lastSeq {
+			d.Spans = append(d.Spans, sp)
+		}
+	}
+	return d
+}
+
+// CounterTotal sums one counter kind across every core block.
+func (s *Snapshot) CounterTotal(k CounterKind) uint64 {
+	var sum uint64
+	for _, cs := range s.Cores {
+		sum += cs.Counters[k]
+	}
+	return sum
+}

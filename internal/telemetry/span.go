@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+)
+
+// Outcome is a batch span's final disposition.
+type Outcome uint8
+
+// Span outcomes.
+const (
+	// OutcomeOK: the batch completed the FPGA chain and was distributed.
+	OutcomeOK Outcome = iota
+	// OutcomeFallback: a quarantined accelerator's batch was processed
+	// by its registered software fallback.
+	OutcomeFallback
+	// OutcomeUnprocessed: a quarantined accelerator had no fallback; the
+	// batch was delivered untouched.
+	OutcomeUnprocessed
+	// OutcomeFailed: the batch took the failure edge (DMA give-up,
+	// dispatch error) and its packets were dropped.
+	OutcomeFailed
+	// OutcomeCorrupt: the response framing did not decode (DMA
+	// corruption, module garbage, SEU damage).
+	OutcomeCorrupt
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeFallback:
+		return "fallback"
+	case OutcomeUnprocessed:
+		return "unprocessed"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Span is one batch's trace record: identity, size, per-stage absolute
+// timestamps on the simulation clock, and the final outcome. Spans are
+// plain values (no pointers) so the ring recycles them without touching
+// the heap; the transfer layer assembles the span in place on its pooled
+// inflight object and pushes a copy at finalization.
+type Span struct {
+	// Seq is the ring-assigned monotonic sequence number, 1-based.
+	Seq uint64
+	// NFID is the nf_id of the batch's first packet (a batch is staged
+	// per accelerator, so it may carry several NFs; the first identifies
+	// the dominant flow).
+	NFID uint16
+	// AccID is the destination accelerator instance.
+	AccID uint16
+	// Packets is the number of packets the batch carried.
+	Packets uint32
+	// Bytes is the encoded request batch size handed to the DMA engine.
+	Bytes uint32
+	// Retries is how many transient DMA re-posts the batch consumed.
+	Retries uint8
+	// Outcome is the final disposition.
+	Outcome Outcome
+	// Start is when the Packer staged the batch's first packet.
+	Start eventsim.Time
+	// StageEnd records each stage's absolute completion time; zero means
+	// the stage did not run (fallback and unprocessed batches skip the
+	// DMA and accelerator legs; StageIBQWait is tracked per packet, not
+	// per batch, so its slot stays zero).
+	StageEnd [NumStages]eventsim.Time
+}
+
+// Reset zeroes the span for reuse by a recycled inflight object.
+func (s *Span) Reset() { *s = Span{} }
+
+// SpanRing is a bounded ring of the most recent batch spans, overwriting
+// oldest-first. Push is allocation-free (a mutex around one struct
+// copy); Snapshot is the cold read side.
+type SpanRing struct {
+	mu  sync.Mutex // guards seq and buf
+	seq uint64
+	buf []Span
+}
+
+// Push appends a copy of s, stamping its Seq. Safe for concurrent use;
+// zero allocations.
+func (r *SpanRing) Push(s *Span) {
+	r.mu.Lock()
+	r.seq++
+	s.Seq = r.seq
+	r.buf[(r.seq-1)%uint64(len(r.buf))] = *s
+	r.mu.Unlock()
+}
+
+// Count reports how many spans have ever been pushed (the ring retains
+// the most recent Cap of them).
+func (r *SpanRing) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Cap reports the ring's capacity.
+func (r *SpanRing) Cap() int { return len(r.buf) }
+
+// Snapshot copies the retained spans, oldest first. Cold path: the
+// result is freshly allocated.
+func (r *SpanRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seq
+	cap64 := uint64(len(r.buf))
+	if n > cap64 {
+		n = cap64
+	}
+	out := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		// Oldest retained span is seq r.seq-n+1 at index (seq-1)%cap.
+		seq := r.seq - n + 1 + i
+		out = append(out, r.buf[(seq-1)%cap64])
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+)
+
+func TestHistogramBucketIndex(t *testing.T) {
+	// Bucket i's inclusive upper bound is 128<<i ns; an observation lands
+	// in the first bucket whose bound it does not exceed.
+	cases := []struct {
+		ns     uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 0},
+		{127, 0},
+		{128, 0},
+		{129, 1},
+		{256, 1},
+		{257, 2},
+		{512, 2},
+		{128 << 26, NumHistBuckets - 2},
+		{128<<26 + 1, NumHistBuckets - 1},
+		{1 << 50, NumHistBuckets - 1},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(eventsim.Time(tc.ns) * eventsim.Nanosecond)
+		s := h.Snapshot()
+		got := -1
+		for i, b := range s.Buckets {
+			if b != 0 {
+				if got != -1 {
+					t.Fatalf("ns=%d: more than one bucket incremented", tc.ns)
+				}
+				got = i
+			}
+		}
+		if got != tc.bucket {
+			t.Errorf("ns=%d landed in bucket %d, want %d", tc.ns, got, tc.bucket)
+		}
+		if s.Count != 1 || s.SumNs != tc.ns {
+			t.Errorf("ns=%d: count=%d sum=%d", tc.ns, s.Count, s.SumNs)
+		}
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * eventsim.Microsecond)
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 || s.SumNs != 0 || s.Count != 1 {
+		t.Errorf("negative observation: %+v", s)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, us := range []int64{1, 1, 2, 4, 1000} {
+		h.Observe(eventsim.Time(us) * eventsim.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if want := float64(1+1+2+4+1000) * 1000 / 5; s.MeanNs() != want {
+		t.Errorf("mean = %v, want %v", s.MeanNs(), want)
+	}
+	// Three of five observations are <= 2048 ns (1µs, 1µs, 2µs): the
+	// 0.6-quantile bound is the 2048 ns bucket, the max lands at 1.048 ms.
+	if got := s.QuantileNs(0.6); got != 2048 {
+		t.Errorf("p60 = %v, want 2048", got)
+	}
+	if got := s.QuantileNs(1); got != float64(uint64(128)<<13) {
+		t.Errorf("p100 = %v, want %v", got, uint64(128)<<13)
+	}
+	var empty HistogramSnapshot
+	if empty.MeanNs() != 0 || empty.QuantileNs(0.5) != 0 {
+		t.Error("empty snapshot should report zero stats")
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * eventsim.Microsecond)
+	before := h.Snapshot()
+	h.Observe(1 * eventsim.Microsecond)
+	h.Observe(4 * eventsim.Microsecond)
+	d := h.Snapshot().Delta(before)
+	if d.Count != 2 || d.SumNs != 5000 {
+		t.Errorf("delta count=%d sum=%d, want 2/5000", d.Count, d.SumNs)
+	}
+	// Mismatched snapshots clamp instead of underflowing.
+	u := before.Delta(h.Snapshot())
+	if u.Count != 0 || u.SumNs != 0 {
+		t.Errorf("underflow not clamped: %+v", u)
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	r := New(4)
+	for i := 1; i <= 6; i++ {
+		sp := Span{NFID: uint16(i)}
+		r.Spans.Push(&sp)
+		if sp.Seq != uint64(i) {
+			t.Fatalf("push %d assigned seq %d", i, sp.Seq)
+		}
+	}
+	if r.Spans.Count() != 6 || r.Spans.Cap() != 4 {
+		t.Fatalf("count=%d cap=%d", r.Spans.Count(), r.Spans.Cap())
+	}
+	got := r.Spans.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d", len(got))
+	}
+	// Oldest-first: pushes 3..6 survive the wrap.
+	for i, sp := range got {
+		if want := uint64(i + 3); sp.Seq != want || sp.NFID != uint16(want) {
+			t.Errorf("snapshot[%d] = seq %d nf %d, want %d", i, sp.Seq, sp.NFID, want)
+		}
+	}
+}
+
+func TestSpanRingPartial(t *testing.T) {
+	r := New(8)
+	if got := r.Spans.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot len = %d", len(got))
+	}
+	r.Spans.Push(&Span{NFID: 7})
+	got := r.Spans.Snapshot()
+	if len(got) != 1 || got[0].Seq != 1 || got[0].NFID != 7 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	r := New(8)
+	cc := r.RegisterCore("tx", 0)
+	sp := Span{Packets: 4, Bytes: 1024}
+	if n := testing.AllocsPerRun(200, func() {
+		r.ObserveStage(StageH2C, 3*eventsim.Microsecond)
+		r.DMAH2C.Observe(2 * eventsim.Microsecond)
+		cc.Inc(CounterBatches)
+		cc.Add(CounterBytes, 1024)
+		r.Health.Degraded.Inc()
+		r.Spans.Push(&sp)
+	}); n != 0 {
+		t.Fatalf("recording allocated %v per run, want 0", n)
+	}
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	r := New(8)
+	tx := r.RegisterCore("tx", 0)
+	rx := r.RegisterCore("rx", 0)
+	r.RegisterGauge("dhl_test_gauge", `q="a"`, "test", func() float64 { return 42 })
+	tx.Add(CounterBatches, 3)
+	rx.Add(CounterPackets, 96)
+	r.ObserveStage(StagePack, eventsim.Microsecond)
+	r.Health.Quarantined.Inc()
+	r.Spans.Push(&Span{NFID: 1})
+	before := r.Snapshot()
+	if before.CounterTotal(CounterBatches) != 3 || before.CounterTotal(CounterPackets) != 96 {
+		t.Fatalf("counter totals: %+v", before.Cores)
+	}
+	if len(before.Gauges) != 1 || before.Gauges[0].Value != 42 {
+		t.Fatalf("gauges: %+v", before.Gauges)
+	}
+	if before.Health.Quarantined != 1 {
+		t.Fatalf("health: %+v", before.Health)
+	}
+
+	tx.Add(CounterBatches, 2)
+	r.ObserveStage(StagePack, eventsim.Microsecond)
+	r.Spans.Push(&Span{NFID: 2})
+	d := r.Snapshot().Delta(before)
+	if d.CounterTotal(CounterBatches) != 2 {
+		t.Errorf("delta batches = %d, want 2", d.CounterTotal(CounterBatches))
+	}
+	if d.Stages[StagePack].Count != 1 {
+		t.Errorf("delta pack count = %d, want 1", d.Stages[StagePack].Count)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].NFID != 2 {
+		t.Errorf("delta spans = %+v, want only the new span", d.Spans)
+	}
+	if d.Health.Quarantined != 0 {
+		t.Errorf("delta health = %+v", d.Health)
+	}
+	// Delta against nil is the snapshot itself.
+	s := r.Snapshot()
+	if s.Delta(nil) != s {
+		t.Error("Delta(nil) should return the snapshot unchanged")
+	}
+}
+
+func TestStageAndOutcomeNames(t *testing.T) {
+	wantStages := []string{"ibq_wait", "pack", "h2c", "accelerator", "c2h", "distribute"}
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() != wantStages[s] {
+			t.Errorf("stage %d = %q, want %q", s, s, wantStages[s])
+		}
+	}
+	wantOutcomes := []string{"ok", "fallback", "unprocessed", "failed", "corrupt"}
+	for o := Outcome(0); int(o) < len(wantOutcomes); o++ {
+		if o.String() != wantOutcomes[o] {
+			t.Errorf("outcome %d = %q, want %q", o, o, wantOutcomes[o])
+		}
+	}
+	if Stage(99).String() == "" || Outcome(99).String() == "" {
+		t.Error("out-of-range names should not be empty")
+	}
+	for k := CounterKind(0); k < NumCounters; k++ {
+		if k.String() == "" {
+			t.Errorf("counter kind %d has no name", k)
+		}
+	}
+}

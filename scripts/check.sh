@@ -38,4 +38,8 @@ go test -run '^$' -bench 'Pipeline|Distributor' -benchmem -benchtime=1x -count=1
 echo "==> chaos smoke (seeded fault-injection soak, -short)"
 go test -run Chaos -short -count=1 ./internal/core ./internal/harness
 
+echo "==> telemetry smoke (stage clock, zero-alloc budget, exporter golden)"
+go test -run 'Telemetry|ServeMetricsGolden|WritePrometheus' -count=1 \
+    ./internal/core ./internal/telemetry .
+
 echo "OK"

@@ -1,0 +1,174 @@
+package dhl_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	dhl "github.com/opencloudnext/dhl-go"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/hwfunc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// telemetryWorkload drives a fixed, fully deterministic burst through a
+// telemetry-armed System: 8 packets to the ipsec-crypto accelerator, one
+// batch through the whole FPGA chain.
+func telemetryWorkload(t *testing.T) *dhl.System {
+	t.Helper()
+	sys, err := dhl.Open(dhl.SystemConfig{Telemetry: true, TelemetrySpanCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := sys.Register("telemetry-test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sys.SearchByName(dhl.IPsecCrypto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hwfunc.EncodeIPsecCryptoConfig(
+		bytes.Repeat([]byte{0x42}, 32), bytes.Repeat([]byte{0x24}, 20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AccConfigure(acc, blob); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+	pkts := make([]*dhl.Packet, 8)
+	for i := range pkts {
+		m, aerr := sys.Pool().Alloc()
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		// ipsec-crypto request records carry a 2-byte encryption-offset
+		// prefix ahead of the frame.
+		req, rerr := hwfunc.EncodeIPsecRequest(nil, bytes.Repeat([]byte{byte(i)}, 128), 0)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if aerr := m.AppendBytes(req); aerr != nil {
+			t.Fatal(aerr)
+		}
+		m.AccID = uint16(acc)
+		pkts[i] = m
+	}
+	if n, serr := sys.SendPackets(nf, pkts); serr != nil || n != len(pkts) {
+		t.Fatalf("send %d %v", n, serr)
+	}
+	sys.Sim().Run(sys.Sim().Now() + 300*eventsim.Microsecond)
+	out := make([]*dhl.Packet, 16)
+	got, rerr := sys.ReceivePackets(nf, out)
+	if rerr != nil || got != len(pkts) {
+		t.Fatalf("receive %d %v", got, rerr)
+	}
+	for i := 0; i < got; i++ {
+		_ = sys.Pool().Free(out[i])
+	}
+	return sys
+}
+
+// TestServeMetricsGolden scrapes the live HTTP endpoint after the fixed
+// workload and compares the whole Prometheus exposition byte-for-byte
+// against testdata/metrics.golden. The simulation is deterministic, so
+// every histogram bucket, counter and gauge is too; the golden file pins
+// the full exported surface, per-stage buckets and the health gauge
+// included. Regenerate with: go test . -run ServeMetricsGolden -update
+func TestServeMetricsGolden(t *testing.T) {
+	sys := telemetryWorkload(t)
+	exp, err := sys.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := exp.Close(); cerr != nil {
+			t.Errorf("Close: %v", cerr)
+		}
+	}()
+	resp, err := http.Get("http://" + exp.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if werr := os.WriteFile(golden, body, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("scrape drifted from golden file (re-run with -update to accept):\n--- got ---\n%s", body)
+	}
+
+	// Belt and suspenders on the load-bearing families, so a stale golden
+	// regeneration cannot silently drop them.
+	for _, probe := range []string{
+		`dhl_stage_latency_ns_bucket{stage="accelerator",le="+Inf"} 1`,
+		`dhl_stage_latency_ns_count{stage="ibq_wait"} 8`,
+		`dhl_acc_health{acc_id="1",hf="ipsec-crypto"} 1`,
+		`dhl_core_batches_total{core="rx/0"} 1`,
+		"dhl_dma_service_ns_bucket",
+		"dhl_dispatch_service_ns_count 1",
+		`dhl_health_transitions_total{to="quarantined"} 0`,
+		"dhl_mbuf_in_use 0",
+		"dhl_spans_total 1",
+	} {
+		if !strings.Contains(string(body), probe) {
+			t.Errorf("scrape missing %q", probe)
+		}
+	}
+}
+
+// TestSystemSnapshotDelta exercises the facade Snapshot/Delta path and
+// the telemetry-off behaviour.
+func TestSystemSnapshotDelta(t *testing.T) {
+	sys := telemetryWorkload(t)
+	if sys.Telemetry() == nil {
+		t.Fatal("Telemetry() nil with telemetry on")
+	}
+	before := sys.Snapshot()
+	if before == nil || before.CounterTotal(dhl.CounterBatches) != 1 {
+		t.Fatalf("snapshot: %+v", before)
+	}
+	if len(before.Spans) != 1 || before.Spans[0].Outcome != dhl.OutcomeOK {
+		t.Fatalf("spans: %+v", before.Spans)
+	}
+	d := sys.Snapshot().Delta(before)
+	if d.CounterTotal(dhl.CounterBatches) != 0 || len(d.Spans) != 0 {
+		t.Errorf("idle delta shows activity: %+v", d)
+	}
+
+	off, err := dhl.Open(dhl.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Telemetry() != nil || off.Snapshot() != nil {
+		t.Error("telemetry-off system exposes a registry")
+	}
+	if _, err := off.ServeMetrics("127.0.0.1:0"); err == nil {
+		t.Error("ServeMetrics succeeded with telemetry off")
+	}
+}
