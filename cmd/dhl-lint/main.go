@@ -1,20 +1,37 @@
 // Command dhl-lint runs the DHL domain-specific static analyzers over the
-// module: mbufleak (mempool balance), ringmode (SyncMode vs. goroutine
-// usage), hotpathalloc (//dhl:hotpath allocation freedom) and checkederr
-// (dropped DHL API errors). It is built only on the standard library's
-// go/ast, go/parser and go/types, so it runs offline in any environment
-// that can build the module itself.
+// module. The suite covers the PR 1 contracts — mbufleak (mempool
+// balance), ringmode (SyncMode vs. goroutine usage), hotpathalloc
+// (//dhl:hotpath allocation heuristics) and checkederr (dropped DHL API
+// errors) — and the PR 3–5 invariants: arenalease (batchArena lease/ret
+// balance), atomicfield (module-wide sync/atomic access consistency),
+// stagepair (telemetry Span Start/telFinalize pairing), faultattr
+// (faultinject Kind ledger exhaustiveness and Fire-site attribution) and
+// escapecheck (compiler-verified zero heap escapes in //dhl:hotpath
+// functions, via `go build -gcflags=-m`). Everything except escapecheck's
+// compiler probe is built only on the standard library's go/ast,
+// go/parser and go/types, so the suite runs offline in any environment
+// that can build the module itself; when the toolchain cannot run the
+// escape probe, that one analyzer degrades to a warning instead of
+// failing the gate.
 //
 // Usage:
 //
-//	dhl-lint [-json] [-run name[,name...]] [packages]
+//	dhl-lint [-format text|json] [-run name[,name...]] [packages...]
 //
-// The packages argument is either a directory inside the module or the
+// Each packages argument is either a directory inside the module or the
 // conventional "./..." to analyze every package; with no argument the
-// whole module containing the working directory is analyzed. Findings are
-// printed as file:line:col diagnostics (or a JSON array with -json) and
-// the exit status is 1 when any finding is reported, 2 on operational
-// errors.
+// whole module containing the working directory is analyzed. Findings
+// are printed as file:line:col diagnostics (or, with -format json, a
+// JSON array suitable as a CI artifact) and the exit status is 1 when
+// any finding is reported, 2 on operational errors.
+//
+// A finding can be suppressed at the offending line (or the line above)
+// with a justified directive:
+//
+//	//dhl:allow <analyzer> <reason>
+//
+// Directives without a reason are ignored, so every suppression stays
+// self-documenting.
 package main
 
 import (
@@ -33,14 +50,22 @@ func main() {
 }
 
 func run() int {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	format := flag.String("format", "text", "output format: text or json")
+	jsonOut := flag.Bool("json", false, "shorthand for -format json")
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dhl-lint [-json] [-run name,...] [./... | dir]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dhl-lint [-format text|json] [-run name,...] [./... | dir ...]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "dhl-lint: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -68,11 +93,11 @@ func run() int {
 		analyzers = sel
 	}
 
-	target := "./..."
-	if flag.NArg() > 0 {
-		target = flag.Arg(0)
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
 	}
-	root, err := findModuleRoot(target)
+	root, err := findModuleRoot(targets[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhl-lint:", err)
 		return 2
@@ -84,16 +109,26 @@ func run() int {
 	}
 
 	var pkgs []*lint.Package
-	if strings.HasSuffix(target, "...") || target == root {
-		pkgs, err = loader.LoadAll()
-	} else {
-		var pkg *lint.Package
-		pkg, err = loader.LoadDir(target)
-		pkgs = []*lint.Package{pkg}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dhl-lint:", err)
-		return 2
+	seen := map[string]bool{}
+	for _, target := range targets {
+		var batch []*lint.Package
+		if strings.HasSuffix(target, "...") || target == root {
+			batch, err = loader.LoadAll()
+		} else {
+			var pkg *lint.Package
+			pkg, err = loader.LoadDir(target)
+			batch = []*lint.Package{pkg}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dhl-lint:", err)
+			return 2
+		}
+		for _, pkg := range batch {
+			if !seen[pkg.ImportPath] {
+				seen[pkg.ImportPath] = true
+				pkgs = append(pkgs, pkg)
+			}
+		}
 	}
 
 	findings := lint.Run(pkgs, analyzers)
@@ -102,7 +137,27 @@ func run() int {
 			findings[i].File = r
 		}
 	}
-	if *jsonOut {
+
+	// escapecheck's compiler probe degrades, it does not gate: a toolchain
+	// that cannot run `go build -gcflags=-m` produces a warning, while a
+	// probe that ran and failed (targets do not build) is an operational
+	// error.
+	probeErr := false
+	for _, a := range analyzers {
+		esc, ok := a.(*lint.EscapeCheck)
+		if !ok {
+			continue
+		}
+		if esc.Unsupported {
+			fmt.Fprintln(os.Stderr, "dhl-lint: warning: toolchain cannot run `go build -gcflags=-m`; escapecheck skipped")
+		}
+		if esc.RunErr != nil {
+			fmt.Fprintln(os.Stderr, "dhl-lint:", esc.RunErr)
+			probeErr = true
+		}
+	}
+
+	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -120,7 +175,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "dhl-lint: %d finding(s)\n", len(findings))
 		}
 	}
-	if len(findings) > 0 {
+	switch {
+	case probeErr:
+		return 2
+	case len(findings) > 0:
 		return 1
 	}
 	return 0

@@ -58,6 +58,12 @@ func (a *batchArena) lease() []byte {
 	return a.grow()
 }
 
+// grow is the cold freelist-miss path. Kept out of line so its heap
+// allocation cannot be inlined back into lease's //dhl:hotpath body
+// (escapecheck verifies the hot path against the compiler's escape
+// analysis, which attributes inlined escapes to the call site).
+//
+//go:noinline
 func (a *batchArena) grow() []byte {
 	a.grown++
 	a.leases++
@@ -154,6 +160,11 @@ func (t *txEngine) getInflight() *inflight {
 	return t.newInflight()
 }
 
+// newInflight is the cold freelist-miss constructor; //go:noinline keeps
+// its allocation (and the five bound-method closures) out of
+// getInflight's //dhl:hotpath body under escape analysis.
+//
+//go:noinline
 func (t *txEngine) newInflight() *inflight {
 	ib := &inflight{t: t, watchIdx: -1}
 	ib.h2cDoneFn = ib.h2cDone

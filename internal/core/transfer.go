@@ -385,7 +385,10 @@ func (t *txEngine) body() (float64, func()) {
 }
 
 // newAccState is the cold constructor for a first-seen acc_id's staging
-// area.
+// area; //go:noinline keeps its allocation out of body's //dhl:hotpath
+// range under escape analysis.
+//
+//go:noinline
 func (t *txEngine) newAccState() *accState {
 	return &accState{effBatch: t.r.cfg.BatchBytes}
 }

@@ -147,9 +147,17 @@ func (s *Sim) At(t Time, fn func()) {
 		s.evFree = s.evFree[:n-1]
 		ev.at, ev.seq, ev.fn = t, s.seq, fn
 	} else {
-		ev = &event{at: t, seq: s.seq, fn: fn}
+		ev = newEvent(t, s.seq, fn)
 	}
 	heap.Push(&s.events, ev)
+}
+
+// newEvent is the cold freelist-miss constructor; //go:noinline keeps its
+// allocation out of At's //dhl:hotpath body under escape analysis.
+//
+//go:noinline
+func newEvent(at Time, seq uint64, fn func()) *event {
+	return &event{at: at, seq: seq, fn: fn}
 }
 
 // After schedules fn to run d picoseconds from now.

@@ -312,6 +312,11 @@ func (d *Device) getCtx() *dispatchCtx {
 	return d.newCtx()
 }
 
+// newCtx is the cold freelist-miss constructor; //go:noinline keeps its
+// allocation (and the bound run closure) out of the //dhl:hotpath
+// getCtx/Dispatch bodies under escape analysis.
+//
+//go:noinline
 func (d *Device) newCtx() *dispatchCtx {
 	c := &dispatchCtx{d: d}
 	c.runFn = c.run

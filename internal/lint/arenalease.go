@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ArenaLease enforces the batchArena segment contract from PR 3: a
+// function that leases a staging segment (`batchArena.lease()`) must, on
+// every path out, either return it (`batchArena.ret(b)`) or hand it off —
+// store it into an inflight/dispatchCtx field, pass it to a helper, or
+// return it to the caller. A leaked lease silently shrinks the arena's
+// freelist until the hot path falls back to grow(), which allocates.
+//
+// batchArena is unexported, so the match is by receiver type name
+// anywhere in the module (which also lets the golden fixtures declare a
+// mirror of it). The path-sensitive walk is shared with mbufleak and
+// stagepair (ownership.go); passing the segment to ret — or to anything
+// else — discharges the obligation.
+type ArenaLease struct{}
+
+// Name implements Analyzer.
+func (*ArenaLease) Name() string { return "arenalease" }
+
+// Doc implements Analyzer.
+func (*ArenaLease) Doc() string {
+	return "flags functions that lease a batchArena segment and can return without ret or handing it off"
+}
+
+// Check implements Analyzer.
+func (a *ArenaLease) Check(pkg *Package) []Finding {
+	return checkOwnership(pkg, &ownPolicy{
+		analyzer:    a.Name(),
+		acquireCall: arenaAcquire,
+		message: func(fn string, o *obligation, exitLine int) string {
+			return fmt.Sprintf("%s: arena segment %q obtained via %s may leak: function can return (line %d) without ret or handing it off",
+				fn, o.v.Name(), o.kind, exitLine)
+		},
+	})
+}
+
+// arenaAcquire classifies a lease-acquiring call.
+func arenaAcquire(info *types.Info, call *ast.CallExpr) (acqSpec, bool) {
+	if methodOnAnyNamed(calleeOf(info, call), "batchArena", "lease") {
+		return acqSpec{kind: "lease"}, true
+	}
+	return acqSpec{}, false
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces access-discipline consistency for struct fields
+// shared through sync/atomic: a field that is passed to any sync/atomic
+// function (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.seq), ...)
+// anywhere in the module must be accessed through sync/atomic everywhere
+// in the module. A single plain read of such a field is a data race the
+// race detector only catches if the interleaving happens in a test run;
+// this gate catches it at review time.
+//
+// The check is module-wide (a field atomically written in one package and
+// plainly read in another is precisely the bug), which is why it is a
+// ModuleAnalyzer. Typed atomics (atomic.Uint64 and friends, which the
+// telemetry counters use) make this mistake unrepresentable and are out
+// of scope. Keyed composite-literal initialization is exempt: a struct
+// under construction is not yet shared.
+type AtomicField struct{}
+
+// Name implements Analyzer.
+func (*AtomicField) Name() string { return "atomicfield" }
+
+// Doc implements Analyzer.
+func (*AtomicField) Doc() string {
+	return "flags plain accesses to struct fields that are accessed via sync/atomic elsewhere in the module"
+}
+
+// Check implements Analyzer; per-package operation delegates to the
+// module-wide pass so direct use still works.
+func (a *AtomicField) Check(pkg *Package) []Finding {
+	return a.CheckModule([]*Package{pkg})
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (a *AtomicField) CheckModule(pkgs []*Package) []Finding {
+	// Pass 1: collect every field that some sync/atomic call addresses,
+	// remembering one representative site for the diagnostic, and every
+	// selector node that appears inside such a call (those are the
+	// compliant accesses).
+	atomicFields := make(map[*types.Var]token.Position)
+	compliant := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					compliant[sel] = true
+					if f := fieldOfSelector(pkg.Info, sel); f != nil {
+						if _, seen := atomicFields[f]; !seen {
+							atomicFields[f] = pkg.Position(un.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: flag every other selector resolving to one of those fields.
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || compliant[sel] {
+					return true
+				}
+				f := fieldOfSelector(pkg.Info, sel)
+				if f == nil {
+					return true
+				}
+				site, shared := atomicFields[f]
+				if !shared {
+					return true
+				}
+				out = append(out, finding(a.Name(), pkg.Position(sel.Pos()),
+					"field %s is accessed via sync/atomic at %s:%d but plainly here: every access must go through sync/atomic",
+					fieldLabel(f), site.Filename, site.Line))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic package
+// function.
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeOf(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic"
+}
+
+// fieldLabel renders a field as Type.name for diagnostics.
+func fieldLabel(f *types.Var) string {
+	if f.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", f.Pkg().Name(), f.Name())
+	}
+	return f.Name()
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeCheck is the compiler-backed complement to HotPathAlloc: instead
+// of recognising allocation syntax in the AST, it runs the real escape
+// analysis (`go build -gcflags=-m`) over every package containing a
+// //dhl:hotpath function and flags any "escapes to heap" / "moved to
+// heap" diagnostic landing inside such a function's body. That catches
+// what AST heuristics cannot — closures capturing by reference, interface
+// boxing through generic instantiation, address-taken locals the
+// compiler cannot keep on the stack — and, symmetrically, stays quiet
+// about syntax that looks like an allocation but is proven stack-bound.
+//
+// The analyzer shells out to the go tool; when the toolchain cannot run
+// the probe (no go binary, a compiler without -gcflags=-m) it records
+// Unsupported and returns no findings, so the CLI can degrade the step
+// to a warning instead of failing the gate on an exotic toolchain.
+type EscapeCheck struct {
+	// Unsupported is set when the toolchain cannot run `go build
+	// -gcflags=-m`; the analyzer then reports nothing.
+	Unsupported bool
+	// RunErr records a compiler invocation failure other than an
+	// unsupported toolchain (e.g. the target packages do not build).
+	RunErr error
+}
+
+// Name implements Analyzer.
+func (*EscapeCheck) Name() string { return "escapecheck" }
+
+// Doc implements Analyzer.
+func (*EscapeCheck) Doc() string {
+	return "flags compiler-proven heap escapes (go build -gcflags=-m) inside //dhl:hotpath functions"
+}
+
+// Check implements Analyzer; per-package operation delegates to the
+// module-wide pass so direct use still works.
+func (e *EscapeCheck) Check(pkg *Package) []Finding {
+	return e.CheckModule([]*Package{pkg})
+}
+
+// hotRange is one //dhl:hotpath function's body extent in a file.
+type hotRange struct {
+	fn         string
+	start, end int
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (e *EscapeCheck) CheckModule(pkgs []*Package) []Finding {
+	e.Unsupported = false
+	e.RunErr = nil
+	// Collect hotpath body ranges per file and the package dirs to build.
+	ranges := make(map[string][]hotRange)
+	dirSet := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, Directive) {
+					continue
+				}
+				p0 := pkg.Position(fd.Pos())
+				p1 := pkg.Position(fd.Body.Rbrace)
+				ranges[p0.Filename] = append(ranges[p0.Filename],
+					hotRange{fn: fd.Name.Name, start: p0.Line, end: p1.Line})
+				dirSet[pkg.Dir] = true
+			}
+		}
+	}
+	if len(dirSet) == 0 {
+		return nil
+	}
+	var dirs []string
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	root, err := moduleRootOf(dirs[0])
+	if err != nil {
+		e.RunErr = err
+		return nil
+	}
+	out, err := runEscapeBuild(root, dirs)
+	if err != nil {
+		if isUnsupportedToolchain(err, out) {
+			e.Unsupported = true
+		} else {
+			e.RunErr = fmt.Errorf("escapecheck: go build -gcflags=-m: %w\n%s", err, out)
+		}
+		return nil
+	}
+	return e.parseEscapes(root, out, ranges)
+}
+
+// moduleRootOf walks up from dir to the directory containing go.mod.
+func moduleRootOf(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("escapecheck: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// runEscapeBuild invokes the compiler with escape-analysis diagnostics on
+// the given package directories. The go tool replays cached diagnostics,
+// so repeat runs stay cheap.
+func runEscapeBuild(root string, dirs []string) (string, error) {
+	if _, err := exec.LookPath("go"); err != nil {
+		return "", fmt.Errorf("go tool not found: %w", err)
+	}
+	args := []string{"build", "-gcflags=-m"}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return "", err
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// isUnsupportedToolchain classifies a failed build as "this toolchain
+// cannot run the probe" rather than "the code does not compile".
+func isUnsupportedToolchain(err error, out string) bool {
+	if _, ok := err.(*exec.Error); ok { // go binary missing or not runnable
+		return true
+	}
+	for _, marker := range []string{
+		"flag provided but not defined",
+		"unknown flag",
+		"unsupported flag",
+		"usage: go build",
+	} {
+		if strings.Contains(out, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseEscapes extracts the heap-escape diagnostics that land inside a
+// hotpath body. Compiler paths are relative to the module root.
+func (e *EscapeCheck) parseEscapes(root, out string, ranges map[string][]hotRange) []Finding {
+	var findings []Finding
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, ln, col, msg, ok := splitDiagnostic(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		for _, r := range ranges[file] {
+			if ln < r.start || ln > r.end {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: e.Name(),
+				File:     file,
+				Line:     ln,
+				Col:      col,
+				Message: fmt.Sprintf("%s: compiler-proven heap escape inside //dhl:hotpath function: %s",
+					r.fn, msg),
+			})
+			break
+		}
+	}
+	return findings
+}
+
+// splitDiagnostic parses one `file:line:col: message` compiler line.
+func splitDiagnostic(line string) (file string, ln, col int, msg string, ok bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return "", 0, 0, "", false
+	}
+	ln, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return parts[0], ln, col, strings.TrimSpace(parts[3]), true
+}

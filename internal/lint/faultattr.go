@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FaultAttr enforces the PR 4 conservation-ledger contract between fault
+// injection and drop attribution, in two directions:
+//
+//  1. Exhaustiveness: every faultinject fault kind (the constants of the
+//     Kind enum, NumKinds excluded) must be consumed somewhere outside
+//     the faultinject package itself. A kind nobody draws and attributes
+//     is a chaos-soak surprise waiting to happen: adding the enum value
+//     without wiring its ledger entry now fails the lint gate instead of
+//     failing TestPacketConservation three PRs later.
+//  2. Attribution: every Plan.Fire call site must sit in an if-condition
+//     whose guarded body increments a counter (x++, x += n, or an
+//     Inc/Add call) — firing a fault without booking it anywhere breaks
+//     the packet-conservation ledger silently.
+//
+// The enum is discovered by shape, not import path — an in-module
+// package named faultinject declaring a Kind type — so the golden
+// fixtures can carry a mirror of it.
+type FaultAttr struct{}
+
+// Name implements Analyzer.
+func (*FaultAttr) Name() string { return "faultattr" }
+
+// Doc implements Analyzer.
+func (*FaultAttr) Doc() string {
+	return "flags faultinject Kinds with no attribution site and Plan.Fire calls whose result does not guard a counter increment"
+}
+
+// Check implements Analyzer; per-package operation delegates to the
+// module-wide pass so direct use still works.
+func (f *FaultAttr) Check(pkg *Package) []Finding {
+	return f.CheckModule([]*Package{pkg})
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (f *FaultAttr) CheckModule(pkgs []*Package) []Finding {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	fset := pkgs[0].Fset
+	var out []Finding
+
+	// Rule 1: every kind of every discovered enum is consumed outside its
+	// defining package. The rule only judges enums whose defining package
+	// is itself in the analyzed set: on a partial run (dhl-lint
+	// ./internal/core) the packages holding the attribution sites may not
+	// be loaded, and flagging their kinds would be noise, not signal.
+	for _, enum := range findFaultEnums(pkgs) {
+		used := make(map[types.Object]bool)
+		for _, pkg := range pkgs {
+			if pkg.Types == enum.pkg {
+				continue
+			}
+			for _, obj := range pkg.Info.Uses {
+				if enum.kinds[obj] {
+					used[obj] = true
+				}
+			}
+		}
+		for _, k := range enum.ordered {
+			if used[k] {
+				continue
+			}
+			out = append(out, finding(f.Name(), fset.Position(k.Pos()),
+				"fault kind %s has no attribution site outside package %s: every injectable fault must map to a drop/ledger counter",
+				k.Name(), enum.pkg.Name()))
+		}
+	}
+
+	// Rule 2: every Plan.Fire call guards a counter increment.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			attributed := make(map[*ast.CallExpr]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok {
+					return true
+				}
+				fires := fireCallsIn(pkg.Info, ifs.Cond)
+				if len(fires) == 0 || !hasIncrement(ifs.Body) {
+					return true
+				}
+				for _, c := range fires {
+					attributed[c] = true
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || attributed[call] {
+					return true
+				}
+				if !methodOnAnyNamed(calleeOf(pkg.Info, call), "Plan", "Fire") {
+					return true
+				}
+				out = append(out, finding(f.Name(), pkg.Position(call.Pos()),
+					"Plan.Fire result does not guard a counter increment: an injected fault must be attributed where it fires"))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// faultEnum is one discovered fault-kind enumeration.
+type faultEnum struct {
+	pkg     *types.Package
+	kinds   map[types.Object]bool
+	ordered []types.Object // declaration order, for stable findings
+}
+
+// findFaultEnums locates every analyzed in-module package named
+// faultinject that declares a Kind type, and collects its constants
+// (NumKinds excluded). Only packages in the analyzed set qualify:
+// exhaustiveness over an enum is meaningless unless its consumers were
+// loaded too, and the analyzed set is the caller's statement of scope.
+func findFaultEnums(pkgs []*Package) []*faultEnum {
+	seen := make(map[*types.Package]bool)
+	var candidates []*types.Package
+	for _, pkg := range pkgs {
+		tp := pkg.Types
+		if tp == nil || seen[tp] {
+			continue
+		}
+		seen[tp] = true
+		if tp.Name() == "faultinject" && inModule(tp.Path()) {
+			candidates = append(candidates, tp)
+		}
+	}
+	var enums []*faultEnum
+	for _, tp := range candidates {
+		tn, ok := tp.Scope().Lookup("Kind").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		e := &faultEnum{pkg: tp, kinds: make(map[types.Object]bool)}
+		for _, name := range tp.Scope().Names() {
+			c, ok := tp.Scope().Lookup(name).(*types.Const)
+			if !ok || name == "NumKinds" {
+				continue
+			}
+			if namedOf(c.Type()) != nil && namedOf(c.Type()).Obj() == tn {
+				e.kinds[c] = true
+				e.ordered = append(e.ordered, c)
+			}
+		}
+		sort.Slice(e.ordered, func(i, j int) bool { return e.ordered[i].Pos() < e.ordered[j].Pos() })
+		if len(e.ordered) > 0 {
+			enums = append(enums, e)
+		}
+	}
+	return enums
+}
+
+// fireCallsIn collects the Plan.Fire calls appearing inside an expression.
+func fireCallsIn(info *types.Info, e ast.Expr) []*ast.CallExpr {
+	if e == nil {
+		return nil
+	}
+	var out []*ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if methodOnAnyNamed(calleeOf(info, call), "Plan", "Fire") {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasIncrement reports whether the block contains a counter increment:
+// x++, x += n, or a call to a method named Inc or Add.
+func hasIncrement(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Inc" || sel.Sel.Name == "Add" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

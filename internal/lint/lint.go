@@ -44,6 +44,17 @@ type Analyzer interface {
 	Check(pkg *Package) []Finding
 }
 
+// ModuleAnalyzer is an analyzer whose invariant spans package boundaries
+// (atomicfield's "atomic everywhere" rule, faultattr's kind/ledger
+// exhaustiveness, escapecheck's whole-build compiler pass). Run invokes
+// CheckModule once with every loaded package instead of Check per
+// package.
+type ModuleAnalyzer interface {
+	Analyzer
+	// CheckModule inspects the whole package set at once.
+	CheckModule(pkgs []*Package) []Finding
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
@@ -51,18 +62,29 @@ func Analyzers() []Analyzer {
 		&RingMode{},
 		&HotPathAlloc{},
 		&CheckedErr{},
+		&ArenaLease{},
+		&AtomicField{},
+		&StagePair{},
+		&FaultAttr{},
+		&EscapeCheck{},
 	}
 }
 
 // Run applies the given analyzers to the given packages and returns all
-// findings sorted by position.
+// findings sorted by position. Findings covered by a //dhl:allow
+// directive (see AllowDirective) are dropped before sorting.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 	var all []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			all = append(all, ma.CheckModule(pkgs)...)
+			continue
+		}
+		for _, pkg := range pkgs {
 			all = append(all, a.Check(pkg)...)
 		}
 	}
+	all = filterAllowed(all, buildAllowIndex(pkgs))
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {
 			return all[i].File < all[j].File

@@ -44,7 +44,9 @@ func TestGoldenPositives(t *testing.T) {
 	cases := []struct {
 		dir      string
 		analyzer string
+		extra    []string // additional fixture dirs loaded into the analyzed set
 		want     []string // substring of findings[i].Message
+		files    []string // base name of findings[i].File; nil means dir+".go" for all
 	}{
 		{
 			dir:      "mbufleak_pos",
@@ -92,11 +94,65 @@ func TestGoldenPositives(t *testing.T) {
 				"result of Close",
 			},
 		},
+		{
+			dir:      "arenalease_pos",
+			analyzer: "arenalease",
+			want: []string{
+				`LeakAtExit: arena segment "b"`,
+				`LeakOnBranch: arena segment "b"`,
+			},
+		},
+		{
+			dir:      "stagepair_pos",
+			analyzer: "stagepair",
+			want: []string{
+				`DroppedSpan: span of "ib"`,
+				`DroppedOnBranch: span of "ib"`,
+			},
+		},
+		{
+			dir:      "atomicfield_pos",
+			analyzer: "atomicfield",
+			want: []string{
+				"field atomicfield_pos.hits is accessed via sync/atomic",
+				"field atomicfield_pos.misses is accessed via sync/atomic",
+				"field atomicfield_pos.hits is accessed via sync/atomic",
+				"field atomicfield_pos.misses is accessed via sync/atomic",
+			},
+		},
+		{
+			dir:      "faultattr_pos",
+			analyzer: "faultattr",
+			extra:    []string{filepath.Join("faultattr_pos", "faultinject")},
+			want: []string{
+				"Plan.Fire result does not guard a counter increment",
+				"Plan.Fire result does not guard a counter increment",
+				"fault kind OrphanKind has no attribution site",
+			},
+			files: []string{
+				"faultattr_pos.go",
+				"faultattr_pos.go",
+				"faultinject.go",
+			},
+		},
+		{
+			dir:      "escapecheck_pos",
+			analyzer: "escapecheck",
+			want: []string{
+				"EscapeViaReturn: compiler-proven heap escape inside //dhl:hotpath function: moved to heap: x",
+				"EscapeViaGlobal: compiler-proven heap escape inside //dhl:hotpath function: moved to heap: v",
+				"EscapeOnBranch: compiler-proven heap escape inside //dhl:hotpath function: moved to heap: a",
+				"EscapeOnBranch: compiler-proven heap escape inside //dhl:hotpath function: moved to heap: b",
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
-			pkg := fixture(t, tc.dir)
-			got := Run([]*Package{pkg}, []Analyzer{analyzerByName(t, tc.analyzer)})
+			pkgs := []*Package{fixture(t, tc.dir)}
+			for _, extra := range tc.extra {
+				pkgs = append(pkgs, fixture(t, extra))
+			}
+			got := Run(pkgs, []Analyzer{analyzerByName(t, tc.analyzer)})
 			if len(got) != len(tc.want) {
 				for _, f := range got {
 					t.Logf("finding: %s", f)
@@ -110,8 +166,12 @@ func TestGoldenPositives(t *testing.T) {
 				if f.Analyzer != tc.analyzer {
 					t.Errorf("finding %d attributed to %q, want %q", i, f.Analyzer, tc.analyzer)
 				}
-				if filepath.Base(f.File) != tc.dir+".go" {
-					t.Errorf("finding %d in %q, want file %s.go", i, f.File, tc.dir)
+				wantFile := tc.dir + ".go"
+				if tc.files != nil {
+					wantFile = tc.files[i]
+				}
+				if filepath.Base(f.File) != wantFile {
+					t.Errorf("finding %d in %q, want file %s", i, f.File, wantFile)
 				}
 			}
 		})
@@ -123,6 +183,8 @@ func TestGoldenPositives(t *testing.T) {
 func TestGoldenNegatives(t *testing.T) {
 	for _, dir := range []string{
 		"mbufleak_neg", "ringmode_neg", "hotpathalloc_neg", "checkederr_neg",
+		"arenalease_neg", "stagepair_neg", "atomicfield_neg", "faultattr_neg",
+		"escapecheck_neg",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			pkg := fixture(t, dir)
@@ -134,12 +196,47 @@ func TestGoldenNegatives(t *testing.T) {
 	}
 }
 
+// TestAllowDirective proves the negative fixtures' suppression cases are
+// real: each analyzer, run raw (no allow filtering), must flag exactly
+// the one deliberately-annotated violation that Run() then filters out.
+func TestAllowDirective(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer string
+		want     string // substring of the one raw finding
+	}{
+		{"arenalease_neg", "arenalease", `AllowedLeak: arena segment "b"`},
+		{"stagepair_neg", "stagepair", `AllowedDrop: span of "ib"`},
+		{"atomicfield_neg", "atomicfield", "field atomicfield_neg.hits"},
+		{"faultattr_neg", "faultattr", "Plan.Fire result does not guard"},
+		{"escapecheck_neg", "escapecheck", "AllowedEscape: compiler-proven heap escape"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg := fixture(t, tc.dir)
+			a := analyzerByName(t, tc.analyzer)
+			raw := a.Check(pkg)
+			if len(raw) != 1 || !strings.Contains(raw[0].Message, tc.want) {
+				for _, f := range raw {
+					t.Logf("raw finding: %s", f)
+				}
+				t.Fatalf("raw analyzer found %d finding(s), want exactly 1 matching %q", len(raw), tc.want)
+			}
+			if got := Run([]*Package{pkg}, []Analyzer{a}); len(got) != 0 {
+				t.Fatalf("Run did not suppress the allowed finding: %v", got)
+			}
+		})
+	}
+}
+
 // TestPositivesTripFullSuite mirrors the CI gate contract: running every
 // analyzer over a positive fixture (as cmd/dhl-lint does) must yield at
 // least one finding, i.e. a non-zero exit.
 func TestPositivesTripFullSuite(t *testing.T) {
 	for _, dir := range []string{
 		"mbufleak_pos", "ringmode_pos", "hotpathalloc_pos", "checkederr_pos",
+		"arenalease_pos", "stagepair_pos", "atomicfield_pos", "faultattr_pos",
+		"escapecheck_pos",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			pkg := fixture(t, dir)

@@ -1,8 +1,8 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -13,14 +13,11 @@ import (
 // SendPackets or any helper, store into a field/slice, or return them to
 // the caller.
 //
-// The analysis is intra-procedural and deliberately generous about what
-// counts as an ownership transfer (any use of the tracked variable as a
-// call argument, return value, assignment source, composite-literal
-// element or channel send releases the obligation); what it flags is the
-// unambiguous case — an acquisition with a path to a return that never
-// hands the buffer to anyone. Error-check branches guarding the
-// acquisition's own error variable are recognised and exempt (the mbuf was
-// never allocated on those paths).
+// The path-sensitive machinery lives in ownership.go (shared with
+// arenalease and stagepair); this file only describes what acquires an
+// mbuf and how to word the leak. Error-check branches guarding the
+// acquisition's own error variable are recognised and exempt (the mbuf
+// was never allocated on those paths).
 type MbufLeak struct{}
 
 // Name implements Analyzer.
@@ -33,331 +30,27 @@ func (*MbufLeak) Doc() string {
 
 // Check implements Analyzer.
 func (m *MbufLeak) Check(pkg *Package) []Finding {
-	var out []Finding
-	for _, file := range pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					c := &leakChecker{an: m, pkg: pkg}
-					c.checkFunc(n.Name.Name, n.Body)
-					out = append(out, c.out...)
-				}
-			case *ast.FuncLit:
-				// Each literal is analyzed as its own function; the
-				// statement walk above never descends into literal bodies.
-				c := &leakChecker{an: m, pkg: pkg}
-				c.checkFunc("func literal", n.Body)
-				out = append(out, c.out...)
-			}
-			return true
-		})
-	}
-	return out
+	return checkOwnership(pkg, &ownPolicy{
+		analyzer:    m.Name(),
+		acquireCall: mbufAcquire,
+		trackBound:  true, // Retain(m)/AllocBulk(dst) on a parameter still acquires
+		message: func(fn string, o *obligation, exitLine int) string {
+			return fmt.Sprintf("%s: mbuf %q obtained via %s may leak: function can return (line %d) without Free or handing ownership off",
+				fn, o.v.Name(), o.kind, exitLine)
+		},
+	})
 }
 
-// obligation is one pending buffer acquisition inside a function.
-type obligation struct {
-	v        *types.Var
-	errVar   types.Object // error result of the acquiring call, if bound
-	kind     string       // Alloc, AllocBulk, Retain
-	pos      token.Pos
-	released bool
-	reported bool
-	suppress int // >0 while inside a branch guarded by errVar
-}
-
-// leakChecker runs the per-function analysis.
-type leakChecker struct {
-	an   *MbufLeak
-	pkg  *Package
-	out  []Finding
-	fn   string
-	obls map[*types.Var]*obligation
-}
-
-func (c *leakChecker) info() *types.Info { return c.pkg.Info }
-
-func (c *leakChecker) checkFunc(name string, body *ast.BlockStmt) {
-	c.fn = name
-	c.obls = make(map[*types.Var]*obligation)
-	c.walkStmts(body.List)
-	// Implicit return at the end of the body.
-	if n := len(body.List); n == 0 || !isTerminal(body.List[n-1]) {
-		c.reportPending(body.Rbrace)
-	}
-}
-
-// isTerminal reports whether a statement already ends the flow (so the
-// implicit end-of-body return is unreachable or was already checked).
-func isTerminal(s ast.Stmt) bool {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.ForStmt:
-		return s.Cond == nil // for {} without break analysis: treat as non-returning
-	}
-	return false
-}
-
-// reportPending emits one finding per live, unsuppressed obligation.
-func (c *leakChecker) reportPending(at token.Pos) {
-	for _, o := range c.obls {
-		if o.released || o.reported || o.suppress > 0 {
-			continue
-		}
-		o.reported = true
-		exit := c.pkg.Position(at)
-		c.out = append(c.out, finding(c.an.Name(), c.pkg.Position(o.pos),
-			"%s: mbuf %q obtained via %s may leak: function can return (line %d) without Free or handing ownership off",
-			c.fn, o.v.Name(), o.kind, exit.Line))
-	}
-}
-
-// allocKind classifies an acquiring call.
-func allocKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+// mbufAcquire classifies an mbuf-acquiring call.
+func mbufAcquire(info *types.Info, call *ast.CallExpr) (acqSpec, bool) {
 	f := calleeOf(info, call)
 	switch {
 	case methodOn(f, mbufPkgPath, "Pool", "Alloc") || methodOn(f, mbufPkgPath, "Cache", "Alloc"):
-		return "Alloc", true
+		return acqSpec{kind: "Alloc"}, true
 	case methodOn(f, mbufPkgPath, "Pool", "AllocBulk"):
-		return "AllocBulk", true
+		return acqSpec{kind: "AllocBulk", argBind: true}, true
 	case methodOn(f, mbufPkgPath, "Pool", "Retain"):
-		return "Retain", true
+		return acqSpec{kind: "Retain", argBind: true}, true
 	}
-	return "", false
-}
-
-// track registers a new obligation for v.
-func (c *leakChecker) track(v *types.Var, errVar types.Object, kind string, pos token.Pos) {
-	if v == nil {
-		return
-	}
-	c.obls[v] = &obligation{v: v, errVar: errVar, kind: kind, pos: pos}
-}
-
-// release discharges the obligation on v, if tracked.
-func (c *leakChecker) release(v *types.Var) {
-	if o, ok := c.obls[v]; ok {
-		o.released = true
-	}
-}
-
-// scanTransfer walks an expression in ownership-transfer position and
-// releases every tracked variable it mentions directly. Selector
-// expressions are skipped entirely: `m.SetLen(5)` and `copy(m.Data(), p)`
-// are uses of the buffer, not transfers of its ownership.
-func (c *leakChecker) scanTransfer(n ast.Node) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			return false
-		case *ast.Ident:
-			if v, ok := objOf(c.info(), n).(*types.Var); ok {
-				c.release(v)
-			}
-		}
-		return true
-	})
-}
-
-// scanCalls walks an expression in a non-transfer position (a condition)
-// and applies transfer scanning only to call arguments, so `if m != nil`
-// releases nothing but `if !q.Enqueue(m)` releases m.
-func (c *leakChecker) scanCalls(n ast.Node) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			for _, a := range call.Args {
-				c.scanTransfer(a)
-			}
-		}
-		return true
-	})
-}
-
-// mentionsErrVar reports which live obligations have their error variable
-// referenced by cond (the classic `if err != nil` guard).
-func (c *leakChecker) mentionsErrVar(cond ast.Expr) []*obligation {
-	if cond == nil {
-		return nil
-	}
-	var hit []*obligation
-	ast.Inspect(cond, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := objOf(c.info(), id)
-		if obj == nil {
-			return true
-		}
-		for _, o := range c.obls {
-			if o.errVar != nil && o.errVar == obj {
-				hit = append(hit, o)
-			}
-		}
-		return true
-	})
-	return hit
-}
-
-func (c *leakChecker) walkStmts(stmts []ast.Stmt) {
-	for _, s := range stmts {
-		c.walkStmt(s)
-	}
-}
-
-func (c *leakChecker) walkStmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.AssignStmt:
-		if len(s.Rhs) == 1 {
-			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
-				if kind, ok := allocKind(c.info(), call); ok {
-					c.trackFromCall(kind, call, s.Lhs)
-					return
-				}
-			}
-		}
-		for _, rhs := range s.Rhs {
-			c.scanTransfer(rhs)
-		}
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			if kind, ok := allocKind(c.info(), call); ok {
-				c.trackFromCall(kind, call, nil)
-				return
-			}
-		}
-		c.scanTransfer(s.X)
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			c.scanTransfer(r)
-		}
-		c.reportPending(s.Pos())
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init)
-		}
-		c.scanCalls(s.Cond)
-		guarded := c.mentionsErrVar(s.Cond)
-		for _, o := range guarded {
-			o.suppress++
-		}
-		c.walkStmts(s.Body.List)
-		if s.Else != nil {
-			c.walkStmt(s.Else)
-		}
-		for _, o := range guarded {
-			o.suppress--
-		}
-	case *ast.BlockStmt:
-		c.walkStmts(s.List)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init)
-		}
-		c.scanCalls(s.Cond)
-		if s.Post != nil {
-			c.walkStmt(s.Post)
-		}
-		c.walkStmts(s.Body.List)
-	case *ast.RangeStmt:
-		c.scanTransfer(s.X) // iterating a tracked batch is a disposal loop
-		c.walkStmts(s.Body.List)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init)
-		}
-		c.scanCalls(s.Tag)
-		for _, cc := range s.Body.List {
-			if cc, ok := cc.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init)
-		}
-		for _, cc := range s.Body.List {
-			if cc, ok := cc.(*ast.CaseClause); ok {
-				c.walkStmts(cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, cc := range s.Body.List {
-			if cc, ok := cc.(*ast.CommClause); ok {
-				if cc.Comm != nil {
-					c.walkStmt(cc.Comm)
-				}
-				c.walkStmts(cc.Body)
-			}
-		}
-	case *ast.DeferStmt:
-		c.scanTransfer(s.Call)
-	case *ast.GoStmt:
-		c.scanTransfer(s.Call)
-	case *ast.SendStmt:
-		c.scanTransfer(s.Value)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						c.scanTransfer(v)
-					}
-				}
-			}
-		}
-	case *ast.LabeledStmt:
-		c.walkStmt(s.Stmt)
-	}
-}
-
-// trackFromCall registers the obligation created by an acquiring call.
-// lhs is the assignment left-hand side, or nil for a bare statement call.
-func (c *leakChecker) trackFromCall(kind string, call *ast.CallExpr, lhs []ast.Expr) {
-	info := c.info()
-	var v *types.Var
-	var errVar types.Object
-	switch kind {
-	case "Alloc":
-		// m, err := pool.Alloc(): a dropped result cannot leak (nothing
-		// is bound), so bare calls are ignored here (checkederr owns that).
-		if len(lhs) > 0 {
-			if id, ok := ast.Unparen(lhs[0]).(*ast.Ident); ok && id.Name != "_" {
-				v, _ = objOf(info, id).(*types.Var)
-			}
-		}
-		if len(lhs) > 1 {
-			if id, ok := ast.Unparen(lhs[1]).(*ast.Ident); ok && id.Name != "_" {
-				errVar = objOf(info, id)
-			}
-		}
-	case "AllocBulk", "Retain":
-		// pool.AllocBulk(dst) / pool.Retain(m): the obligation lands on
-		// the argument; the (single) result is the error.
-		if len(call.Args) > 0 {
-			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
-				v, _ = objOf(info, id).(*types.Var)
-			}
-		}
-		if len(lhs) > 0 {
-			if id, ok := ast.Unparen(lhs[0]).(*ast.Ident); ok && id.Name != "_" {
-				errVar = objOf(info, id)
-			}
-		}
-	}
-	c.track(v, errVar, kind, call.Pos())
+	return acqSpec{}, false
 }

@@ -81,6 +81,64 @@ func methodOn(f *types.Func, pkgPath, typeName string, names ...string) bool {
 	return false
 }
 
+// methodOnAnyNamed reports whether f is a method named one of names on a
+// type named typeName declared anywhere inside this module. Analyzers use
+// it for contracts on unexported types (core's batchArena, faultinject's
+// Plan as mirrored by fixtures), where the import path varies between the
+// real package and its testdata mirror but the type name is the contract.
+func methodOnAnyNamed(f *types.Func, typeName string, names ...string) bool {
+	if f == nil || f.Pkg() == nil || !inModule(f.Pkg().Path()) {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOfSelector resolves a selector expression to the struct field it
+// denotes, or nil when it denotes anything else (a method, a package
+// member, a qualified identifier).
+func fieldOfSelector(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to the named type behind t,
+// or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
 // funcIn reports whether f is a package-level function named one of names
 // in package pkgPath.
 func funcIn(f *types.Func, pkgPath string, names ...string) bool {

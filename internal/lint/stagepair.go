@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StagePair enforces the PR 5 telemetry contract: a batch trace Span
+// whose stage clock has been started (a write to its Start field) must,
+// on every path out of the function, either be finalized (telFinalize,
+// which stamps the terminal stage and pushes the span into the ring) or
+// handed off with its owner — returned to the caller, stored, or passed
+// along. A started-but-never-finalized span silently loses the batch's
+// stage histogram contribution, which is exactly the failure mode the
+// golden-exporter test cannot see (the span simply isn't there).
+//
+// The analyzer understands the idiomatic alias form `sp := &ib.span`:
+// stamps through sp create the obligation on ib, and discharging either
+// name discharges both. Functions stamping a span reachable from their
+// own receiver or parameters are exempt — the span's lifecycle belongs
+// to their caller.
+type StagePair struct{}
+
+// Name implements Analyzer.
+func (*StagePair) Name() string { return "stagepair" }
+
+// Doc implements Analyzer.
+func (*StagePair) Doc() string {
+	return "flags functions that start a telemetry Span's stage clock and can return without telFinalize or handing the span off"
+}
+
+// Check implements Analyzer.
+func (s *StagePair) Check(pkg *Package) []Finding {
+	return checkOwnership(pkg, &ownPolicy{
+		analyzer:    s.Name(),
+		acquireCall: func(*types.Info, *ast.CallExpr) (acqSpec, bool) { return acqSpec{}, false },
+		stampAssign: spanStampAssign,
+		finalizers:  map[string]bool{"telFinalize": true},
+		message: func(fn string, o *obligation, exitLine int) string {
+			return fmt.Sprintf("%s: span of %q has its stage clock started but function can return (line %d) without telFinalize or handing the span off",
+				fn, o.v.Name(), exitLine)
+		},
+	})
+}
+
+// spanStampAssign inspects one assignment for the two statements the span
+// protocol is made of: alias bindings (`sp := &ib.span`) and Start stamps
+// (`sp.Start = t0`), which create the finalize obligation.
+func spanStampAssign(t *ownTracker, s *ast.AssignStmt) {
+	info := t.info()
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			un, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND || !isSpanType(info.Types[un.X].Type) {
+				continue
+			}
+			id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lv, ok := objOf(info, id).(*types.Var)
+			if !ok {
+				continue
+			}
+			if root := rootVar(info, un.X); root != nil && root != lv {
+				t.aliases[lv] = root
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || !isSpanStartField(info, sel) {
+			continue
+		}
+		root := rootVar(info, sel.X)
+		if root == nil {
+			continue
+		}
+		t.track(t.resolveAlias(root), nil, "Start", s.Pos())
+	}
+}
+
+// isSpanStartField reports whether sel denotes the Start field of an
+// in-module type named Span.
+func isSpanStartField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || s.Obj().Name() != "Start" {
+		return false
+	}
+	return isSpanType(s.Recv())
+}
+
+// isSpanType reports whether t is (a pointer to) an in-module type named
+// Span.
+func isSpanType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "Span" &&
+		n.Obj().Pkg() != nil && inModule(n.Obj().Pkg().Path())
+}

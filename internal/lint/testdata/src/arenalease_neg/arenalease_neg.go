@@ -1,0 +1,65 @@
+// Package arenalease_neg holds correct arena-lease lifecycle code the
+// arenalease analyzer must accept.
+package arenalease_neg
+
+type batchArena struct {
+	segSize int
+	free    [][]byte
+}
+
+func (a *batchArena) lease() []byte {
+	if n := len(a.free); n > 0 {
+		seg := a.free[n-1]
+		a.free = a.free[:n-1]
+		return seg[:0]
+	}
+	return make([]byte, 0, a.segSize)
+}
+
+func (a *batchArena) ret(b []byte) {
+	if cap(b) == a.segSize {
+		a.free = append(a.free, b[:0])
+	}
+}
+
+type inflight struct {
+	buf []byte
+}
+
+// ReturnedOnEveryPath returns the segment on both the failure and the
+// success path.
+func ReturnedOnEveryPath(a *batchArena, fail bool) int {
+	b := a.lease()
+	if fail {
+		a.ret(b)
+		return 0
+	}
+	a.ret(b)
+	return 1
+}
+
+// HandedOff moves the lease into an inflight object whose owner returns
+// it later; storing the segment discharges the obligation.
+func HandedOff(a *batchArena, ib *inflight) {
+	b := a.lease()
+	ib.buf = b
+}
+
+// ReturnedToCaller transfers the lease by returning the segment.
+func ReturnedToCaller(a *batchArena) []byte {
+	b := a.lease()
+	return b
+}
+
+// FieldLease assigns the lease directly into a field: the object, not
+// this function, owns it from the start.
+func FieldLease(a *batchArena, ib *inflight) {
+	ib.buf = a.lease()
+}
+
+// AllowedLeak is the suppression case: the lease is deliberately parked
+// for the process lifetime and the directive documents why.
+func AllowedLeak(a *batchArena) {
+	b := a.lease() //dhl:allow arenalease pinned warm-up segment, reclaimed at shutdown
+	b[0] = 1
+}

@@ -1,0 +1,45 @@
+// Package arenalease_pos holds deliberate arena-lease lifecycle
+// violations the arenalease analyzer must flag.
+package arenalease_pos
+
+// batchArena mirrors internal/core's arena: the analyzer matches the
+// lease/ret contract by receiver type name.
+type batchArena struct {
+	segSize int
+	free    [][]byte
+}
+
+func (a *batchArena) lease() []byte {
+	if n := len(a.free); n > 0 {
+		seg := a.free[n-1]
+		a.free = a.free[:n-1]
+		return seg[:0]
+	}
+	return make([]byte, 0, a.segSize)
+}
+
+func (a *batchArena) ret(b []byte) {
+	if cap(b) == a.segSize {
+		a.free = append(a.free, b[:0])
+	}
+}
+
+// LeakAtExit leases a segment and falls off the end still owning it.
+// (Writing through b is a use of the segment, not a transfer of its
+// ownership.)
+func LeakAtExit(a *batchArena) {
+	b := a.lease()
+	b[0] = 2
+	// leak: b is never returned or handed off
+}
+
+// LeakOnBranch is the multi-path case: the early return inside the branch
+// leaks the lease while the fall-through path returns it correctly.
+func LeakOnBranch(a *batchArena, drop bool) int {
+	b := a.lease()
+	if drop {
+		return 0 // leak: b is still owned on this path
+	}
+	a.ret(b)
+	return 1
+}

@@ -1,0 +1,49 @@
+// Package atomicfield_neg holds consistent field-access disciplines the
+// atomicfield analyzer must accept.
+package atomicfield_neg
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	seq   uint64
+	plain uint64
+}
+
+// AllAtomic keeps every access to hits and seq inside sync/atomic.
+func AllAtomic(c *counters) uint64 {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint64(&c.seq, atomic.LoadUint64(&c.hits))
+	return atomic.LoadUint64(&c.seq)
+}
+
+// PlainOnly never touches sync/atomic for this field, so a plain access
+// discipline is consistent.
+func PlainOnly(c *counters) uint64 {
+	c.plain++
+	return c.plain
+}
+
+// Construct initializes by keyed composite literal: a struct under
+// construction is not yet shared, so initialization is exempt.
+func Construct() *counters {
+	return &counters{hits: 0, seq: 0}
+}
+
+// TypedAtomics use the atomic.Uint64 API, which makes mixed access
+// unrepresentable and is out of the analyzer's scope.
+type typedCounters struct {
+	n atomic.Uint64
+}
+
+// IncTyped bumps the typed counter.
+func IncTyped(t *typedCounters) uint64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// AllowedSnapshot is the suppression case: a single-threaded snapshot
+// path reads the field plainly, documented by the directive.
+func AllowedSnapshot(c *counters) uint64 {
+	return c.hits //dhl:allow atomicfield read under stop-the-world snapshot lock
+}

@@ -1,0 +1,32 @@
+// Package atomicfield_pos holds deliberate mixed atomic/plain field
+// accesses the atomicfield analyzer must flag.
+package atomicfield_pos
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+}
+
+// bump accesses both fields through sync/atomic, committing them to the
+// atomic discipline module-wide.
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.misses, 1)
+}
+
+// PlainRead reads an atomically-written field without sync/atomic.
+func PlainRead(c *counters) uint64 {
+	return c.hits // race: written with atomic.AddUint64 in bump
+}
+
+// MixedPaths is the multi-path case: both the branch and the early
+// return touch atomic fields plainly.
+func MixedPaths(c *counters, fast bool) uint64 {
+	if fast {
+		c.misses = 0 // race: plain write of an atomic field
+		return 0
+	}
+	return c.hits + c.misses // race: two plain reads
+}

@@ -1,0 +1,10 @@
+// Package badimport is a loader fixture: it imports a path that is
+// neither standard library nor inside this module (the shape a vendored
+// third-party dependency would have), which the offline loader must
+// reject with a resolvable error.
+package badimport
+
+import "example.com/vendored/dep"
+
+// Use keeps the import referenced.
+var Use = dep.Value

@@ -1,0 +1,7 @@
+// Package badtypes is a loader fixture: syntactically valid Go that does
+// not type-check, so LoadDir must surface the type error rather than
+// hand analyzers a half-checked package.
+package badtypes
+
+// Mismatch assigns a string to an int.
+var Mismatch int = "not an int"

@@ -1,0 +1,39 @@
+// Package escapecheck_neg holds hot-path code the escapecheck analyzer
+// must accept: address-taking the compiler proves stack-bound, and one
+// documented suppression.
+package escapecheck_neg
+
+// Sink observes computed values without keeping addresses.
+var Sink int
+
+// StackAddress takes a local's address but the pointer never outlives
+// the frame, so escape analysis keeps x on the stack.
+//
+//dhl:hotpath
+func StackAddress() int {
+	x := 5
+	p := &x
+	*p++
+	return *p
+}
+
+// StackStruct threads a struct pointer through a helper call the
+// compiler inlines and proves non-escaping.
+//
+//dhl:hotpath
+func StackStruct(n int) int {
+	type pair struct{ a, b int }
+	pr := pair{a: n, b: 2 * n}
+	q := &pr
+	return q.a + q.b
+}
+
+// AllowedEscape is the suppression case: the escape is real, but the
+// function only runs on the arm-once configuration path and the
+// directive documents that.
+//
+//dhl:hotpath
+func AllowedEscape() *int {
+	x := 99 //dhl:allow escapecheck arm-once config path, measured off the steady state
+	return &x
+}

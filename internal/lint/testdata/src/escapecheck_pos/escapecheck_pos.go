@@ -1,0 +1,37 @@
+// Package escapecheck_pos holds hot-path functions whose heap escapes
+// are invisible to AST heuristics (no denied calls, no literals, no
+// boxing) but proven by the compiler's escape analysis.
+package escapecheck_pos
+
+// Sink keeps the compiler from optimizing the escapes away.
+var Sink *int
+
+// EscapeViaReturn returns the address of a local: the compiler moves x
+// to the heap.
+//
+//dhl:hotpath
+func EscapeViaReturn() *int {
+	x := 42
+	return &x
+}
+
+// EscapeViaGlobal parks a parameter's address in a global: v moves to
+// the heap.
+//
+//dhl:hotpath
+func EscapeViaGlobal(v int) {
+	Sink = &v
+}
+
+// EscapeOnBranch is the multi-path case: both the branch's early return
+// and the fall-through return leak an address.
+//
+//dhl:hotpath
+func EscapeOnBranch(c bool) *int {
+	a := 1
+	if c {
+		return &a
+	}
+	b := 2
+	return &b
+}

@@ -1,0 +1,44 @@
+// Package faultattr_neg holds correctly-attributed fault injection the
+// faultattr analyzer must accept: every Kind is consumed and every Fire
+// guards a counter increment.
+package faultattr_neg
+
+import "github.com/opencloudnext/dhl-go/internal/lint/testdata/src/faultattr_neg/faultinject"
+
+type stats struct {
+	dmaFaults uint64
+	hangs     uint64
+	retries   counter
+}
+
+type counter struct {
+	v uint64
+}
+
+func (c *counter) Inc() {
+	c.v++
+}
+
+// Transfer attributes a DMA fault with a direct increment.
+func Transfer(p *faultinject.Plan, s *stats) bool {
+	if p.Fire(faultinject.DMAError) {
+		s.dmaFaults++
+		return false
+	}
+	return true
+}
+
+// Dispatch attributes both kinds: compound increments and Inc calls both
+// count as attribution.
+func Dispatch(p *faultinject.Plan, s *stats, n uint64) {
+	if p.Fire(faultinject.ModuleHang) {
+		s.hangs += n
+		s.retries.Inc()
+	}
+}
+
+// AllowedProbe is the suppression case: a dry-run draw used only to
+// exercise the plan's RNG stream, documented by the directive.
+func AllowedProbe(p *faultinject.Plan) bool {
+	return p.Fire(faultinject.DMAError) //dhl:allow faultattr dry-run draw, keeps RNG stream aligned
+}

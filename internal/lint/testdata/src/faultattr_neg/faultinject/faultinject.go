@@ -1,0 +1,26 @@
+// Package faultinject mirrors internal/faultinject's Kind/Plan shape for
+// the faultattr fixtures.
+package faultinject
+
+// Kind enumerates injectable faults.
+type Kind int
+
+// Fault kinds.
+const (
+	// DMAError fails a DMA post.
+	DMAError Kind = iota
+	// ModuleHang withholds a module completion.
+	ModuleHang
+	// NumKinds sizes per-kind tables.
+	NumKinds
+)
+
+// Plan decides which faults fire.
+type Plan struct {
+	armed [NumKinds]bool
+}
+
+// Fire reports whether kind k strikes now.
+func (p *Plan) Fire(k Kind) bool {
+	return p.armed[k]
+}

@@ -1,0 +1,26 @@
+// Package faultattr_pos holds deliberate fault-attribution violations
+// the faultattr analyzer must flag: an unattributed Fire call, a guarded
+// Fire whose branch books nothing, and (in the faultinject subpackage)
+// a Kind with no consumer.
+package faultattr_pos
+
+import "github.com/opencloudnext/dhl-go/internal/lint/testdata/src/faultattr_pos/faultinject"
+
+type stats struct {
+	drops uint64
+}
+
+// FireAndForget draws a fault without attributing it anywhere.
+func FireAndForget(p *faultinject.Plan) bool {
+	return p.Fire(faultinject.DMAError)
+}
+
+// GuardWithoutCounter is the multi-path case: the Fire guards a branch
+// with an early return, but neither path increments a counter.
+func GuardWithoutCounter(p *faultinject.Plan, s *stats) int {
+	if p.Fire(faultinject.ModuleHang) {
+		return 0
+	}
+	s.drops = 0
+	return 1
+}

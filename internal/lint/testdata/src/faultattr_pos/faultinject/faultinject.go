@@ -1,0 +1,29 @@
+// Package faultinject mirrors internal/faultinject's Kind/Plan shape for
+// the faultattr fixtures.
+package faultinject
+
+// Kind enumerates injectable faults.
+type Kind int
+
+// Fault kinds.
+const (
+	// DMAError fails a DMA post.
+	DMAError Kind = iota
+	// ModuleHang withholds a module completion.
+	ModuleHang
+	// OrphanKind has no attribution site anywhere: the analyzer must
+	// flag it.
+	OrphanKind
+	// NumKinds sizes per-kind tables.
+	NumKinds
+)
+
+// Plan decides which faults fire.
+type Plan struct {
+	armed [NumKinds]bool
+}
+
+// Fire reports whether kind k strikes now.
+func (p *Plan) Fire(k Kind) bool {
+	return p.armed[k]
+}

@@ -1,0 +1,62 @@
+// Package stagepair_neg holds correct stage-clock code the stagepair
+// analyzer must accept.
+package stagepair_neg
+
+type Span struct {
+	Start    int64
+	StageEnd [3]int64
+}
+
+type inflight struct {
+	span Span
+}
+
+func (ib *inflight) telFinalize() {
+	ib.span.StageEnd[2] = ib.span.Start
+}
+
+// FinalizedOnEveryPath closes the span on both the failure and the
+// success path.
+func FinalizedOnEveryPath(now int64, fail bool) int {
+	ib := &inflight{}
+	sp := &ib.span
+	sp.Start = now
+	if fail {
+		ib.telFinalize()
+		return 0
+	}
+	sp.StageEnd[1] = now
+	ib.telFinalize()
+	return 1
+}
+
+// FinalizedThroughAlias starts the clock through the alias and finalizes
+// through the root; either name discharges both.
+func FinalizedThroughAlias(now int64) {
+	ib := &inflight{}
+	sp := &ib.span
+	sp.Start = now
+	ib.telFinalize()
+}
+
+// HandedOff returns the span's owner to the caller, who finalizes later.
+func HandedOff(now int64) *inflight {
+	ib := &inflight{}
+	ib.span.Start = now
+	return ib
+}
+
+// CallerOwned stamps a span reachable from a parameter: the lifecycle
+// belongs to the caller, so mid-flight stamps here are fine.
+func CallerOwned(ib *inflight, now int64) {
+	ib.span.Start = now
+	ib.span.StageEnd[0] = now
+}
+
+// AllowedDrop is the suppression case: a probe span that is deliberately
+// never pushed, documented by the directive.
+func AllowedDrop(now int64) {
+	ib := &inflight{}
+	//dhl:allow stagepair calibration probe, span discarded by design
+	ib.span.Start = now
+}

@@ -1,0 +1,39 @@
+// Package stagepair_pos holds deliberate stage-clock pairing violations
+// the stagepair analyzer must flag.
+package stagepair_pos
+
+// Span mirrors internal/telemetry's batch trace record; the analyzer
+// matches the Start-stamp contract by type name.
+type Span struct {
+	Start    int64
+	StageEnd [3]int64
+}
+
+type inflight struct {
+	span Span
+}
+
+func (ib *inflight) telFinalize() {
+	ib.span.StageEnd[2] = ib.span.Start
+}
+
+// DroppedSpan starts the stage clock and falls off the end without
+// telFinalize or handing the span's owner off.
+func DroppedSpan(now int64) {
+	ib := &inflight{}
+	sp := &ib.span
+	sp.Start = now
+	// lost: nothing ever finalizes ib's span
+}
+
+// DroppedOnBranch is the multi-path case: the early return loses the
+// started clock while the fall-through path finalizes it.
+func DroppedOnBranch(now int64, fail bool) int {
+	ib := &inflight{}
+	ib.span.Start = now
+	if fail {
+		return 0 // lost: ib's span is never finalized on this path
+	}
+	ib.telFinalize()
+	return 1
+}

@@ -198,7 +198,11 @@ func (e *Engine) oneWayLatency() eventsim.Time {
 }
 
 // tooLarge is the cold constructor for the detailed ErrTooLarge, keeping
-// fmt out of the hot Transfer path.
+// fmt out of the hot Transfer path. //go:noinline keeps the size
+// argument's interface boxing out of Transfer's //dhl:hotpath body under
+// escape analysis.
+//
+//go:noinline
 func tooLarge(size int) error {
 	return fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
 }

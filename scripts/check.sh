@@ -20,8 +20,15 @@ fi
 echo "==> go vet"
 go vet ./...
 
-echo "==> dhl-lint"
-go run ./cmd/dhl-lint ./...
+echo "==> dhl-lint (full suite, JSON artifact in lint-report.json)"
+go run ./cmd/dhl-lint -format json ./... > lint-report.json || {
+    status=$?
+    cat lint-report.json >&2
+    exit "$status"
+}
+
+echo "==> dhl-lint self-lint (internal/lint + cmd/dhl-lint)"
+go run ./cmd/dhl-lint ./internal/lint ./cmd/dhl-lint
 
 echo "==> go build"
 go build ./...
