@@ -1,11 +1,25 @@
-// Command dhl-inspect stands up a simulated DHL system, loads accelerator
-// modules, and dumps the FPGA floorplan, resource utilization and the
-// hardware function table — the operator's view of Figure 2.
+// Command dhl-inspect is the operator's console for a DHL system: it
+// either connects to a live system's management API or spawns a
+// simulated one of its own.
 //
-// Usage:
+// Connect mode (-addr) drives a running system over /api/v1:
+//
+//	dhl-inspect -addr :9090                     overview: sys.info + health.get
+//	dhl-inspect -addr :9090 -cmd acc.load -args ipsec-crypto,0
+//	dhl-inspect -addr :9090 -watch 5            5 telemetry.delta long-polls
+//	dhl-inspect -addr :9090 -json ...           machine-readable output
+//
+// -cmd sends one management RPC; -args fills its parameters
+// positionally (run -cmd help for the table). -watch long-polls
+// telemetry.delta and prints the per-stage latency delta for each
+// active window. -json prints raw JSON instead of tables.
+//
+// Spawn mode (no -addr) stands up a simulated system, loads accelerator
+// modules, and dumps the FPGA floorplan, resource utilization and the
+// hardware function table — the operator's view of Figure 2:
 //
 //	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill]
-//	            [-chaos-seed N] [-watch N] [-metrics addr]
+//	            [-chaos-seed N] [-watch N] [-serve addr]
 //
 // -fill keeps loading copies of the first module until the board rejects
 // the next one, demonstrating the §V-F packing bound.
@@ -16,19 +30,27 @@
 //
 // -watch arms the telemetry subsystem, paces N rounds of loopback traffic
 // through the board, and after each round prints the per-stage latency
-// delta (count, p50, p99, mean) plus the batch counters for that round —
-// the live operator's view of the pipeline.
+// delta (count, p50, p99, mean) plus the batch counters for that round.
 //
-// -metrics additionally serves the telemetry registry over HTTP at the
-// given address for the duration of the run: Prometheus text on /metrics,
-// expvar JSON on /debug/vars, pprof under /debug/pprof/.
+// -serve exposes the full operator surface at the given address —
+// Prometheus text on /metrics, expvar JSON on /debug/vars, pprof under
+// /debug/pprof/, and the JSON-RPC management API on /api/v1 — then keeps
+// pumping the event loop until a sys.shutdown RPC or SIGINT arrives, so
+// a second dhl-inspect can manage the first with -addr.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	dhl "github.com/opencloudnext/dhl-go"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
@@ -36,41 +58,315 @@ import (
 )
 
 func main() {
-	modules := flag.String("modules", "ipsec-crypto,pattern-matching", "comma-separated hardware function names to load")
-	fill := flag.Bool("fill", false, "load copies of the first module until the board is full")
-	chaosSeed := flag.Uint64("chaos-seed", 0, "arm fault injection with this seed and run a loopback chaos burst (0: off)")
-	watch := flag.Int("watch", 0, "arm telemetry and print per-stage latency deltas for N paced loopback rounds (0: off)")
-	metrics := flag.String("metrics", "", "serve Prometheus/expvar/pprof at this address while running (e.g. 127.0.0.1:9090; implies telemetry)")
+	addr := flag.String("addr", "", "management endpoint of a live system (e.g. :9090); connect instead of spawning")
+	cmd := flag.String("cmd", "", "with -addr: send one management RPC (e.g. acc.load); 'help' lists commands")
+	args := flag.String("args", "", "comma-separated positional parameters for -cmd")
+	jsonOut := flag.Bool("json", false, "print raw JSON instead of tables")
+	serve := flag.String("serve", "", "spawn mode: serve /metrics, /debug/* and /api/v1 at this address, pump until sys.shutdown or SIGINT")
+	modules := flag.String("modules", "ipsec-crypto,pattern-matching", "spawn mode: comma-separated hardware function names to load")
+	fill := flag.Bool("fill", false, "spawn mode: load copies of the first module until the board is full")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "spawn mode: arm fault injection with this seed and run a loopback chaos burst (0: off)")
+	watch := flag.Int("watch", 0, "print per-stage latency deltas for N rounds (spawn: paced loopback traffic; -addr: telemetry.delta long-polls)")
 	flag.Parse()
-	if err := run(*modules, *fill, *chaosSeed, *watch, *metrics); err != nil {
+
+	var err error
+	switch {
+	case *cmd == "help":
+		printCommandTable(os.Stdout)
+	case *addr != "":
+		if *serve != "" || *fill || *chaosSeed != 0 || *modules != flag.Lookup("modules").DefValue {
+			err = fmt.Errorf("-serve, -modules, -fill and -chaos-seed spawn a local system and cannot be combined with -addr")
+		} else {
+			err = runConnected(*addr, *cmd, *args, *watch, *jsonOut)
+		}
+	case *cmd != "":
+		err = fmt.Errorf("-cmd drives a live system; it requires -addr (or use -serve to spawn one first)")
+	default:
+		err = runSpawned(*modules, *fill, *chaosSeed, *watch, *serve, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhl-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modules string, fill bool, chaosSeed uint64, watch int, metrics string) error {
-	var plan *dhl.FaultPlan
+// --- connect mode -------------------------------------------------------
+
+// cmdSpec maps one management RPC's positional -args onto its JSON
+// parameter object. Fields suffixed "?" are optional; kind "bytes"
+// passes the argument through as base64 (the wire form of []byte).
+type cmdSpec struct {
+	params []string // "name:kind" with kind in string|int|bytes, "?" suffix when optional
+	doc    string
+}
+
+var cmdSpecs = map[string]cmdSpec{
+	"sys.ping":        {nil, "liveness probe"},
+	"sys.info":        {nil, "system overview"},
+	"sys.shutdown":    {nil, "trigger the serving process's shutdown hook"},
+	"nf.register":     {[]string{"name:string", "node:int?"}, "register an NF instance"},
+	"nf.unregister":   {[]string{"nf_id:int"}, "drain and remove an NF instance"},
+	"acc.load":        {[]string{"hf:string", "node:int?"}, "load a module onto a PR region"},
+	"acc.evict":       {[]string{"acc_id:int"}, "unload an accelerator, free its region"},
+	"acc.configure":   {[]string{"acc_id:int", "params:bytes"}, "send a configuration blob (base64)"},
+	"fallback.set":    {[]string{"hf:string", "node:int?"}, "install the module DB software fallback"},
+	"fallback.clear":  {[]string{"hf:string", "node:int?"}, "remove an installed software fallback"},
+	"tune.batch":      {[]string{"bytes:int"}, "retarget the max transfer batch size"},
+	"tune.watchdog":   {[]string{"timeout_us:int"}, "retune (0: disarm) the per-batch watchdog"},
+	"health.get":      {[]string{"acc_id:int?"}, "health FSM state, one or all accelerators"},
+	"stats.get":       {[]string{"node:int?"}, "one node's transfer conservation ledger"},
+	"telemetry.delta": {[]string{"stream:string", "wait_ms:int?"}, "long-poll activity since the stream's last call"},
+}
+
+func printCommandTable(w *os.File) {
+	names := make([]string, 0, len(cmdSpecs))
+	for name := range cmdSpecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "management commands (dhl-inspect -addr HOST:PORT -cmd NAME -args A,B,...):")
+	for _, name := range names {
+		spec := cmdSpecs[name]
+		params := make([]string, len(spec.params))
+		for i, p := range spec.params {
+			params[i] = strings.SplitN(p, ":", 2)[0]
+			if strings.HasSuffix(p, "?") {
+				params[i] += "?"
+			}
+		}
+		fmt.Fprintf(w, "  %-16s %-28s %s\n", name, strings.Join(params, ","), spec.doc)
+	}
+}
+
+// buildParams turns the comma-separated positional -args into the RPC's
+// parameter object according to its spec.
+func buildParams(name, raw string) (map[string]any, error) {
+	spec, ok := cmdSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown command %q (run -cmd help)", name)
+	}
+	var vals []string
+	if raw != "" {
+		vals = strings.Split(raw, ",")
+	}
+	if len(vals) > len(spec.params) {
+		return nil, fmt.Errorf("%s takes at most %d argument(s)", name, len(spec.params))
+	}
+	params := map[string]any{}
+	for i, p := range spec.params {
+		optional := strings.HasSuffix(p, "?")
+		p = strings.TrimSuffix(p, "?")
+		field, kind, _ := strings.Cut(p, ":")
+		if i >= len(vals) {
+			if optional {
+				break
+			}
+			return nil, fmt.Errorf("%s needs %q (run -cmd help)", name, field)
+		}
+		val := strings.TrimSpace(vals[i])
+		switch kind {
+		case "int":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %q must be an integer: %v", name, field, err)
+			}
+			params[field] = n
+		case "bytes":
+			// Pass base64 through verbatim; the server decodes it as []byte.
+			params[field] = val
+		default:
+			params[field] = val
+		}
+	}
+	return params, nil
+}
+
+// runConnected drives a live system's management endpoint.
+func runConnected(addr, cmd, args string, watch int, jsonOut bool) error {
+	c := dhl.DialControl(addr)
+	defer func() { _ = c.Close() }()
+	if cmd != "" {
+		params, err := buildParams(cmd, args)
+		if err != nil {
+			return err
+		}
+		var res json.RawMessage
+		if err := c.Call(cmd, params, &res); err != nil {
+			return err
+		}
+		return printJSON(os.Stdout, res, !jsonOut)
+	}
+	if watch > 0 {
+		return watchRemote(c, watch, jsonOut)
+	}
+	return overviewRemote(c, jsonOut)
+}
+
+// overviewRemote prints the connect-mode default view: sys.info plus
+// per-accelerator health.
+func overviewRemote(c *dhl.ControlClient, jsonOut bool) error {
+	var info struct {
+		Nodes        int      `json:"nodes"`
+		BatchBytes   int      `json:"batch_bytes"`
+		WatchdogUs   int      `json:"watchdog_timeout_us"`
+		HFTable      []string `json:"hf_table"`
+		ModuleDB     []string `json:"module_db"`
+		Accelerators []struct {
+			AccID  dhl.AccID `json:"acc_id"`
+			HF     string    `json:"hf"`
+			Node   int       `json:"node"`
+			FPGA   int       `json:"fpga"`
+			Region int       `json:"region"`
+			Ready  bool      `json:"ready"`
+		} `json:"accelerators"`
+	}
+	if err := c.Call("sys.info", nil, &info); err != nil {
+		return err
+	}
+	var health struct {
+		Accs []struct {
+			AccID          dhl.AccID `json:"acc_id"`
+			Health         string    `json:"health"`
+			Faults         uint64    `json:"faults"`
+			Quarantines    uint64    `json:"quarantines"`
+			Reloads        uint64    `json:"reloads"`
+			FallbackActive bool      `json:"fallback_active"`
+		} `json:"accs"`
+	}
+	if err := c.Call("health.get", nil, &health); err != nil {
+		return err
+	}
+	if jsonOut {
+		raw, err := json.Marshal(map[string]any{"info": info, "health": health.Accs})
+		if err != nil {
+			return err
+		}
+		return printJSON(os.Stdout, raw, false)
+	}
+	fmt.Printf("system at %s: %d node(s), batch %d bytes, watchdog %d us\n",
+		c.URL(), info.Nodes, info.BatchBytes, info.WatchdogUs)
+	fmt.Printf("module DB: %s\n", strings.Join(info.ModuleDB, ", "))
+	fmt.Println("\nHardware function table:")
+	for _, row := range info.HFTable {
+		fmt.Println(" ", row)
+	}
+	healthByID := map[dhl.AccID]string{}
+	for _, h := range health.Accs {
+		healthByID[h.AccID] = fmt.Sprintf("%s (faults %d, quarantines %d, reloads %d, fallback active: %v)",
+			h.Health, h.Faults, h.Quarantines, h.Reloads, h.FallbackActive)
+	}
+	fmt.Println("\nAccelerators:")
+	if len(info.Accelerators) == 0 {
+		fmt.Println("  (none loaded)")
+	}
+	for _, a := range info.Accelerators {
+		fmt.Printf("  acc_id %d: %s node %d fpga %d region %d ready=%v — %s\n",
+			a.AccID, a.HF, a.Node, a.FPGA, a.Region, a.Ready, healthByID[a.AccID])
+	}
+	return nil
+}
+
+// watchRemote long-polls telemetry.delta and prints each active window's
+// per-stage latency view — the same table spawn-mode -watch prints, fed
+// over the wire instead of in-process.
+func watchRemote(c *dhl.ControlClient, rounds int, jsonOut bool) error {
+	fmt.Printf("watch: %d telemetry.delta long-polls against %s\n", rounds, c.URL())
+	for round := 1; round <= rounds; round++ {
+		var d struct {
+			Active bool                   `json:"active"`
+			Delta  *dhl.TelemetrySnapshot `json:"delta"`
+		}
+		if err := c.Call("telemetry.delta",
+			map[string]any{"stream": "dhl-inspect", "wait_ms": 2000}, &d); err != nil {
+			return err
+		}
+		if jsonOut {
+			raw, err := json.Marshal(d)
+			if err != nil {
+				return err
+			}
+			if perr := printJSON(os.Stdout, raw, false); perr != nil {
+				return perr
+			}
+			continue
+		}
+		if !d.Active {
+			fmt.Printf("round %2d: idle\n", round)
+			continue
+		}
+		printDeltaRound(round, d.Delta)
+	}
+	return nil
+}
+
+// printJSON writes raw to w, indented when pretty.
+func printJSON(w *os.File, raw json.RawMessage, pretty bool) error {
+	if len(raw) == 0 {
+		raw = json.RawMessage("null")
+	}
+	if pretty {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, raw, "", "  "); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w, buf.String())
+		return err
+	}
+	_, err := fmt.Fprintln(w, string(raw))
+	return err
+}
+
+// printDeltaRound renders one round's TelemetrySnapshot delta: batch
+// counters plus the per-stage latency table.
+func printDeltaRound(round int, d *dhl.TelemetrySnapshot) {
+	fmt.Printf("round %2d: %d batches, %d pkts, %d bytes delivered\n",
+		round, d.CounterTotal(dhl.CounterBatches), d.CounterTotal(dhl.CounterPackets),
+		d.CounterTotal(dhl.CounterBytes))
+	fmt.Printf("  %-12s %7s %10s %10s %10s\n", "stage", "count", "p50(ns)", "p99(ns)", "mean(ns)")
+	for s := dhl.StageIBQWait; s < dhl.NumStages; s++ {
+		h := d.Stages[s]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %7d %10.0f %10.0f %10.0f\n",
+			s, h.Count, h.QuantileNs(0.50), h.QuantileNs(0.99), h.MeanNs())
+	}
+}
+
+// --- spawn mode ---------------------------------------------------------
+
+func runSpawned(modules string, fill bool, chaosSeed uint64, watch int, serve string, jsonOut bool) error {
+	if jsonOut {
+		return fmt.Errorf("-json applies to connect mode (-addr) output")
+	}
+	var opts []dhl.Option
 	if chaosSeed != 0 {
-		var err error
-		plan, err = dhl.NewFaultPlan(chaosSeed,
+		plan, err := dhl.NewFaultPlan(chaosSeed,
 			dhl.FaultSpec{Kind: dhl.FaultModuleError, EveryN: 1, Count: 8},
 			dhl.FaultSpec{Kind: dhl.FaultDMAH2CError, EveryN: 5, Count: 4},
 		)
 		if err != nil {
 			return err
 		}
+		opts = append(opts, dhl.WithFaultPlan(plan))
 	}
-	sys, err := dhl.NewSystem(dhl.SystemConfig{Faults: plan, Telemetry: watch > 0 || metrics != ""})
+	if serve != "" {
+		opts = append(opts, dhl.WithControlPlane())
+	}
+	sys, err := dhl.Open(dhl.SystemConfig{Telemetry: watch > 0}, opts...)
 	if err != nil {
 		return err
 	}
-	if metrics != "" {
-		exp, merr := sys.ServeMetrics(metrics)
-		if merr != nil {
-			return merr
+	shutdown := make(chan os.Signal, 1)
+	if serve != "" {
+		exp, serr := sys.Serve(serve, dhl.WithShutdownHook(func() {
+			shutdown <- syscall.SIGTERM
+		}))
+		if serr != nil {
+			return serr
 		}
 		defer func() { _ = exp.Close() }()
-		fmt.Printf("serving metrics at http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", exp.Addr())
+		fmt.Printf("serving operator surface at http://%s (metrics: /metrics, expvar: /debug/vars, pprof: /debug/pprof/, api: /api/v1)\n", exp.Addr())
 	}
 	names := strings.Split(modules, ",")
 	var loaded []dhl.AccID
@@ -99,7 +395,7 @@ func run(modules string, fill bool, chaosSeed uint64, watch int, metrics string)
 	}
 	sys.Settle()
 
-	if plan != nil {
+	if chaosSeed != 0 {
 		acc, cerr := chaosBurst(sys, chaosSeed)
 		if cerr != nil {
 			return cerr
@@ -116,7 +412,7 @@ func run(modules string, fill bool, chaosSeed uint64, watch int, metrics string)
 	for _, row := range sys.HFTable() {
 		fmt.Println(" ", row)
 	}
-	if plan != nil {
+	if chaosSeed != 0 {
 		fmt.Println("\nAccelerator health:")
 		for _, acc := range loaded {
 			rep, herr := sys.AccHealth(acc)
@@ -133,6 +429,23 @@ func run(modules string, fill bool, chaosSeed uint64, watch int, metrics string)
 		return err
 	}
 	fmt.Print(dev.Floorplan())
+	if serve != "" {
+		// Keep the event loop pumping so management RPCs execute; a
+		// sys.shutdown RPC (via the hook above) or SIGINT/SIGTERM ends it.
+		signal.Notify(shutdown, syscall.SIGINT, syscall.SIGTERM)
+		fmt.Println("\npumping event loop; stop with: dhl-inspect -addr", serve, "-cmd sys.shutdown")
+		sim := sys.Sim()
+		for {
+			select {
+			case sig := <-shutdown:
+				fmt.Printf("shutting down (%v)\n", sig)
+				return nil
+			default:
+				sim.Run(sim.Now() + eventsim.Millisecond)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
 	return nil
 }
 
@@ -190,18 +503,7 @@ func watchLoop(sys *dhl.System, rounds int) error {
 		snap := sys.Snapshot()
 		d := snap.Delta(prev)
 		prev = snap
-		fmt.Printf("round %2d: %d batches, %d pkts, %d bytes delivered\n",
-			round, d.CounterTotal(dhl.CounterBatches), d.CounterTotal(dhl.CounterPackets),
-			d.CounterTotal(dhl.CounterBytes))
-		fmt.Printf("  %-12s %7s %10s %10s %10s\n", "stage", "count", "p50(ns)", "p99(ns)", "mean(ns)")
-		for s := dhl.StageIBQWait; s < dhl.NumStages; s++ {
-			h := d.Stages[s]
-			if h.Count == 0 {
-				continue
-			}
-			fmt.Printf("  %-12s %7d %10.0f %10.0f %10.0f\n",
-				s, h.Count, h.QuantileNs(0.50), h.QuantileNs(0.99), h.MeanNs())
-		}
+		printDeltaRound(round, d)
 	}
 	return nil
 }

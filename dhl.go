@@ -231,12 +231,62 @@ type System struct {
 	tel     *telemetry.Registry
 	coreHz  float64
 	coreID  int
+	// ctl records that WithControlPlane armed the management API; Serve
+	// mounts /api/v1 only then.
+	ctl bool
 }
 
-// NewSystem builds a System with the full accelerator module catalogue
+// Option customizes Open beyond the plain SystemConfig fields. Options
+// apply after cfg, so they win over the corresponding field.
+type Option func(*openConfig)
+
+type openConfig struct {
+	cfg    SystemConfig
+	settle bool
+	ctl    bool
+}
+
+// WithFaultPlan arms deterministic fault injection, equivalent to
+// setting SystemConfig.Faults.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(o *openConfig) { o.cfg.Faults = p }
+}
+
+// WithClock sets the simulated CPU clock in Hz, equivalent to setting
+// SystemConfig.CoreHz.
+func WithClock(hz float64) Option {
+	return func(o *openConfig) { o.cfg.CoreHz = hz }
+}
+
+// WithControlPlane arms the runtime management API: Serve additionally
+// mounts the JSON-RPC 2.0 endpoint on /api/v1, next to /metrics and
+// /debug/*. The control plane rides the telemetry mux, so this option
+// also enables telemetry.
+func WithControlPlane() Option {
+	return func(o *openConfig) {
+		o.ctl = true
+		o.cfg.Telemetry = true
+	}
+}
+
+// WithoutSettle skips the boot settle: Open returns with the initial
+// partial reconfigurations still in flight, for callers that want to
+// observe (or drive) the boot sequence themselves.
+func WithoutSettle() Option {
+	return func(o *openConfig) { o.settle = false }
+}
+
+// NewSystem builds a System without settling it.
+//
+// Deprecated: use Open with WithoutSettle.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	return Open(cfg, WithoutSettle())
+}
+
+// buildSystem wires a System with the full accelerator module catalogue
 // (ipsec-crypto, pattern-matching, loopback, ipsec-decrypt, md5-auth,
 // regex-classifier, data-compression) pre-registered in the database.
-func NewSystem(cfg SystemConfig) (*System, error) {
+func buildSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 1
 	}
@@ -329,17 +379,25 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	return sys, nil
 }
 
-// Open builds a System with cfg and settles it: virtual time advances far
-// enough that the initial partial reconfigurations are done and the data
-// path is ready for traffic. It is NewSystem followed by Settle — the
-// one-call entry point for applications that do not need to observe the
-// boot sequence.
-func Open(cfg SystemConfig) (*System, error) {
-	sys, err := NewSystem(cfg)
+// Open builds a System with cfg, applies the options, and (unless
+// WithoutSettle) settles it: virtual time advances far enough that the
+// initial partial reconfigurations are done and the data path is ready
+// for traffic. It is the one entry point — WithFaultPlan and WithClock
+// mirror config fields, WithControlPlane arms the runtime management
+// API, WithoutSettle recovers the old NewSystem behavior.
+func Open(cfg SystemConfig, opts ...Option) (*System, error) {
+	oc := openConfig{cfg: cfg, settle: true}
+	for _, opt := range opts {
+		opt(&oc)
+	}
+	sys, err := buildSystem(oc.cfg)
 	if err != nil {
 		return nil, err
 	}
-	sys.Settle()
+	sys.ctl = oc.ctl
+	if oc.settle {
+		sys.Settle()
+	}
 	return sys, nil
 }
 
@@ -365,21 +423,12 @@ func (s *System) Snapshot() *TelemetrySnapshot {
 	return s.tel.Snapshot()
 }
 
-// ServeMetrics starts the HTTP metrics endpoint on addr (e.g.
-// "127.0.0.1:0" to pick a free port) and returns the running exporter;
-// query its Addr for the bound address and Close it when done. The mux
-// serves Prometheus text on /metrics, expvar JSON on /debug/vars and the
-// standard pprof handlers under /debug/pprof/. Fails with an error when
-// telemetry is off.
+// ServeMetrics starts the HTTP metrics endpoint on addr.
+//
+// Deprecated: use Serve, which serves the same mux and additionally
+// mounts the management API when the system was opened WithControlPlane.
 func (s *System) ServeMetrics(addr string) (*MetricsExporter, error) {
-	if s.tel == nil {
-		return nil, fmt.Errorf("dhl: telemetry is not enabled (set SystemConfig.Telemetry)")
-	}
-	e := telemetry.NewExporter(s.tel)
-	if _, err := e.Start(addr); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return s.Serve(addr)
 }
 
 // Pool exposes the system's packet-buffer pool.

@@ -16,7 +16,7 @@
 //
 // The public API mirrors the paper's Table II one-for-one:
 //
-//	sys, _ := dhl.NewSystem(dhl.SystemConfig{})
+//	sys, _ := dhl.Open(dhl.SystemConfig{})               // options: WithFaultPlan, WithControlPlane, ...
 //	nfID, _ := sys.Register("my-nf", 0)                  // DHL_register()
 //	accID, _ := sys.SearchByName("ipsec-crypto", 0)      // DHL_search_by_name()
 //	_ = sys.AccConfigure(accID, cfgBlob)                 // DHL_acc_configure()
@@ -30,6 +30,16 @@
 // Custom accelerator modules can be added to the accelerator module
 // database with RegisterModule, exactly as §IV-C allows for self-built
 // modules that follow the base design's interface specification.
+//
+// # Operations
+//
+// Opening with WithControlPlane and calling Serve exposes the whole
+// operator surface on one listener: Prometheus metrics on /metrics,
+// expvar and pprof under /debug/, and a JSON-RPC 2.0 management API on
+// /api/v1 that reconfigures the running system — register NFs, load and
+// evict accelerator modules, install software fallbacks, retune the
+// batcher and watchdog — without stopping the data path (see DESIGN.md
+// §11 and cmd/dhl-inspect).
 //
 // The runnable examples under examples/ and the experiment harness
 // (internal/harness, driven by cmd/dhl-bench and the root benchmarks)

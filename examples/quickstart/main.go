@@ -26,7 +26,7 @@ func main() {
 }
 
 func run() error {
-	sys, err := dhl.NewSystem(dhl.SystemConfig{})
+	sys, err := dhl.Open(dhl.SystemConfig{})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+)
+
+// This file is the runtime's live-management surface: the mutations the
+// control plane applies to a *running* system. Everything here assumes
+// the caller is on the simulation's event-loop goroutine (the control
+// plane posts these through eventsim.Sim.Post), which is what makes each
+// operation race-free against the data path without any locking: the
+// transfer cores and these mutators interleave at event granularity,
+// never mid-batch.
+
+// Errors returned by the live-management surface.
+var (
+	ErrAccReloading = errors.New("core: accelerator recovery reload in flight; retry after it completes")
+	ErrBatchTooBig  = errors.New("core: batch size exceeds the arena segment capacity fixed at Open")
+)
+
+// Nodes reports the runtime's NUMA node count.
+func (r *Runtime) Nodes() int { return r.cfg.Nodes }
+
+// BatchBytes reports the current maximum DMA batch size.
+func (r *Runtime) BatchBytes() int { return r.cfg.BatchBytes }
+
+// WatchdogTimeout reports the current per-batch watchdog deadline (zero
+// when the watchdog is disarmed).
+func (r *Runtime) WatchdogTimeout() eventsim.Time { return r.cfg.WatchdogTimeout }
+
+// ModuleSpecFor looks a hardware function up in the accelerator module
+// database.
+func (r *Runtime) ModuleSpecFor(name string) (fpga.ModuleSpec, bool) {
+	spec, ok := r.db[name]
+	return spec, ok
+}
+
+// AccIDs lists the loaded accelerator instances in acc_id order.
+func (r *Runtime) AccIDs() []AccID {
+	ids := make([]AccID, 0, len(r.hfByAcc))
+	for acc := AccID(1); acc <= r.nextAcc; acc++ {
+		if _, ok := r.hfByAcc[acc]; ok {
+			ids = append(ids, acc)
+		}
+	}
+	return ids
+}
+
+// AccInfo describes one hardware function table row for the management
+// API: identity, placement and readiness.
+type AccInfo struct {
+	AccID  AccID
+	Name   string
+	Node   int
+	FPGA   int
+	Region int
+	Ready  bool
+}
+
+// AccInfoFor reports one accelerator's table row.
+func (r *Runtime) AccInfoFor(acc AccID) (AccInfo, error) {
+	e, ok := r.hfByAcc[acc]
+	if !ok {
+		return AccInfo{}, fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	return AccInfo{AccID: e.accID, Name: e.name, Node: e.node,
+		FPGA: e.fpgaIdx, Region: e.regionIdx, Ready: e.ready}, nil
+}
+
+// EvictPR removes a loaded accelerator module from the hardware function
+// table and unloads its reconfigurable part, returning the region's
+// LUT/BRAM resources to the board. The inverse of LoadPR, safe on a
+// running system:
+//
+//   - packets staged for the accelerator are freed and attributed
+//     DropNoRoute, exactly like StopCores' teardown, so the conservation
+//     ledger keeps balancing;
+//   - batches already posted to the DMA engine complete against the
+//     now-empty region, take the dispatch-failure edge and are attributed
+//     DropFault — buffers return, nothing is stranded;
+//   - a region mid-reconfiguration (initial load or recovery reload)
+//     cannot be unloaded; callers retry once it settles.
+//
+// Traffic that keeps arriving for the evicted acc_id is dropped
+// DropNoRoute by the Packer, the same as any unknown acc_id.
+func (r *Runtime) EvictPR(acc AccID) error {
+	e, ok := r.hfByAcc[acc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	if e.reloading {
+		return fmt.Errorf("%w (acc_id %d)", ErrAccReloading, acc)
+	}
+	dev := r.cfg.FPGAs[e.fpgaIdx].Device
+	if e.ready && !dev.IsShutdown() {
+		if err := dev.Unload(e.regionIdx); err != nil {
+			return fmt.Errorf("core: evict acc_id %d: %w", acc, err)
+		}
+	} else if !e.ready {
+		// Initial PR still streaming through ICAP; the region cannot be
+		// reclaimed mid-bitstream.
+		return fmt.Errorf("%w (acc_id %d)", ErrAccReloading, acc)
+	}
+	// Drop staged (never-sent) packets on every node; they have no route
+	// the moment the table row goes away.
+	for _, tx := range r.nodeTx {
+		if tx == nil {
+			continue
+		}
+		st, ok := tx.staging[acc]
+		if !ok {
+			continue
+		}
+		for i, m := range st.mbufs {
+			tx.stats.DropNoRoute++
+			_ = tx.pool.Free(m)
+			st.mbufs[i] = nil
+		}
+		st.mbufs = st.mbufs[:0]
+		if st.buf != nil {
+			tx.arena.ret(st.buf)
+			st.buf = nil
+		}
+	}
+	// A later LoadPR of the same (name, node) overwrites the table key, so
+	// only remove it when it still resolves to the entry being evicted.
+	if cur, ok := r.hfByKey[hfKey{e.name, e.node}]; ok && cur == e {
+		delete(r.hfByKey, hfKey{e.name, e.node})
+	}
+	delete(r.hfByAcc, acc)
+	if r.tel != nil {
+		r.tel.UnregisterGauge("dhl_acc_health", accHealthLabels(acc, e.name))
+	}
+	return nil
+}
+
+// ClearFallback removes the registered software fallback for a hardware
+// function. Traffic for the accelerator is unaffected while it is
+// healthy; if it is (or becomes) quarantined, batches are delivered
+// unprocessed from the next flush on.
+func (r *Runtime) ClearFallback(hfName string, node int) error {
+	e, ok := r.hfByKey[hfKey{hfName, node}]
+	if !ok {
+		return fmt.Errorf("%w: %q on node %d", ErrUnknownHF, hfName, node)
+	}
+	e.fallback = nil
+	return nil
+}
+
+// SetBatchBytes retargets the Packer's maximum batch size on a running
+// system. The new size applies to every node and every accelerator's
+// staging area from the next packet on; a batch already staged past the
+// new target flushes on its next arrival or deadline. Bounded below by
+// MinBatchBytes and above by the batch arena's segment capacity (fixed
+// at Open — segments are sized 2x the opening BatchBytes and are never
+// reallocated, which is what keeps the hot path at zero allocations).
+func (r *Runtime) SetBatchBytes(bytes int) error {
+	if bytes < r.cfg.MinBatchBytes {
+		return fmt.Errorf("%w: %d < min %d", ErrBadBatchConfig, bytes, r.cfg.MinBatchBytes)
+	}
+	for _, tx := range r.nodeTx {
+		if tx != nil && bytes > tx.arena.segSize/2 {
+			return fmt.Errorf("%w: %d > %d", ErrBatchTooBig, bytes, tx.arena.segSize/2)
+		}
+	}
+	r.cfg.BatchBytes = bytes
+	for _, tx := range r.nodeTx {
+		if tx == nil {
+			continue
+		}
+		for _, st := range tx.staging {
+			if r.cfg.Batching == AdaptiveBatching {
+				// Preserve the controller's position, clamped to the new
+				// window; it keeps adapting from there.
+				st.effBatch = min(max(st.effBatch, r.cfg.MinBatchBytes), bytes)
+			} else {
+				st.effBatch = bytes
+			}
+		}
+	}
+	return nil
+}
+
+// SetWatchdogTimeout retunes (or arms) the per-batch watchdog on a
+// running system. A positive d sets the soft completion deadline for
+// batches committed from now on — already-watched batches keep their old
+// deadline — and arms the detection/recovery machinery if the runtime
+// started unarmed. Zero disarms the watchdog: the sweep timer stops and
+// new batches are not watched; the health FSM keeps whatever state it
+// had.
+func (r *Runtime) SetWatchdogTimeout(d eventsim.Time) error {
+	if d < 0 {
+		return fmt.Errorf("%w: negative watchdog timeout %d", ErrBadBatchConfig, d)
+	}
+	r.cfg.WatchdogTimeout = d
+	if d > 0 {
+		r.armed = true
+	}
+	for node := range r.nodeTx {
+		tx, rx := r.nodeTx[node], r.nodeRx[node]
+		if tx == nil || rx == nil {
+			continue
+		}
+		tx.watchdog = d
+		rx.timeout = d
+		if d == 0 {
+			if rx.wdTimer != nil {
+				rx.wdTimer.Stop()
+			}
+			continue
+		}
+		rx.wdPeriod = max(d/2, eventsim.Microsecond)
+		if rx.wdTimer == nil {
+			rx.wdTimer = r.sim.NewTimer(rx.watchdogFire)
+		}
+		if len(rx.watch) > 0 && !rx.wdTimer.Armed() {
+			rx.wdTimer.Reset(rx.wdPeriod)
+		}
+	}
+	return nil
+}

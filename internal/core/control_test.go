@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
+
+func TestEvictPRRoundTrip(t *testing.T) {
+	r := newRig(t, Config{}, moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	acc, err := r.rt.SearchByName("rev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The region is still reconfiguring: eviction must refuse.
+	if err := r.rt.EvictPR(acc); !errors.Is(err, ErrAccReloading) {
+		t.Fatalf("evict mid-ICAP: %v", err)
+	}
+	r.settle()
+	luts := r.dev.AvailableLUTs()
+	if err := r.rt.EvictPR(acc); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.dev.AvailableLUTs(); got != luts+1000 {
+		t.Errorf("LUTs not returned: %d -> %d", luts, got)
+	}
+	if ids := r.rt.AccIDs(); len(ids) != 0 {
+		t.Errorf("AccIDs after evict: %v", ids)
+	}
+	if len(r.rt.HFTable()) != 0 {
+		t.Errorf("hf table after evict: %v", r.rt.HFTable())
+	}
+	if err := r.rt.EvictPR(acc); !errors.Is(err, ErrUnknownAcc) {
+		t.Errorf("double evict: %v", err)
+	}
+	// The name reloads onto a fresh acc_id / region.
+	acc2, err := r.rt.SearchByName("rev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc2 == acc {
+		t.Errorf("evicted acc_id %d reused", acc)
+	}
+	info, err := r.rt.AccInfoFor(acc2)
+	if err != nil || info.Name != "rev" || info.Ready {
+		t.Errorf("info %+v err %v", info, err)
+	}
+}
+
+func TestEvictPRDrainsStagedPackets(t *testing.T) {
+	r := newRig(t, Config{FlushTimeout: 10 * eventsim.Millisecond},
+		moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	nf, _ := r.rt.Register("nf", 0)
+	acc, _ := r.rt.SearchByName("rev", 0)
+	r.settle()
+
+	// Stage a couple of packets without reaching the size trigger; the
+	// long flush timeout keeps them parked in the Packer.
+	pkts := []*mbuf.Mbuf{
+		r.packet(t, nf, acc, []byte("staged-0")),
+		r.packet(t, nf, acc, []byte("staged-1")),
+	}
+	if _, err := r.rt.SendPackets(nf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Run(r.sim.Now() + 50*eventsim.Microsecond)
+	if st, _ := r.rt.Stats(0); st.PktsPacked != 2 || st.BatchesSent != 0 {
+		t.Fatalf("precondition: %d packed, %d sent", st.PktsPacked, st.BatchesSent)
+	}
+	if err := r.rt.EvictPR(acc); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.rt.Stats(0)
+	if st.DropNoRoute != 2 {
+		t.Errorf("DropNoRoute = %d, want 2", st.DropNoRoute)
+	}
+	if r.pool.InUse() != 0 {
+		t.Errorf("pool leak after evict: %d", r.pool.InUse())
+	}
+	// The ledger still balances: packed == distributed + drops.
+	if st.PktsPacked != st.PktsDistributed+st.DropFault+st.DropCorrupt+st.DropMismatch+st.DropNoRoute {
+		t.Errorf("ledger unbalanced: %+v", st)
+	}
+	// Traffic that keeps arriving for the evicted acc_id drops cleanly.
+	late := []*mbuf.Mbuf{r.packet(t, nf, acc, []byte("late"))}
+	if _, err := r.rt.SendPackets(nf, late); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Run(r.sim.Now() + 20*eventsim.Millisecond)
+	if st, _ = r.rt.Stats(0); st.DropNoRoute != 3 {
+		t.Errorf("late DropNoRoute = %d, want 3", st.DropNoRoute)
+	}
+	if r.pool.InUse() != 0 {
+		t.Errorf("pool leak after late traffic: %d", r.pool.InUse())
+	}
+}
+
+func TestSetBatchBytesLive(t *testing.T) {
+	r := newRig(t, Config{BatchBytes: 4096},
+		moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	nf, _ := r.rt.Register("nf", 0)
+	acc, _ := r.rt.SearchByName("rev", 0)
+	r.settle()
+
+	if got := r.rt.BatchBytes(); got != 4096 {
+		t.Fatalf("BatchBytes = %d", got)
+	}
+	if err := r.rt.SetBatchBytes(64); !errors.Is(err, ErrBadBatchConfig) {
+		t.Errorf("below min accepted: %v", err)
+	}
+	// Segments are 2x the opening size; anything past that cannot encode.
+	if err := r.rt.SetBatchBytes(5000); !errors.Is(err, ErrBatchTooBig) {
+		t.Errorf("oversize accepted: %v", err)
+	}
+
+	send := func(n, size int) {
+		t.Helper()
+		pkts := make([]*mbuf.Mbuf, n)
+		payload := make([]byte, size)
+		for i := range pkts {
+			pkts[i] = r.packet(t, nf, acc, payload)
+		}
+		if sent, err := r.rt.SendPackets(nf, pkts); err != nil || sent != n {
+			t.Fatalf("send %d err %v", sent, err)
+		}
+		r.sim.Run(r.sim.Now() + eventsim.Millisecond)
+		out := make([]*mbuf.Mbuf, 2*n)
+		got, err := r.rt.ReceivePackets(nf, out)
+		if err != nil || got != n {
+			t.Fatalf("receive %d err %v", got, err)
+		}
+		for i := 0; i < got; i++ {
+			_ = r.pool.Free(out[i])
+		}
+	}
+
+	// At 4 KB batches, 16 x 512 B payloads fill about two batches.
+	send(16, 512)
+	before, _ := r.rt.Stats(0)
+	if before.BatchesSent < 2 || before.BatchesSent > 3 {
+		t.Fatalf("4KB batches sent = %d", before.BatchesSent)
+	}
+
+	if err := r.rt.SetBatchBytes(1024); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.rt.BatchBytes(); got != 1024 {
+		t.Fatalf("BatchBytes after tune = %d", got)
+	}
+	send(16, 512)
+	after, _ := r.rt.Stats(0)
+	delta := after.BatchesSent - before.BatchesSent
+	// 16 x (512+overhead) at a 1 KB target is at least 8 batches.
+	if delta < 8 {
+		t.Errorf("1KB batches sent = %d, want >= 8", delta)
+	}
+	if after.PktsDistributed != 32 {
+		t.Errorf("distributed %d", after.PktsDistributed)
+	}
+	if r.pool.InUse() != 0 {
+		t.Errorf("pool leak: %d", r.pool.InUse())
+	}
+}
+
+func TestSetWatchdogTimeoutArmsLive(t *testing.T) {
+	r := newRig(t, Config{}, moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	if r.rt.armed {
+		t.Fatal("runtime armed without faults")
+	}
+	if r.rt.WatchdogTimeout() != 0 {
+		t.Fatalf("timeout = %v", r.rt.WatchdogTimeout())
+	}
+	if err := r.rt.SetWatchdogTimeout(-1); !errors.Is(err, ErrBadBatchConfig) {
+		t.Errorf("negative accepted: %v", err)
+	}
+	if err := r.rt.SetWatchdogTimeout(100 * eventsim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if !r.rt.armed {
+		t.Error("runtime not armed after tune")
+	}
+	tx, rx := r.rt.nodeTx[0], r.rt.nodeRx[0]
+	if tx.watchdog != 100*eventsim.Microsecond || rx.timeout != 100*eventsim.Microsecond {
+		t.Errorf("engine timeouts %v/%v", tx.watchdog, rx.timeout)
+	}
+	if rx.wdTimer == nil {
+		t.Fatal("watchdog timer not created")
+	}
+	// Traffic still flows with the watchdog armed mid-run.
+	nf, _ := r.rt.Register("nf", 0)
+	acc, _ := r.rt.SearchByName("rev", 0)
+	r.settle()
+	pkts := []*mbuf.Mbuf{r.packet(t, nf, acc, []byte("watched"))}
+	if _, err := r.rt.SendPackets(nf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Run(r.sim.Now() + eventsim.Millisecond)
+	out := make([]*mbuf.Mbuf, 4)
+	if got, err := r.rt.ReceivePackets(nf, out); err != nil || got != 1 {
+		t.Fatalf("receive %d err %v", got, err)
+	}
+	_ = r.pool.Free(out[0])
+	if st, _ := r.rt.Stats(0); st.WatchdogTimeouts != 0 {
+		t.Errorf("clean batch counted a timeout: %+v", st)
+	}
+	// Disarm: the timer stops and new batches go unwatched.
+	if err := r.rt.SetWatchdogTimeout(0); err != nil {
+		t.Fatal(err)
+	}
+	if tx.watchdog != 0 || rx.wdTimer.Armed() {
+		t.Error("watchdog still armed after disarm")
+	}
+}
+
+func TestClearFallbackLive(t *testing.T) {
+	r := newRig(t, Config{WatchdogTimeout: 250 * eventsim.Microsecond},
+		moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	if _, err := r.rt.SearchByName("rev", 0); err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+	if err := r.rt.ClearFallback("rev", 1); !errors.Is(err, ErrUnknownHF) {
+		t.Errorf("wrong node accepted: %v", err)
+	}
+	if err := r.rt.RegisterFallback("rev", 0, func() fpga.Module { return reverseModule{} }); err != nil {
+		t.Fatal(err)
+	}
+	e := r.rt.hfByKey[hfKey{"rev", 0}]
+	if e.fallback == nil {
+		t.Fatal("fallback not installed")
+	}
+	if err := r.rt.ClearFallback("rev", 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.fallback != nil {
+		t.Error("fallback still installed after clear")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig(t, Config{Nodes: 1}, moduleSpec("rev", func() fpga.Module { return reverseModule{} }))
+	if r.rt.Nodes() != 1 {
+		t.Errorf("Nodes = %d", r.rt.Nodes())
+	}
+	if _, ok := r.rt.ModuleSpecFor("rev"); !ok {
+		t.Error("ModuleSpecFor miss for registered module")
+	}
+	if _, ok := r.rt.ModuleSpecFor("nope"); ok {
+		t.Error("ModuleSpecFor hit for unknown module")
+	}
+	if _, err := r.rt.AccInfoFor(99); !errors.Is(err, ErrUnknownAcc) {
+		t.Errorf("AccInfoFor unknown: %v", err)
+	}
+	var accs []AccID
+	for i := 0; i < 3; i++ {
+		acc, err := r.rt.LoadPR("rev", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs = append(accs, acc)
+	}
+	r.settle()
+	// Repeated LoadPR calls overwrite the (name, node) table key; evicting
+	// an instance the key no longer resolves to must not tear the key away
+	// from the survivor.
+	if err := r.rt.EvictPR(accs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if ids := r.rt.AccIDs(); len(ids) != 2 || ids[0] != accs[0] || ids[1] != accs[2] {
+		t.Errorf("AccIDs = %v, want [%d %d]", ids, accs[0], accs[2])
+	}
+	if acc, err := r.rt.SearchByName("rev", 0); err != nil || acc != accs[2] {
+		t.Errorf("SearchByName after evict = %d err %v, want %d", acc, err, accs[2])
+	}
+}

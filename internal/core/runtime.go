@@ -372,6 +372,12 @@ func (r *Runtime) Unregister(id NFID) error {
 		return err
 	}
 	nf.closed = true
+	if r.tel != nil {
+		// Drop the OBQ occupancy gauge so scrapes do not accumulate stale
+		// rings. (NFs sharing one name share a ring name; eviction of one
+		// removes the series for all — acceptable for a diagnostic gauge.)
+		r.tel.UnregisterGauge("dhl_ring_occupancy", fmt.Sprintf("ring=%q", nf.obq.Name()))
+	}
 	if pool := r.pools[nf.node]; pool != nil {
 		var burst [64]*mbuf.Mbuf
 		for {
@@ -449,12 +455,18 @@ func (r *Runtime) LoadPR(name string, node int) (AccID, error) {
 	r.hfByAcc[entry.accID] = entry
 	if r.tel != nil {
 		e := entry
-		r.tel.RegisterGauge("dhl_acc_health",
-			fmt.Sprintf("acc_id=\"%d\",hf=%q", e.accID, name),
+		r.tel.RegisterGauge("dhl_acc_health", accHealthLabels(e.accID, name),
 			"Accelerator health-FSM state: 1 healthy, 2 degraded, 3 quarantined.",
 			func() float64 { return float64(e.health) })
 	}
 	return entry.accID, nil
+}
+
+// accHealthLabels renders the dhl_acc_health label list for one
+// accelerator; LoadPR registers the gauge with it and EvictPR removes the
+// gauge by the same string.
+func accHealthLabels(acc AccID, name string) string {
+	return fmt.Sprintf("acc_id=\"%d\",hf=%q", acc, name)
 }
 
 func (r *Runtime) tryLoad(fpgaIdx int, spec fpga.ModuleSpec) (*hfEntry, error) {

@@ -1,0 +1,106 @@
+package ctlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a minimal JSON-RPC 2.0 client for the management endpoint.
+// dhl-inspect and the reconfig example use it; operators can equally
+// drive the API with curl.
+type Client struct {
+	url    string
+	hc     *http.Client
+	nextID atomic.Uint64
+}
+
+// Dial builds a client for the management endpoint at addr. addr may be
+// a bare host:port (":9090", "box:9090"), a base URL, or a full endpoint
+// URL; anything without a path gets "/api/v1" appended. Dial does not
+// touch the network — use Call("sys.ping", ...) to probe.
+func Dial(addr string) *Client {
+	u := addr
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	// Default a bare authority to the v1 endpoint path.
+	if i := strings.Index(u, "://"); i >= 0 && !strings.Contains(u[i+3:], "/") {
+		u += "/api/v1"
+	}
+	return &Client{url: u, hc: &http.Client{Timeout: 90 * time.Second}}
+}
+
+// Call invokes one management method. params may be nil; result, when
+// non-nil, receives the JSON-decoded result object. Server-reported
+// failures come back as *Error (errors.As-able for code inspection);
+// transport failures as plain errors.
+func (c *Client) Call(method string, params, result any) error {
+	id := c.nextID.Add(1)
+	req := struct {
+		JSONRPC string `json:"jsonrpc"`
+		ID      uint64 `json:"id"`
+		Method  string `json:"method"`
+		Params  any    `json:"params,omitempty"`
+	}{JSONRPC: "2.0", ID: id, Method: method, Params: params}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("ctlplane: encoding %s request: %w", method, err)
+	}
+	resp, err := c.hc.Post(c.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("ctlplane: %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("ctlplane: %s: reading response: %w", method, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ctlplane: %s: HTTP %s: %s", method, resp.Status, firstLine(raw))
+	}
+	var env struct {
+		JSONRPC string          `json:"jsonrpc"`
+		ID      json.RawMessage `json:"id"`
+		Result  json.RawMessage `json:"result"`
+		Error   *Error          `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("ctlplane: %s: decoding response: %w", method, err)
+	}
+	if env.Error != nil {
+		return env.Error
+	}
+	if result != nil && len(env.Result) > 0 {
+		if err := json.Unmarshal(env.Result, result); err != nil {
+			return fmt.Errorf("ctlplane: %s: decoding result: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the client's idle connections. The client is unusable
+// afterwards only by convention; Call still works but re-dials.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// URL reports the endpoint the client talks to.
+func (c *Client) URL() string { return c.url }
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -1,0 +1,522 @@
+package ctlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"time"
+
+	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/telemetry"
+)
+
+// method is one management API entry: a short doc line for the GET
+// directory and the handler. Handlers run on HTTP goroutines; anything
+// touching the Backend goes through Server.dispatch.
+type method struct {
+	doc    string
+	handle func(s *Server, raw json.RawMessage) (any, *Error)
+}
+
+// methods is the /api/v1 method table. Names are namespaced by subsystem
+// and never reused with different semantics; breaking a method's shape
+// means a new endpoint version, not a silent change here.
+var methods = map[string]method{
+	"sys.ping":        {"liveness probe; answered by the HTTP layer without touching the event loop", handlePing},
+	"sys.info":        {"system overview: nodes, knobs, module DB, loaded accelerators", handleInfo},
+	"sys.shutdown":    {"acknowledge, then trigger the serving process's shutdown hook", handleShutdown},
+	"nf.register":     {"register an NF instance: {name, node} -> {nf_id}", handleNFRegister},
+	"nf.unregister":   {"drain and remove an NF instance: {nf_id}", handleNFUnregister},
+	"acc.load":        {"load a module from the DB onto a PR region: {hf, node} -> {acc_id}", handleAccLoad},
+	"acc.evict":       {"unload an accelerator and free its region: {acc_id}", handleAccEvict},
+	"acc.configure":   {"send a configuration blob: {acc_id, params (base64)}", handleAccConfigure},
+	"fallback.set":    {"install the module DB's software implementation as fallback: {hf, node}", handleFallbackSet},
+	"fallback.clear":  {"remove an installed software fallback: {hf, node}", handleFallbackClear},
+	"tune.batch":      {"retarget the Packer's max batch size: {bytes} -> {batch_bytes}", handleTuneBatch},
+	"tune.watchdog":   {"retune or disarm the per-batch watchdog: {timeout_us} -> {timeout_us}", handleTuneWatchdog},
+	"health.get":      {"health FSM state for one or all accelerators: {acc_id?} -> {accs}", handleHealthGet},
+	"stats.get":       {"one node's transfer-core conservation ledger: {node} -> stats", handleStatsGet},
+	"telemetry.delta": {"long-poll telemetry activity since the stream's last call: {stream, wait_ms}", handleTelemetryDelta},
+}
+
+// methodNames lists the table's methods sorted for the GET directory.
+func methodNames() []string {
+	names := make([]string, 0, len(methods))
+	for name, m := range methods {
+		names = append(names, name+" — "+m.doc)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// decodeParams strictly decodes raw into dst; unknown fields are
+// rejected so operator typos ("time_us" for "timeout_us") fail loudly
+// instead of silently applying defaults.
+func decodeParams(raw json.RawMessage, dst any) *Error {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &Error{Code: CodeInvalidParams, Message: err.Error()}
+	}
+	return nil
+}
+
+type okResult struct {
+	OK bool `json:"ok"`
+}
+
+func handlePing(s *Server, raw json.RawMessage) (any, *Error) {
+	return okResult{OK: true}, nil
+}
+
+// accInfoJSON is core.AccInfo plus health, rendered for the wire.
+type accInfoJSON struct {
+	AccID  core.AccID `json:"acc_id"`
+	HF     string     `json:"hf"`
+	Node   int        `json:"node"`
+	FPGA   int        `json:"fpga"`
+	Region int        `json:"region"`
+	Ready  bool       `json:"ready"`
+}
+
+type infoResult struct {
+	Nodes        int           `json:"nodes"`
+	BatchBytes   int           `json:"batch_bytes"`
+	WatchdogUs   int           `json:"watchdog_timeout_us"`
+	HFTable      []string      `json:"hf_table"`
+	ModuleDB     []string      `json:"module_db"`
+	Accelerators []accInfoJSON `json:"accelerators"`
+}
+
+func handleInfo(s *Server, raw json.RawMessage) (any, *Error) {
+	var res infoResult
+	if derr := s.dispatch(func() {
+		b := s.cfg.Backend
+		res.Nodes = b.Nodes()
+		res.BatchBytes = b.BatchBytes()
+		res.WatchdogUs = b.WatchdogTimeoutUs()
+		res.HFTable = b.HFTable()
+		res.ModuleDB = b.ModuleDB()
+		for _, acc := range b.AccIDs() {
+			info, err := b.AccInfo(acc)
+			if err != nil {
+				continue
+			}
+			res.Accelerators = append(res.Accelerators, accInfoJSON{
+				AccID: info.AccID, HF: info.Name, Node: info.Node,
+				FPGA: info.FPGA, Region: info.Region, Ready: info.Ready})
+		}
+	}); derr != nil {
+		return nil, derr
+	}
+	sort.Strings(res.HFTable)
+	sort.Strings(res.ModuleDB)
+	if res.HFTable == nil {
+		res.HFTable = []string{}
+	}
+	if res.ModuleDB == nil {
+		res.ModuleDB = []string{}
+	}
+	if res.Accelerators == nil {
+		res.Accelerators = []accInfoJSON{}
+	}
+	return res, nil
+}
+
+func handleShutdown(s *Server, raw json.RawMessage) (any, *Error) {
+	if s.cfg.OnShutdown == nil {
+		return nil, &Error{Code: CodeOpFailed, Message: "this server has no shutdown hook"}
+	}
+	s.shutdownOnce.Do(func() {
+		// After the response is on the wire; the hook tears the listener
+		// down, so it must not run on this handler's stack.
+		go s.cfg.OnShutdown()
+	})
+	return okResult{OK: true}, nil
+}
+
+func handleNFRegister(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Name string `json:"name"`
+		Node int    `json:"node"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	if p.Name == "" {
+		return nil, &Error{Code: CodeInvalidParams, Message: "name is required"}
+	}
+	var (
+		id  core.NFID
+		err error
+	)
+	if derr := s.dispatch(func() { id, err = s.cfg.Backend.Register(p.Name, p.Node) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		NFID core.NFID `json:"nf_id"`
+	}{id}, nil
+}
+
+func handleNFUnregister(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		NFID core.NFID `json:"nf_id"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var err error
+	if derr := s.dispatch(func() { err = s.cfg.Backend.Unregister(p.NFID) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return okResult{OK: true}, nil
+}
+
+func handleAccLoad(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		HF   string `json:"hf"`
+		Node int    `json:"node"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	if p.HF == "" {
+		return nil, &Error{Code: CodeInvalidParams, Message: "hf is required"}
+	}
+	var (
+		acc core.AccID
+		err error
+	)
+	if derr := s.dispatch(func() { acc, err = s.cfg.Backend.LoadPR(p.HF, p.Node) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		AccID core.AccID `json:"acc_id"`
+	}{acc}, nil
+}
+
+func handleAccEvict(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		AccID core.AccID `json:"acc_id"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var err error
+	if derr := s.dispatch(func() { err = s.cfg.Backend.Evict(p.AccID) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return okResult{OK: true}, nil
+}
+
+func handleAccConfigure(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		AccID core.AccID `json:"acc_id"`
+		// Params rides as base64 (encoding/json's []byte convention).
+		Params []byte `json:"params"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var err error
+	if derr := s.dispatch(func() { err = s.cfg.Backend.AccConfigure(p.AccID, p.Params) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return okResult{OK: true}, nil
+}
+
+func handleFallbackSet(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		HF   string `json:"hf"`
+		Node int    `json:"node"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	if p.HF == "" {
+		return nil, &Error{Code: CodeInvalidParams, Message: "hf is required"}
+	}
+	var err error
+	if derr := s.dispatch(func() { err = s.cfg.Backend.InstallFallback(p.HF, p.Node) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return okResult{OK: true}, nil
+}
+
+func handleFallbackClear(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		HF   string `json:"hf"`
+		Node int    `json:"node"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	if p.HF == "" {
+		return nil, &Error{Code: CodeInvalidParams, Message: "hf is required"}
+	}
+	var err error
+	if derr := s.dispatch(func() { err = s.cfg.Backend.ClearFallback(p.HF, p.Node) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return okResult{OK: true}, nil
+}
+
+func handleTuneBatch(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Bytes int `json:"bytes"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		err error
+		cur int
+	)
+	if derr := s.dispatch(func() {
+		err = s.cfg.Backend.SetBatchBytes(p.Bytes)
+		cur = s.cfg.Backend.BatchBytes()
+	}); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		BatchBytes int `json:"batch_bytes"`
+	}{cur}, nil
+}
+
+func handleTuneWatchdog(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		TimeoutUs int `json:"timeout_us"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		err error
+		cur int
+	)
+	if derr := s.dispatch(func() {
+		err = s.cfg.Backend.SetWatchdogTimeout(p.TimeoutUs)
+		cur = s.cfg.Backend.WatchdogTimeoutUs()
+	}); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		TimeoutUs int `json:"timeout_us"`
+	}{cur}, nil
+}
+
+// healthJSON is one accelerator's identity plus health FSM report.
+type healthJSON struct {
+	accInfoJSON
+	Health           string `json:"health"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Faults           uint64 `json:"faults"`
+	Quarantines      uint64 `json:"quarantines"`
+	Reloads          uint64 `json:"reloads"`
+	Reloading        bool   `json:"reloading"`
+	FallbackActive   bool   `json:"fallback_active"`
+}
+
+func handleHealthGet(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		AccID *core.AccID `json:"acc_id"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		accs []healthJSON
+		err  error
+	)
+	if derr := s.dispatch(func() {
+		b := s.cfg.Backend
+		ids := b.AccIDs()
+		if p.AccID != nil {
+			ids = []core.AccID{*p.AccID}
+		}
+		for _, acc := range ids {
+			info, ierr := b.AccInfo(acc)
+			if ierr != nil {
+				err = ierr
+				return
+			}
+			rep, herr := b.AccHealth(acc)
+			if herr != nil {
+				err = herr
+				return
+			}
+			accs = append(accs, healthJSON{
+				accInfoJSON: accInfoJSON{AccID: info.AccID, HF: info.Name, Node: info.Node,
+					FPGA: info.FPGA, Region: info.Region, Ready: info.Ready},
+				Health:           rep.Health.String(),
+				ConsecutiveFails: rep.ConsecutiveFails,
+				Faults:           rep.Faults,
+				Quarantines:      rep.Quarantines,
+				Reloads:          rep.Reloads,
+				Reloading:        rep.Reloading,
+				FallbackActive:   rep.FallbackActive,
+			})
+		}
+	}); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	if accs == nil {
+		accs = []healthJSON{}
+	}
+	return struct {
+		Accs []healthJSON `json:"accs"`
+	}{accs}, nil
+}
+
+func handleStatsGet(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Node int `json:"node"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		st  core.TransferStats
+		err error
+	)
+	if derr := s.dispatch(func() { st, err = s.cfg.Backend.Stats(p.Node) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return st, nil
+}
+
+// telemetry.delta long-poll parameters.
+const (
+	// deltaPollEvery is the real-time re-snapshot cadence while waiting
+	// for activity.
+	deltaPollEvery = 25 * time.Millisecond
+	// deltaMaxWait caps a single long-poll's wait_ms.
+	deltaMaxWait = 60 * time.Second
+	// streamIdleEvict drops a stream baseline untouched this long.
+	streamIdleEvict = 5 * time.Minute
+)
+
+// deltaResult is one telemetry.delta answer: the activity since the
+// stream's previous call (Delta semantics from the telemetry package:
+// counter/histogram differences, current gauges, only new spans), and
+// whether the long poll returned because of activity or deadline.
+type deltaResult struct {
+	Stream string              `json:"stream"`
+	Active bool                `json:"active"`
+	Delta  *telemetry.Snapshot `json:"delta"`
+}
+
+func handleTelemetryDelta(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Stream string `json:"stream"`
+		WaitMs int    `json:"wait_ms"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	if p.Stream == "" {
+		return nil, &Error{Code: CodeInvalidParams, Message: "stream is required (a client-chosen baseline name)"}
+	}
+	if p.WaitMs < 0 {
+		return nil, &Error{Code: CodeInvalidParams, Message: "wait_ms must be >= 0"}
+	}
+	wait := time.Duration(p.WaitMs) * time.Millisecond
+	if wait > deltaMaxWait {
+		wait = deltaMaxWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		// Snapshots evaluate pull gauges that read simulation-owned state,
+		// so they must run on the event loop like every other operation.
+		var snap *telemetry.Snapshot
+		if derr := s.dispatch(func() { snap = s.cfg.Backend.Snapshot() }); derr != nil {
+			return nil, derr
+		}
+		if snap == nil {
+			return nil, &Error{Code: CodeOpFailed, Message: "telemetry is not enabled on this system"}
+		}
+		prev := s.streamBaseline(p.Stream)
+		delta := snap.Delta(prev)
+		active := len(delta.Spans) > 0 ||
+			delta.CounterTotal(telemetry.CounterBatches) > 0 ||
+			delta.Health.Degraded+delta.Health.Quarantined+delta.Health.Recovered > 0
+		remaining := time.Until(deadline)
+		if active || remaining <= 0 {
+			s.setStreamBaseline(p.Stream, snap)
+			return deltaResult{Stream: p.Stream, Active: active, Delta: delta}, nil
+		}
+		if remaining < deltaPollEvery {
+			time.Sleep(remaining)
+		} else {
+			time.Sleep(deltaPollEvery)
+		}
+	}
+}
+
+// streamBaseline reports the stream's previous snapshot (nil on first
+// use) and opportunistically evicts baselines idle past streamIdleEvict
+// so abandoned stream names do not accumulate.
+func (s *Server) streamBaseline(stream string) *telemetry.Snapshot {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	now := time.Now()
+	for name, st := range s.streams {
+		if name != stream && now.Sub(st.lastUsed) > streamIdleEvict {
+			delete(s.streams, name)
+		}
+	}
+	st, ok := s.streams[stream]
+	if !ok {
+		return nil
+	}
+	st.lastUsed = now
+	return st.prev
+}
+
+func (s *Server) setStreamBaseline(stream string, snap *telemetry.Snapshot) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	st, ok := s.streams[stream]
+	if !ok {
+		st = &streamState{}
+		s.streams[stream] = st
+	}
+	st.prev = snap
+	st.lastUsed = time.Now()
+}

@@ -12,6 +12,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -102,7 +104,11 @@ func (h *eventHeap) Pop() any {
 // Sim is a single-threaded discrete-event simulation.
 //
 // Sim is not safe for concurrent use: all actors run on the event loop
-// goroutine, which is exactly what makes runs deterministic.
+// goroutine, which is exactly what makes runs deterministic. The one
+// exception is Post, the external mailbox: any goroutine may Post a
+// function, and the driving goroutine executes it at the next safe point
+// inside Run. That is how the control plane injects management
+// operations into a live system without locking against the data path.
 type Sim struct {
 	now     Time
 	seq     uint64
@@ -115,6 +121,14 @@ type Sim struct {
 	// iteration/transfer, which would otherwise dominate the data path's
 	// allocation profile.
 	evFree []*event
+
+	// External mailbox (Post). postPending lets Run's inner loop check for
+	// posted work with a single atomic load per event, so the data path
+	// never takes the mutex unless someone actually posted.
+	postMu      sync.Mutex
+	posted      []func()
+	postScratch []func()
+	postPending atomic.Bool
 }
 
 // New creates an empty simulation with the clock at zero.
@@ -171,11 +185,59 @@ func (s *Sim) After(d Time, fn func()) {
 // Stop makes Run return after the currently executing event completes.
 func (s *Sim) Stop() { s.stopped = true }
 
+// Post schedules fn to run on the event-loop goroutine at the next safe
+// point inside Run: before the next event executes, at the current
+// virtual time. Unlike every other Sim method, Post is safe to call from
+// any goroutine — it is the bridge by which external actors (the control
+// plane's HTTP handlers, operator CLIs) inject work into a live
+// simulation. Posted functions run in post order, may themselves
+// schedule events, and must not block. If nothing is driving Run, the
+// function waits for the next Run call; callers that need a reply should
+// wait with a real-time timeout.
+func (s *Sim) Post(fn func()) {
+	if fn == nil {
+		return
+	}
+	s.postMu.Lock()
+	s.posted = append(s.posted, fn)
+	s.postMu.Unlock()
+	s.postPending.Store(true)
+}
+
+// PostedPending reports whether external work is waiting for the next
+// Run safe point. Safe from any goroutine.
+func (s *Sim) PostedPending() bool { return s.postPending.Load() }
+
+// drainPosted runs every function waiting in the external mailbox. Only
+// the event-loop goroutine calls it (from Run), so posted functions see
+// the same single-threaded world as any scheduled event. The swap keeps
+// the mutex window to a slice exchange; functions posted while draining
+// are picked up by the next check.
+func (s *Sim) drainPosted() {
+	s.postMu.Lock()
+	batch := s.posted
+	s.posted = s.postScratch[:0]
+	s.postPending.Store(false)
+	s.postMu.Unlock()
+	for i, fn := range batch {
+		batch[i] = nil
+		fn()
+	}
+	s.postScratch = batch
+}
+
 // Run executes events in timestamp order until the queue is empty or the
 // clock would pass "until". It returns the number of events processed.
+//
+// Between events (and once on entry) Run drains the external mailbox, so
+// functions handed to Post from other goroutines execute here, on the
+// driving goroutine, serialized against the actors.
 func (s *Sim) Run(until Time) uint64 {
 	s.stopped = false
 	var n uint64
+	if s.postPending.Load() {
+		s.drainPosted()
+	}
 	for len(s.events) > 0 && !s.stopped {
 		next := s.events[0]
 		if next.at > until {
@@ -194,6 +256,9 @@ func (s *Sim) Run(until Time) uint64 {
 		fn()
 		n++
 		s.nEvents++
+		if s.postPending.Load() {
+			s.drainPosted()
+		}
 	}
 	// Advance the clock to the horizon even if the queue drained early so
 	// that rate computations over [0, until] are well-defined.

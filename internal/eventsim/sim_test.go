@@ -257,3 +257,77 @@ func TestPollLoopStop(t *testing.T) {
 		t.Errorf("loop ran %d iterations after Stop", n)
 	}
 }
+
+func TestPostRunsAtNextSafePoint(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(10, func() { order = append(order, "ev10") })
+	s.At(30, func() { order = append(order, "ev30") })
+	s.Post(func() { order = append(order, "post-before") })
+	if !s.PostedPending() {
+		t.Error("PostedPending false with work queued")
+	}
+	s.Run(20)
+	// The entry drain runs the post before any event.
+	want := []string{"post-before", "ev10"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if s.PostedPending() {
+		t.Error("PostedPending true after drain")
+	}
+	// A post from inside an event runs before the next event executes.
+	s.At(40, func() {
+		s.Post(func() { order = append(order, "post-mid") })
+		order = append(order, "ev40")
+	})
+	s.Run(50)
+	if got := order[len(order)-3:]; got[0] != "ev30" || got[1] != "ev40" || got[2] != "post-mid" {
+		t.Fatalf("tail order = %v", got)
+	}
+}
+
+func TestPostFromAnotherGoroutine(t *testing.T) {
+	s := New()
+	// A self-perpetuating timer keeps the queue non-empty, mirroring the
+	// transfer layer's poll loops.
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		s.After(Microsecond, tick)
+	}
+	s.After(0, tick)
+
+	done := make(chan int, 1)
+	go func() {
+		got := make(chan int, 1)
+		s.Post(func() { got <- ticks })
+		done <- <-got
+	}()
+	// Pump until the posted op has executed and replied.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.Run(s.Now() + 10*Microsecond)
+		select {
+		case seen := <-done:
+			if seen == 0 {
+				t.Fatal("posted op observed zero ticks")
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("posted op never ran while pumping")
+		}
+	}
+}
+
+func TestPostNilIgnored(t *testing.T) {
+	s := New()
+	s.Post(nil)
+	if s.PostedPending() {
+		t.Error("nil post marked pending")
+	}
+	s.Run(10)
+}

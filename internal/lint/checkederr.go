@@ -17,10 +17,12 @@ type CheckedErr struct{}
 // AccConfigure/Unregister/SendPackets/ReceivePackets), the mempool
 // contract entry points (Pool.Free/FreeBulk/Retain/AllocBulk, Cache.Free/
 // Flush), the recovery surface (Device.Reload/ResetRegion,
-// Runtime.RegisterFallback), and the telemetry exporter lifecycle
-// (Exporter.Serve/Close — a dropped Serve error is a metrics endpoint
-// that silently never came up) on any type in this module that defines
-// them.
+// Runtime.RegisterFallback), the operational surface lifecycle
+// (System.Serve, Exporter.Serve/Close — a dropped Serve error is an
+// operator endpoint that silently never came up), and the management
+// client (ControlClient.Call — a dropped Call error is a management
+// operation that silently did not happen) on any type in this module
+// that defines them.
 var apiMethods = map[string]bool{
 	"SendPackets":      true,
 	"ReceivePackets":   true,
@@ -41,6 +43,7 @@ var apiMethods = map[string]bool{
 	"RegisterFallback": true,
 	"Serve":            true,
 	"Close":            true,
+	"Call":             true,
 }
 
 // Name implements Analyzer.

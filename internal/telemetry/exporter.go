@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -28,9 +29,16 @@ var ErrNotServing = errors.New("telemetry: exporter is not serving")
 type Exporter struct {
 	reg *Registry
 
-	mu  sync.Mutex
-	srv *http.Server
-	ln  net.Listener
+	mu       sync.Mutex
+	srv      *http.Server
+	ln       net.Listener
+	mounts   []mount
+	dispatch func(func()) error
+}
+
+type mount struct {
+	pattern string
+	h       http.Handler
 }
 
 // NewExporter builds an Exporter for reg without binding any socket.
@@ -38,9 +46,48 @@ func NewExporter(reg *Registry) *Exporter {
 	return &Exporter{reg: reg}
 }
 
+// Mount registers an additional handler on the exporter's mux — this is
+// how the control plane's /api/v1 endpoint shares the operational
+// listener with /metrics and /debug/*. Call before Handler/Serve/Start;
+// later mounts do not reach an already-running server.
+func (e *Exporter) Mount(pattern string, h http.Handler) {
+	e.mu.Lock()
+	e.mounts = append(e.mounts, mount{pattern, h})
+	e.mu.Unlock()
+}
+
+// SetDispatch routes registry reads that evaluate pull gauges (which
+// touch simulation-owned state) through fn — typically a post onto the
+// event loop — so /metrics and /debug/vars stay safe to scrape while
+// the simulation is running. fn returns an error when the loop cannot
+// pick the read up; the scrape then answers 503 instead of hanging.
+// Without a dispatcher the handlers read the registry directly, which
+// is only safe while the simulation is quiescent.
+func (e *Exporter) SetDispatch(fn func(func()) error) {
+	e.mu.Lock()
+	e.dispatch = fn
+	e.mu.Unlock()
+}
+
+// dispatcher reports the configured dispatch hook, nil when unset.
+func (e *Exporter) dispatcher() func(func()) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dispatch
+}
+
 // Handler returns the exporter's HTTP mux (metrics + expvar JSON +
-// pprof), for embedding into an existing server.
+// pprof, plus anything Mounted), for embedding into an existing server.
 func (e *Exporter) Handler() http.Handler {
+	e.mu.Lock()
+	mounts := append([]mount(nil), e.mounts...)
+	e.mu.Unlock()
+	return e.buildHandler(mounts)
+}
+
+// buildHandler assembles the mux; callers already holding e.mu pass the
+// mounts explicitly (Handler would re-lock).
+func (e *Exporter) buildHandler(mounts []mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", e.metricsHandler)
 	mux.HandleFunc("/debug/vars", e.varsHandler)
@@ -49,6 +96,9 @@ func (e *Exporter) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.pattern, m.h)
+	}
 	return mux
 }
 
@@ -58,7 +108,7 @@ func (e *Exporter) Handler() http.Handler {
 func (e *Exporter) Serve(ln net.Listener) error {
 	e.mu.Lock()
 	if e.srv == nil {
-		e.srv = &http.Server{Handler: e.Handler()}
+		e.srv = &http.Server{Handler: e.buildHandler(append([]mount(nil), e.mounts...))}
 	}
 	srv := e.srv
 	e.ln = ln
@@ -77,7 +127,7 @@ func (e *Exporter) Start(addr string) (string, error) {
 	// see the server as soon as Start returns.
 	e.mu.Lock()
 	if e.srv == nil {
-		e.srv = &http.Server{Handler: e.Handler()}
+		e.srv = &http.Server{Handler: e.buildHandler(append([]mount(nil), e.mounts...))}
 	}
 	e.ln = ln
 	e.mu.Unlock()
@@ -113,11 +163,27 @@ func (e *Exporter) Close() error {
 	return srv.Close()
 }
 
-// metricsHandler serves the Prometheus text format.
+// metricsHandler serves the Prometheus text format. With a dispatcher
+// set, the whole exposition renders on the event loop into a buffer
+// (pull gauges read simulation-owned state); the bytes on the wire are
+// identical either way.
 func (e *Exporter) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	disp := e.dispatcher()
+	if disp == nil {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The connection is the only place this error could go.
+		_ = e.reg.WritePrometheus(w)
+		return
+	}
+	buf := new(bytes.Buffer)
+	if err := disp(func() { _ = e.reg.WritePrometheus(buf) }); err != nil {
+		// Do not touch buf after a dispatch timeout: the posted render may
+		// still execute later, on the loop.
+		http.Error(w, "telemetry: event loop unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	// The connection is the only place this error could go.
-	_ = e.reg.WritePrometheus(w)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // varsHandler serves expvar-style JSON: every expvar variable the
@@ -126,6 +192,17 @@ func (e *Exporter) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 // expvar.Publish so multiple Systems in one process never collide on the
 // global expvar namespace.
 func (e *Exporter) varsHandler(w http.ResponseWriter, _ *http.Request) {
+	// Take the registry snapshot before streaming anything, through the
+	// dispatcher when one is set (same reasoning as metricsHandler).
+	var reg *Snapshot
+	if disp := e.dispatcher(); disp != nil {
+		if err := disp(func() { reg = e.reg.Snapshot() }); err != nil {
+			http.Error(w, "telemetry: event loop unavailable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	} else {
+		reg = e.reg.Snapshot()
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\n")
 	first := true
@@ -139,7 +216,7 @@ func (e *Exporter) varsHandler(w http.ResponseWriter, _ *http.Request) {
 	if !first {
 		fmt.Fprintf(w, ",\n")
 	}
-	snap, err := json.Marshal(e.reg.Snapshot())
+	snap, err := json.Marshal(reg)
 	if err != nil {
 		// A Snapshot is plain data; Marshal cannot fail on it, but keep
 		// the output well-formed regardless.

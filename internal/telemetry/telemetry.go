@@ -256,6 +256,29 @@ func (r *Registry) RegisterGauge(name, labels, help string, fn func() float64) {
 	r.mu.Unlock()
 }
 
+// UnregisterGauge removes every pull gauge matching name and labels
+// exactly, reporting how many were removed. Cold: the control plane
+// calls it when the object a gauge reads (an evicted accelerator) leaves
+// the system, so scrapes do not accumulate stale series.
+func (r *Registry) UnregisterGauge(name, labels string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.gauges[:0]
+	removed := 0
+	for _, g := range r.gauges {
+		if g.Name == name && g.Labels == labels {
+			removed++
+			continue
+		}
+		kept = append(kept, g)
+	}
+	for i := len(kept); i < len(r.gauges); i++ {
+		r.gauges[i] = GaugeFunc{}
+	}
+	r.gauges = kept
+	return removed
+}
+
 // ObserveStage records one duration into the stage's histogram. Safe on
 // the hot path: a bucket lookup and three atomic adds.
 func (r *Registry) ObserveStage(s Stage, d eventsim.Time) {

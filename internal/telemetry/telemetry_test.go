@@ -217,3 +217,25 @@ func TestStageAndOutcomeNames(t *testing.T) {
 		}
 	}
 }
+
+func TestUnregisterGauge(t *testing.T) {
+	r := New(0)
+	r.RegisterGauge("g", `a="1"`, "help", func() float64 { return 1 })
+	r.RegisterGauge("g", `a="2"`, "help", func() float64 { return 2 })
+	r.RegisterGauge("h", `a="1"`, "help", func() float64 { return 3 })
+	if n := r.UnregisterGauge("g", `a="1"`); n != 1 {
+		t.Errorf("removed %d, want 1", n)
+	}
+	if n := r.UnregisterGauge("g", `a="1"`); n != 0 {
+		t.Errorf("second removal %d, want 0", n)
+	}
+	s := r.Snapshot()
+	if len(s.Gauges) != 2 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	for _, g := range s.Gauges {
+		if g.Name == "g" && g.Labels == `a="1"` {
+			t.Error("removed gauge still snapshotted")
+		}
+	}
+}

@@ -49,4 +49,53 @@ echo "==> telemetry smoke (stage clock, zero-alloc budget, exporter golden)"
 go test -run 'Telemetry|ServeMetricsGolden|WritePrometheus' -count=1 \
     ./internal/core ./internal/telemetry .
 
+echo "==> control-plane smoke (serve, manage via dhl-inspect, scrape, shutdown)"
+smoke_dir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$smoke_dir"
+}
+trap cleanup EXIT
+go build -o "$smoke_dir/dhl-inspect" ./cmd/dhl-inspect
+port=$((21000 + RANDOM % 9000))
+"$smoke_dir/dhl-inspect" -serve "127.0.0.1:$port" -modules ipsec-crypto \
+    > "$smoke_dir/serve.log" 2>&1 &
+serve_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd sys.ping >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "serve-mode dhl-inspect died:" >&2
+        cat "$smoke_dir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [[ -z "$up" ]]; then
+    echo "control plane never answered sys.ping" >&2
+    cat "$smoke_dir/serve.log" >&2
+    exit 1
+fi
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd acc.load -args loopback,0 >/dev/null
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd tune.batch -args 2048 >/dev/null
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" | grep -q 'loopback' || {
+    echo "overview is missing the live-loaded accelerator" >&2
+    exit 1
+}
+if command -v curl >/dev/null; then
+    curl -fsS "http://127.0.0.1:$port/metrics" | grep -q dhl_stage_latency_ns || {
+        echo "/metrics scrape lost the stage histograms" >&2
+        exit 1
+    }
+else
+    echo "(curl not found; skipping the /metrics scrape)"
+fi
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd sys.shutdown >/dev/null
+wait "$serve_pid"
+serve_pid=""
+
 echo "OK"
