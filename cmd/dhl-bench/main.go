@@ -4,29 +4,44 @@
 //
 // Usage:
 //
-//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|all]
+//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|flowscale|all]
 //
 // With no argument it runs everything. Full-fidelity windows take a few
 // minutes of wall time; pass -quick for shorter measurement windows.
+// The flowscale target additionally accepts -json to emit the sweep as a
+// machine-readable document (scripts/bench.sh captures it as
+// BENCH_pr8.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/harness"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
+// emitJSON switches the flowscale target from the human table to a JSON
+// document on stdout.
+var emitJSON bool
+
 func main() {
 	quick := flag.Bool("quick", false, "use short measurement windows")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (flowscale target only)")
 	flag.Parse()
+	emitJSON = *jsonOut
 	targets := flag.Args()
 	if len(targets) == 0 {
 		targets = []string{"all"}
+	}
+	if emitJSON && (len(targets) != 1 || strings.ToLower(targets[0]) != "flowscale") {
+		fmt.Fprintln(os.Stderr, "dhl-bench: -json is only supported with exactly the flowscale target")
+		os.Exit(1)
 	}
 	if err := run(targets, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "dhl-bench:", err)
@@ -54,6 +69,7 @@ func run(targets []string, quick bool) error {
 		{"table7", runTable7},
 		{"ablation", runAblation},
 		{"telemetry", runTelemetry},
+		{"flowscale", runFlowScaleBench},
 	}
 	known := make(map[string]bool, len(steps))
 	for _, s := range steps {
@@ -61,7 +77,7 @@ func run(targets []string, quick bool) error {
 	}
 	for t := range want {
 		if t != "all" && !known[t] {
-			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|all)", t)
+			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|flowscale|all)", t)
 		}
 	}
 	for _, s := range steps {
@@ -280,6 +296,94 @@ func runTelemetry(quick bool) error {
 		"dma_c2h", snap.DMAC2H.Count, snap.DMAC2H.QuantileNs(0.50), snap.DMAC2H.QuantileNs(0.99), snap.DMAC2H.MeanNs())
 	fmt.Printf("%-12s %9d %10.0f %10.0f %10.0f  (dispatcher service)\n",
 		"dispatch", snap.Dispatch.Count, snap.Dispatch.QuantileNs(0.50), snap.Dispatch.QuantileNs(0.99), snap.Dispatch.MeanNs())
+	return nil
+}
+
+// flowScalePoint is one row of the flowscale sweep in the BENCH_pr8.json
+// document.
+type flowScalePoint struct {
+	Flows        int           `json:"flows"`
+	GoodputBps   float64       `json:"goodput_bps"`
+	WireBps      float64       `json:"wire_bps"`
+	Pkts         uint64        `json:"pkts"`
+	HitRate      float64       `json:"hit_rate"`
+	BytesPerFlow float64       `json:"bytes_per_flow"`
+	Births       uint64        `json:"births"`
+	Deaths       uint64        `json:"deaths"`
+	NFDropped    uint64        `json:"nf_dropped"`
+	Table        flowtab.Stats `json:"table"`
+}
+
+// runFlowScaleBench sweeps the stateful flow-aware firewall across flow
+// populations from 10k to 2M under Zipf traffic with churn: the
+// flows-vs-goodput and bytes-per-flow series. Conservation of every
+// generated frame is enforced inside the sweep.
+func runFlowScaleBench(quick bool) error {
+	counts := []int{10_000, 100_000, 1_000_000, 2_000_000}
+	base := harness.FlowScaleConfig{
+		ZipfSkew:       1.1,
+		ChurnPerSec:    2e6,
+		Window:         30 * eventsim.Millisecond,
+		FlowTTL:        20 * eventsim.Millisecond,
+		MemBudgetBytes: 512 << 20,
+	}
+	if quick {
+		base.Window = 6 * eventsim.Millisecond
+		base.FlowTTL = 5 * eventsim.Millisecond
+	}
+	results, err := harness.RunFlowScaleSweep(counts, base)
+	if err != nil {
+		return err
+	}
+	points := make([]flowScalePoint, 0, len(results))
+	for _, r := range results {
+		p := flowScalePoint{
+			Flows:        r.Config.Flows,
+			GoodputBps:   r.Throughput.GoodBps,
+			WireBps:      r.Throughput.WireBps,
+			Pkts:         r.Throughput.Pkts,
+			HitRate:      r.HitRate,
+			BytesPerFlow: r.BytesPerFlow,
+			Births:       r.Births,
+			Deaths:       r.Deaths,
+			NFDropped:    r.NFDropped,
+		}
+		if len(r.Tables) > 0 {
+			p.Table = r.Tables[0].Stats
+		}
+		points = append(points, p)
+	}
+	if emitJSON {
+		doc := struct {
+			Bench  string `json:"bench"`
+			Config struct {
+				ZipfSkew       float64 `json:"zipf_skew"`
+				ChurnPerSec    float64 `json:"churn_per_sec"`
+				WindowMs       float64 `json:"window_ms"`
+				FlowTTLMs      float64 `json:"flow_ttl_ms"`
+				MemBudgetBytes int     `json:"mem_budget_bytes"`
+				FrameSize      int     `json:"frame_size"`
+			} `json:"config"`
+			Points []flowScalePoint `json:"points"`
+		}{Bench: "pr8_flowscale", Points: points}
+		doc.Config.ZipfSkew = base.ZipfSkew
+		doc.Config.ChurnPerSec = base.ChurnPerSec
+		doc.Config.WindowMs = base.Window.Seconds() * 1e3
+		doc.Config.FlowTTLMs = base.FlowTTL.Seconds() * 1e3
+		doc.Config.MemBudgetBytes = base.MemBudgetBytes
+		doc.Config.FrameSize = 128
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	header("Flow scale: stateful firewall, Zipf+churn, flows vs goodput (40G, 128B)")
+	fmt.Printf("%-10s %10s %10s %10s %10s %12s %10s\n",
+		"flows", "Gbps", "hit rate", "entries", "B/flow", "mem", "evicted")
+	for _, p := range points {
+		fmt.Printf("%-10d %10.2f %10.3f %10d %10.1f %12d %10d\n",
+			p.Flows, p.GoodputBps/1e9, p.HitRate, p.Table.Entries,
+			p.BytesPerFlow, p.Table.MemBytes, p.Table.EvictedIdle+p.Table.EvictedPressure)
+	}
 	return nil
 }
 

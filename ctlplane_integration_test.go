@@ -3,6 +3,7 @@ package dhl_test
 import (
 	"bytes"
 	"errors"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -12,8 +13,10 @@ import (
 
 	dhl "github.com/opencloudnext/dhl-go"
 	"github.com/opencloudnext/dhl-go/internal/ctlplane"
+	"github.com/opencloudnext/dhl-go/internal/eth"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
 	"github.com/opencloudnext/dhl-go/internal/hwfunc"
+	"github.com/opencloudnext/dhl-go/internal/nf"
 )
 
 // pumper owns ALL simulation interaction for a live-system test: it
@@ -632,5 +635,117 @@ func TestControlPlaneZeroAllocHotPath(t *testing.T) {
 	}
 	if st.PktsPacked == 0 {
 		t.Error("stats.get after the window sees no traffic")
+	}
+}
+
+// TestFlowTableObservability wires a stateful NF's flow tables into the
+// system: RegisterFlowTables must surface them as dhl_flowtab_* gauges
+// on /metrics and as the additive flowtabs field of stats.get.
+func TestFlowTableObservability(t *testing.T) {
+	sys, err := dhl.Open(dhl.SystemConfig{}, dhl.WithControlPlane())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := nf.NewNAT(nf.NATConfig{
+		External: eth.IPv4{203, 0, 113, 1},
+		FlowTTL:  eventsim.Second,
+		Clock:    sys.Sim().Now,
+	})
+	if err := sys.RegisterFlowTables(nat.FlowTabs()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterFlowTables(nat.FlowTabs()[0]); err == nil {
+		t.Error("duplicate flow-table registration accepted")
+	}
+	exp, err := sys.Serve("127.0.0.1:0", dhl.WithCallTimeout(15*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = exp.Close() }()
+	p := startPumper(sys)
+	defer p.shutdown()
+
+	// Push three flows through the NAT on the simulation goroutine.
+	p.do(func() {
+		buf := make([]byte, 2048)
+		for i := 0; i < 3; i++ {
+			n, berr := eth.Build(buf, eth.BuildConfig{
+				SrcMAC: eth.MAC{2, 0, 0, 0, 0, 1}, DstMAC: eth.MAC{2, 0, 0, 0, 0, 2},
+				SrcIP: eth.IPv4{192, 168, 0, byte(i + 1)}, DstIP: eth.IPv4{8, 8, 8, 8},
+				SrcPort: 1000, DstPort: 80, Proto: eth.ProtoUDP, Payload: []byte("x"),
+			})
+			if berr != nil {
+				t.Error(berr)
+				return
+			}
+			m, merr := sys.Pool().Alloc()
+			if merr != nil {
+				t.Error(merr)
+				return
+			}
+			if aerr := m.AppendBytes(buf[:n]); aerr != nil {
+				t.Error(aerr)
+				return
+			}
+			if v, _ := nat.ProcessOutbound(m); v != nf.VerdictForward {
+				t.Error("NAT dropped the setup flow")
+			}
+			_ = sys.Pool().Free(m)
+		}
+	})
+
+	// stats.get reports the tables with their live occupancy.
+	c := dhl.DialControl(exp.Addr())
+	defer func() { _ = c.Close() }()
+	var st struct {
+		Flowtabs []dhl.FlowTableInfo `json:"flowtabs"`
+	}
+	if err := c.Call("stats.get", map[string]any{"node": 0}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Flowtabs) != 2 {
+		t.Fatalf("flowtabs %+v, want nat-outbound and nat-inbound", st.Flowtabs)
+	}
+	byName := map[string]dhl.FlowTableInfo{}
+	for _, ft := range st.Flowtabs {
+		byName[ft.Name] = ft
+	}
+	if byName["nat-outbound"].Entries != 3 || byName["nat-inbound"].Entries != 3 {
+		t.Errorf("flowtab occupancy %+v, want 3 entries each", st.Flowtabs)
+	}
+
+	// /metrics carries the gauge family with per-table labels.
+	resp, err := http.Get("http://" + exp.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`dhl_flowtab_entries{table="nat-outbound"} 3`,
+		`dhl_flowtab_entries{table="nat-inbound"} 3`,
+		`dhl_flowtab_evictions{table="nat-outbound",reason="idle"}`,
+		`dhl_flowtab_capacity{table="nat-outbound"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+
+	// Unregistering removes the gauges and the stats.get rows.
+	p.do(func() {
+		if uerr := sys.UnregisterFlowTable("nat-inbound"); uerr != nil {
+			t.Error(uerr)
+		}
+	})
+	if err := c.Call("stats.get", map[string]any{"node": 0}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Flowtabs) != 1 || st.Flowtabs[0].Name != "nat-outbound" {
+		t.Errorf("flowtabs after unregister: %+v", st.Flowtabs)
 	}
 }

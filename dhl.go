@@ -6,6 +6,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
 	"github.com/opencloudnext/dhl-go/internal/faultinject"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/hwfunc"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
@@ -158,6 +159,20 @@ const (
 	OutcomeCorrupt     = telemetry.OutcomeCorrupt
 )
 
+// Flow-table types from internal/flowtab, re-exported so applications
+// can register their NFs' flow state for observability.
+type (
+	// FlowTableSource is the telemetry-facing face of a flow table;
+	// stateful NFs expose their tables through it (e.g. NAT.FlowTabs).
+	FlowTableSource = flowtab.Source
+	// FlowTableStats is one flow table's counter snapshot: occupancy,
+	// memory, hit/miss, eviction and rehash counters.
+	FlowTableStats = flowtab.Stats
+	// FlowTableInfo is a named FlowTableStats row, the shape FlowTables
+	// and the stats.get management call report.
+	FlowTableInfo = flowtab.Info
+)
+
 // Health is an accelerator's health state (healthy/degraded/quarantined).
 type Health = core.Health
 
@@ -231,6 +246,9 @@ type System struct {
 	tel     *telemetry.Registry
 	coreHz  float64
 	coreID  int
+	// flowSrcs are the flow tables registered for observability, in
+	// registration order; FlowTables and stats.get report them.
+	flowSrcs []flowtab.Source
 	// ctl records that WithControlPlane armed the management API; Serve
 	// mounts /api/v1 only then.
 	ctl bool
@@ -531,3 +549,43 @@ func (s *System) Stats(node int) (TransferStats, error) {
 
 // HFTable renders the hardware function table for inspection.
 func (s *System) HFTable() []string { return s.rt.HFTable() }
+
+// RegisterFlowTables attaches NF flow tables to the system's
+// observability surface: their occupancy/eviction/rehash counters show
+// up in FlowTables, in the stats.get management call, and (when
+// telemetry is armed) as dhl_flowtab_* gauges on /metrics. Registering
+// the same table name twice is refused. Like the rest of the System
+// surface, call it from the goroutine driving Sim().Run.
+func (s *System) RegisterFlowTables(srcs ...FlowTableSource) error {
+	for _, src := range srcs {
+		for _, have := range s.flowSrcs {
+			if have.Name() == src.Name() {
+				return fmt.Errorf("dhl: flow table %q already registered", src.Name())
+			}
+		}
+		s.flowSrcs = append(s.flowSrcs, src)
+		if s.tel != nil {
+			flowtab.RegisterGauges(s.tel, src)
+		}
+	}
+	return nil
+}
+
+// UnregisterFlowTable detaches a registered flow table (and its gauges)
+// by name, for NF teardown.
+func (s *System) UnregisterFlowTable(name string) error {
+	for i, src := range s.flowSrcs {
+		if src.Name() == name {
+			s.flowSrcs = append(s.flowSrcs[:i], s.flowSrcs[i+1:]...)
+			if s.tel != nil {
+				flowtab.UnregisterGauges(s.tel, name)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("dhl: flow table %q is not registered", name)
+}
+
+// FlowTables snapshots every registered flow table's stats in
+// registration order (never nil).
+func (s *System) FlowTables() []FlowTableInfo { return flowtab.Collect(s.flowSrcs) }

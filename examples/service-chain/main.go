@@ -9,26 +9,36 @@
 // counters and verifies the final ESP output decrypts correctly.
 //
 // Run with: go run ./examples/service-chain
+//
+// Pass -flows N to additionally stream N distinct 5-tuples through the
+// flow-aware firewall stage and print the flow table's occupancy and
+// memory footprint — the million-flow quickstart is:
+//
+//	go run ./examples/service-chain -flows 1000000
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 
 	dhl "github.com/opencloudnext/dhl-go"
 	"github.com/opencloudnext/dhl-go/internal/eth"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/netdev"
 	"github.com/opencloudnext/dhl-go/internal/nf"
 )
 
 func main() {
-	if err := run(); err != nil {
+	flows := flag.Int("flows", 0, "stream this many distinct 5-tuples through the flow-aware firewall (try 1000000)")
+	flag.Parse()
+	if err := run(*flows); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(flows int) error {
 	sys, err := dhl.Open(dhl.SystemConfig{})
 	if err != nil {
 		return err
@@ -44,6 +54,22 @@ func run() error {
 	if err := fw.AddRule(nf.FirewallRule{
 		Proto: eth.ProtoUDP, DstPortLo: 80, DstPortHi: 443, Action: nf.FirewallAllow, Description: "web",
 	}); err != nil {
+		return err
+	}
+
+	// The chain consults the firewall through its per-flow verdict cache,
+	// the stateful front the flow-scale harness measures at millions of
+	// flows; its tables are registered with the system so /metrics and
+	// stats.get expose occupancy, memory, and eviction counters.
+	ffw, err := nf.NewFlowFirewall(fw, nf.FlowFirewallConfig{
+		MemBudgetBytes: 256 << 20,
+		FlowTTL:        eventsim.Second,
+		Clock:          sys.Sim().Now,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sys.RegisterFlowTables(ffw.FlowTabs()...); err != nil {
 		return err
 	}
 
@@ -89,7 +115,7 @@ func run() error {
 		}
 
 		// CPU stages, run to completion per packet.
-		if v, _ := fw.Process(m); v != nf.VerdictForward {
+		if v, _ := ffw.Process(m); v != nf.VerdictForward {
 			fmt.Printf("packet from %v dropped by firewall\n", src)
 			if perr := sys.Pool().Free(m); perr != nil {
 				return perr
@@ -144,5 +170,73 @@ func run() error {
 
 	fmt.Printf("\nstage counters: firewall allowed=%d denied=%d | NAT translated=%d mappings=%d | ipsec tagged=%d\n",
 		fw.Allowed, fw.Denied, nat.Translated, nat.Mappings(), gw.Tagged)
+
+	if flows > 0 {
+		if err := floodFlows(sys, ffw, flows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// floodFlows streams one packet from each of `flows` distinct 5-tuples
+// through the flow-aware firewall, then replays the first 10k to show
+// the verdict cache hitting, and prints the flow table's footprint.
+func floodFlows(sys *dhl.System, ffw *nf.FlowFirewall, flows int) error {
+	fmt.Printf("\nflow-scale: streaming %d distinct flows through the firewall...\n", flows)
+	m, err := sys.Pool().Alloc()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Pool().Free(m) }()
+	buf := make([]byte, 256)
+	var allowed, denied uint64
+	send := func(id uint64) error {
+		src, srcPort := netdev.FlowSrc(id)
+		n, berr := eth.Build(buf, eth.BuildConfig{
+			SrcMAC: eth.MAC{2, 0, 0, 0, 0, 1}, DstMAC: eth.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: src, DstIP: eth.IPv4{198, 51, 100, 7},
+			SrcPort: srcPort, DstPort: 443, Proto: eth.ProtoUDP,
+			Payload: []byte("flow-scale probe"),
+		})
+		if berr != nil {
+			return berr
+		}
+		m.SetLen(0)
+		if aerr := m.AppendBytes(buf[:n]); aerr != nil {
+			return aerr
+		}
+		if v, _ := ffw.Process(m); v == nf.VerdictForward {
+			allowed++
+		} else {
+			denied++
+		}
+		return nil
+	}
+	for id := uint64(0); id < uint64(flows); id++ {
+		if err := send(id); err != nil {
+			return err
+		}
+	}
+	replay := uint64(10_000)
+	if replay > uint64(flows) {
+		replay = uint64(flows)
+	}
+	for id := uint64(0); id < replay; id++ {
+		if err := send(id); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("flow-scale: allowed=%d denied=%d cache hits=%d misses=%d\n",
+		allowed, denied, ffw.CacheHits, ffw.CacheMisses)
+	for _, info := range sys.FlowTables() {
+		perFlow := 0.0
+		if info.Entries > 0 {
+			perFlow = float64(info.MemBytes) / float64(info.Entries)
+		}
+		fmt.Printf("flow-scale: table %-10s entries=%d capacity=%d mem=%.1f MB (%.1f B/flow) evicted(idle=%d pressure=%d)\n",
+			info.Name, info.Entries, info.Capacity, float64(info.MemBytes)/1024/1024,
+			perFlow, info.EvictedIdle, info.EvictedPressure)
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -35,7 +36,7 @@ var methods = map[string]method{
 	"tune.batch":      {"retarget the Packer's max batch size: {bytes} -> {batch_bytes}", handleTuneBatch},
 	"tune.watchdog":   {"retune or disarm the per-batch watchdog: {timeout_us} -> {timeout_us}", handleTuneWatchdog},
 	"health.get":      {"health FSM state for one or all accelerators: {acc_id?} -> {accs}", handleHealthGet},
-	"stats.get":       {"one node's transfer-core conservation ledger: {node} -> stats", handleStatsGet},
+	"stats.get":       {"one node's transfer-core conservation ledger plus NF flow-table stats: {node} -> stats", handleStatsGet},
 	"telemetry.delta": {"long-poll telemetry activity since the stream's last call: {stream, wait_ms}", handleTelemetryDelta},
 }
 
@@ -401,6 +402,15 @@ func handleHealthGet(s *Server, raw json.RawMessage) (any, *Error) {
 	}{accs}, nil
 }
 
+// statsResult is the stats.get answer: the node's transfer-core
+// conservation ledger (flattened, the shape the endpoint always had)
+// plus the registered NF flow tables' counters — additive, so clients
+// decoding into core.TransferStats keep working.
+type statsResult struct {
+	core.TransferStats
+	Flowtabs []flowtab.Info `json:"flowtabs"`
+}
+
 func handleStatsGet(s *Server, raw json.RawMessage) (any, *Error) {
 	var p struct {
 		Node int `json:"node"`
@@ -409,16 +419,22 @@ func handleStatsGet(s *Server, raw json.RawMessage) (any, *Error) {
 		return nil, derr
 	}
 	var (
-		st  core.TransferStats
+		res statsResult
 		err error
 	)
-	if derr := s.dispatch(func() { st, err = s.cfg.Backend.Stats(p.Node) }); derr != nil {
+	if derr := s.dispatch(func() {
+		res.TransferStats, err = s.cfg.Backend.Stats(p.Node)
+		res.Flowtabs = s.cfg.Backend.FlowTables()
+	}); derr != nil {
 		return nil, derr
 	}
 	if err != nil {
 		return nil, opError(err)
 	}
-	return st, nil
+	if res.Flowtabs == nil {
+		res.Flowtabs = []flowtab.Info{}
+	}
+	return res, nil
 }
 
 // telemetry.delta long-poll parameters.

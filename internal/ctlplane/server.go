@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -89,6 +90,7 @@ type Backend interface {
 	Nodes() int
 	HFTable() []string
 	ModuleDB() []string
+	FlowTables() []flowtab.Info
 	Snapshot() *telemetry.Snapshot
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -149,6 +150,10 @@ func (f *fakeBackend) HFTable() []string {
 
 func (f *fakeBackend) ModuleDB() []string { return []string{"rev", "ipsec-crypto"} }
 
+func (f *fakeBackend) FlowTables() []flowtab.Info {
+	return []flowtab.Info{{Name: "nat-outbound", Stats: flowtab.Stats{Entries: 7, Capacity: 1024}}}
+}
+
 func (f *fakeBackend) Snapshot() *telemetry.Snapshot {
 	if f.tel == nil {
 		return nil
@@ -233,6 +238,20 @@ func TestRoundTripMethods(t *testing.T) {
 	}
 	if st.PktsPacked != 42 {
 		t.Errorf("stats %+v", st)
+	}
+
+	// The same call carries the registered flow tables, additively: the
+	// plain TransferStats decode above must keep working, and a client
+	// that asks for the flowtabs field gets the per-table counters.
+	var stFull statsResult
+	if err := c.Call("stats.get", map[string]any{"node": 0}, &stFull); err != nil {
+		t.Fatal(err)
+	}
+	if stFull.PktsPacked != 42 {
+		t.Errorf("wrapped stats %+v", stFull.TransferStats)
+	}
+	if len(stFull.Flowtabs) != 1 || stFull.Flowtabs[0].Name != "nat-outbound" || stFull.Flowtabs[0].Entries != 7 {
+		t.Errorf("flowtabs %+v", stFull.Flowtabs)
 	}
 
 	if err := c.Call("acc.evict", map[string]any{"acc_id": load.AccID}, nil); err != nil {

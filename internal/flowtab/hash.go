@@ -1,0 +1,26 @@
+package flowtab
+
+import "github.com/opencloudnext/dhl-go/internal/eth"
+
+// Mix64 is the SplitMix64 finalizer: a cheap, allocation-free bijective
+// mixer turning structured keys (ports, packed tuples) into
+// well-distributed 64-bit hashes for Config.Hash.
+//
+//dhl:hotpath
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// HashFiveTuple hashes a flow 5-tuple, the common flow-table key.
+//
+//dhl:hotpath
+func HashFiveTuple(t eth.FiveTuple) uint64 {
+	a := uint64(t.Src.Uint32())<<32 | uint64(t.Dst.Uint32())
+	b := uint64(t.SrcPort)<<24 | uint64(t.DstPort)<<8 | uint64(t.Proto)
+	return Mix64(a ^ Mix64(b))
+}

@@ -1,0 +1,158 @@
+package flowtab
+
+import "fmt"
+
+// Sharded partitions a flow table across power-of-two shards selected
+// by the high bits of the key hash (the per-shard index probes with the
+// low bits, so the two selections stay independent). Each shard is a
+// plain Table; with one shard per core and RSS steering, the hot path
+// needs no cross-shard locks — the same ownership discipline the DHL
+// runtime applies to NF threads.
+type Sharded[K comparable, V any] struct {
+	name   string
+	hash   func(K) uint64
+	shards []*Table[K, V]
+	shift  uint
+}
+
+// NewSharded builds n (rounded up to a power of two) shards from cfg,
+// splitting InitialEntries, MaxEntries, and MemBudgetBytes evenly.
+func NewSharded[K comparable, V any](n int, cfg Config[K, V]) (*Sharded[K, V], error) {
+	if n < 1 {
+		n = 1
+	}
+	n = ceilPow2(n)
+	name := cfg.Name
+	per := cfg
+	if cfg.InitialEntries > 0 {
+		per.InitialEntries = (cfg.InitialEntries + n - 1) / n
+	}
+	if cfg.MaxEntries > 0 {
+		per.MaxEntries = (cfg.MaxEntries + n - 1) / n
+	}
+	if cfg.MemBudgetBytes > 0 {
+		per.MemBudgetBytes = cfg.MemBudgetBytes / n
+	}
+	s := &Sharded[K, V]{name: name, hash: cfg.Hash, shift: uint(64 - log2(n))}
+	for i := 0; i < n; i++ {
+		per.Name = fmt.Sprintf("%s/%d", name, i)
+		t, err := New(per)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, t)
+	}
+	return s, nil
+}
+
+// Name reports the shard set's telemetry label.
+func (s *Sharded[K, V]) Name() string { return s.name }
+
+// Shards reports the shard count.
+func (s *Sharded[K, V]) Shards() int { return len(s.shards) }
+
+// Shard returns the i'th shard, for per-core ownership wiring.
+func (s *Sharded[K, V]) Shard(i int) *Table[K, V] { return s.shards[i] }
+
+//dhl:hotpath
+func (s *Sharded[K, V]) shard(k K) *Table[K, V] {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[s.hash(k)>>s.shift]
+}
+
+// Lookup finds k in its shard, refreshing its idle deadline.
+//
+//dhl:hotpath
+func (s *Sharded[K, V]) Lookup(k K) (*V, bool) { return s.shard(k).Lookup(k) }
+
+// Peek finds k in its shard without refreshing its deadline.
+//
+//dhl:hotpath
+func (s *Sharded[K, V]) Peek(k K) (*V, bool) { return s.shard(k).Peek(k) }
+
+// Insert finds or creates k in its shard.
+//
+//dhl:hotpath
+func (s *Sharded[K, V]) Insert(k K) (*V, bool, error) { return s.shard(k).Insert(k) }
+
+// Delete removes k from its shard.
+//
+//dhl:hotpath
+func (s *Sharded[K, V]) Delete(k K) bool { return s.shard(k).Delete(k) }
+
+// Tick advances every shard's expiry wheel, reporting total evictions.
+//
+//dhl:hotpath
+func (s *Sharded[K, V]) Tick() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Tick()
+	}
+	return n
+}
+
+// Len reports live entries across all shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Len()
+	}
+	return n
+}
+
+// MemBytes reports bytes allocated across all shards.
+func (s *Sharded[K, V]) MemBytes() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.MemBytes()
+	}
+	return n
+}
+
+// TabStats aggregates the shard counters.
+func (s *Sharded[K, V]) TabStats() Stats {
+	var agg Stats
+	for _, t := range s.shards {
+		st := t.TabStats()
+		agg.Entries += st.Entries
+		agg.Capacity += st.Capacity
+		agg.MemBytes += st.MemBytes
+		agg.Lookups += st.Lookups
+		agg.Hits += st.Hits
+		agg.Inserts += st.Inserts
+		agg.Deletes += st.Deletes
+		agg.EvictedIdle += st.EvictedIdle
+		agg.EvictedPressure += st.EvictedPressure
+		agg.Rehashes += st.Rehashes
+		agg.FullDrops += st.FullDrops
+	}
+	return agg
+}
+
+// Range iterates every shard's live entries until fn returns false.
+func (s *Sharded[K, V]) Range(fn func(K, *V) bool) {
+	for _, t := range s.shards {
+		stop := false
+		t.Range(func(k K, v *V) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -3,6 +3,7 @@ package netdev
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"github.com/opencloudnext/dhl-go/internal/eth"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
@@ -13,7 +14,19 @@ import (
 var (
 	ErrBadFrameSize = errors.New("netdev: frame size must be in [64, 1500]")
 	ErrBadRateCfg   = errors.New("netdev: offered rate must be positive")
+	ErrBadFlows     = errors.New("netdev: flow count must be in [1, 2^40]")
+	ErrBadZipfSkew  = errors.New("netdev: Zipf skew must be > 1 (or 0 for uniform)")
+	ErrBadChurnCfg  = errors.New("netdev: bad churn config")
 )
+
+// MaxFlows is the most distinct flows the 5-tuple encoding can
+// represent: 24 bits of source address under 10/8 times 16 bits of
+// source port.
+const MaxFlows = 1 << 40
+
+// maxChurnFlows bounds the live-flow slot array churn mode keeps
+// (8 B/flow); 16M flows is 128 MB, past any realistic soak.
+const maxChurnFlows = 1 << 24
 
 // PayloadFn customizes packet payload contents; i is the packet ordinal.
 // The NIDS experiments use it to embed rule-matching content in a fraction
@@ -35,9 +48,25 @@ type GeneratorConfig struct {
 	// Burst is how many frames are emitted per generator wake-up,
 	// mirroring DPDK-Pktgen's TX burst. Zero selects 32.
 	Burst int
-	// Flows is the number of distinct 5-tuples cycled through (for RSS
-	// spreading and SA/rule diversity). Zero selects 64.
+	// Flows is the number of distinct 5-tuples in play (for RSS
+	// spreading, SA/rule diversity, and flow-table load). Zero selects
+	// 64; values above MaxFlows are rejected, not silently truncated.
 	Flows int
+	// ZipfSkew selects a Zipf (heavy-tail) flow-size distribution with
+	// the given skew parameter s > 1: rank-1 flows carry most packets,
+	// the tail almost none — real traffic, not the uniform cycling of
+	// the paper's pktgen. Zero keeps the uniform distribution.
+	ZipfSkew float64
+	// ChurnPerSec retires a random live flow and births a fresh 5-tuple
+	// in its place that many times per (virtual) second — the flow
+	// birth/death dynamics stateful NF tables must survive. Zero
+	// disables churn. Requires Flows <= 2^24 (the live-set slot array
+	// is kept in memory).
+	ChurnPerSec float64
+	// OnFlowDeath observes each churn retirement with the retired
+	// flow's id (see FlowSrc for its 5-tuple). NAT/flow-table harnesses
+	// use it to drive their shadow models.
+	OnFlowDeath func(id uint64)
 	// Payload optionally fills packet payloads.
 	Payload PayloadFn
 	// Proto selects eth.ProtoUDP (default) or eth.ProtoTCP.
@@ -56,7 +85,25 @@ type Generator struct {
 
 	interBurst eventsim.Time
 	template   []byte
-	flowIdx    int
+
+	// Flow mixing state. zipf is nil for uniform traffic; flowIDs is
+	// nil without churn (slot i then holds flow id i implicitly).
+	zipf       *rand.Zipf
+	flowIDs    []uint64
+	nextFlowID uint64
+	interChurn eventsim.Time
+	births     uint64
+	deaths     uint64
+}
+
+// FlowSrc encodes a flow id injectively into the source (address,
+// port) the generator emits: the low 24 bits select an address under
+// 10/8 and the port folds in bits 24..39, so distinct ids under
+// MaxFlows never collide and small flow sets still vary both fields.
+func FlowSrc(id uint64) (eth.IPv4, uint16) {
+	ip := eth.IPv4{10, byte(id >> 16), byte(id >> 8), byte(id)}
+	port := uint16(id>>24) ^ uint16(id)
+	return ip, port
 }
 
 // NewGenerator validates cfg and builds a generator.
@@ -67,11 +114,24 @@ func NewGenerator(sim *eventsim.Sim, cfg GeneratorConfig) (*Generator, error) {
 	if cfg.OfferedWireBps <= 0 {
 		return nil, ErrBadRateCfg
 	}
+	if cfg.Flows < 0 || cfg.Flows > MaxFlows {
+		return nil, fmt.Errorf("%w: %d", ErrBadFlows, cfg.Flows)
+	}
+	if cfg.ZipfSkew != 0 && cfg.ZipfSkew <= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadZipfSkew, cfg.ZipfSkew)
+	}
+	if cfg.ChurnPerSec < 0 {
+		return nil, fmt.Errorf("%w: negative rate %g", ErrBadChurnCfg, cfg.ChurnPerSec)
+	}
 	if cfg.Burst == 0 {
 		cfg.Burst = 32
 	}
 	if cfg.Flows == 0 {
 		cfg.Flows = 64
+	}
+	if cfg.ChurnPerSec > 0 && cfg.Flows > maxChurnFlows {
+		return nil, fmt.Errorf("%w: churn needs Flows <= %d, got %d",
+			ErrBadChurnCfg, maxChurnFlows, cfg.Flows)
 	}
 	if cfg.Proto == 0 {
 		cfg.Proto = eth.ProtoUDP
@@ -80,6 +140,25 @@ func NewGenerator(sim *eventsim.Sim, cfg GeneratorConfig) (*Generator, error) {
 		cfg.OfferedWireBps = cfg.Port.RateBps()
 	}
 	g := &Generator{sim: sim, cfg: cfg, rng: 0x9E3779B97F4A7C15}
+	if cfg.ZipfSkew > 1 {
+		// Seeded for run-to-run determinism, like every other source of
+		// randomness in the simulation.
+		g.zipf = rand.NewZipf(rand.New(rand.NewSource(0x5EED)), cfg.ZipfSkew, 1, uint64(cfg.Flows-1))
+		if g.zipf == nil {
+			return nil, fmt.Errorf("%w: %g", ErrBadZipfSkew, cfg.ZipfSkew)
+		}
+	}
+	if cfg.ChurnPerSec > 0 {
+		g.flowIDs = make([]uint64, cfg.Flows)
+		for i := range g.flowIDs {
+			g.flowIDs[i] = uint64(i)
+		}
+		g.nextFlowID = uint64(cfg.Flows)
+		g.interChurn = eventsim.Time(1e12 / cfg.ChurnPerSec)
+		if g.interChurn <= 0 {
+			g.interChurn = 1
+		}
+	}
 	frameWire := float64(cfg.FrameSize+eth.WireOverhead) * 8
 	g.interBurst = eventsim.Time(frameWire * float64(cfg.Burst) / cfg.OfferedWireBps * 1e12)
 	if g.interBurst <= 0 {
@@ -108,10 +187,14 @@ func NewGenerator(sim *eventsim.Sim, cfg GeneratorConfig) (*Generator, error) {
 	return g, nil
 }
 
-// Start begins emitting bursts at the configured pace.
+// Start begins emitting bursts at the configured pace (and, with
+// ChurnPerSec set, the flow birth/death process alongside).
 func (g *Generator) Start() {
 	g.stop = false
 	g.sim.After(0, g.burst)
+	if g.interChurn > 0 {
+		g.sim.After(g.interChurn, g.churn)
+	}
 }
 
 // Stop halts emission after the current burst.
@@ -124,13 +207,65 @@ func (g *Generator) Sent() uint64 { return g.sent }
 // AllocFailures reports frames skipped because the pool was exhausted.
 func (g *Generator) AllocFailures() uint64 { return g.drop }
 
+// Births reports flows created by churn (the initial population is not
+// counted).
+func (g *Generator) Births() uint64 { return g.births }
+
+// Deaths reports flows retired by churn.
+func (g *Generator) Deaths() uint64 { return g.deaths }
+
+// LiveFlows calls fn with each currently-live flow id (churn mode
+// only; without churn ids 0..Flows-1 are always live). For shadow-model
+// reconciliation after a soak.
+func (g *Generator) LiveFlows(fn func(id uint64)) {
+	for _, id := range g.flowIDs {
+		fn(id)
+	}
+}
+
 func (g *Generator) next() uint64 {
 	// SplitMix64: deterministic, well-distributed flow variation.
 	g.rng += 0x9E3779B97F4A7C15
-	z := g.rng
+	return mix64(g.rng)
+}
+
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// pickFlow draws the next packet's flow id: a uniform or Zipf-ranked
+// slot, resolved through the churn live-set when one exists.
+func (g *Generator) pickFlow() uint64 {
+	var slot uint64
+	if g.zipf != nil {
+		slot = g.zipf.Uint64()
+	} else {
+		slot = g.next() % uint64(g.cfg.Flows)
+	}
+	if g.flowIDs != nil {
+		return g.flowIDs[slot]
+	}
+	return slot
+}
+
+// churn retires one random live flow and births a fresh id in its
+// slot, then re-arms itself.
+func (g *Generator) churn() {
+	if g.stop {
+		return
+	}
+	slot := g.next() % uint64(len(g.flowIDs))
+	dead := g.flowIDs[slot]
+	g.flowIDs[slot] = g.nextFlowID
+	g.nextFlowID++
+	g.births++
+	g.deaths++
+	if g.cfg.OnFlowDeath != nil {
+		g.cfg.OnFlowDeath(dead)
+	}
+	g.sim.After(g.interChurn, g.churn)
 }
 
 func (g *Generator) burst() {
@@ -153,21 +288,31 @@ func (g *Generator) burst() {
 			continue
 		}
 		frame, _ := eth.Parse(m.Data())
-		flow := g.next() % uint64(g.cfg.Flows)
-		frame.SetSrcIP(eth.IPv4{10, 0, byte(flow >> 8), byte(flow)})
+		flow := g.pickFlow()
+		srcIP, srcPort := FlowSrc(flow)
+		frame.SetSrcIP(srcIP)
+		setSrcPort(frame, srcPort)
 		frame.SetIPChecksum(frame.ComputeIPChecksum())
 		if g.cfg.Payload != nil {
 			g.cfg.Payload(g.sent, frame.Payload())
 		}
 		m.Port = uint16(g.cfg.Port.ID())
 		m.RxTimestamp = 0 // stamped by the I/O core at rx_burst (§V-C)
-		q := int(flow) % g.cfg.Port.Queues()
+		// RSS: queue by flow hash, like a NIC's Toeplitz over the tuple.
+		q := int(mix64(flow) % uint64(g.cfg.Port.Queues()))
 		mm := m
 		g.sim.After(eventsim.Time(i)*frameWire, func() {
 			g.cfg.Port.DeliverRx(q, mm, g.cfg.Pool)
 		})
 		g.sent++
-		g.flowIdx++
 	}
 	g.sim.After(g.interBurst, g.burst)
+}
+
+func setSrcPort(f eth.Frame, port uint16) {
+	l4 := f.L4()
+	if len(l4) >= 2 {
+		l4[0] = byte(port >> 8)
+		l4[1] = byte(port)
+	}
 }

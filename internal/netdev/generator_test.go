@@ -1,0 +1,257 @@
+package netdev
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
+
+func TestGeneratorFlowValidation(t *testing.T) {
+	sim, pool, p := newRig(t, 10e9, 1)
+	base := GeneratorConfig{Port: p, Pool: pool, FrameSize: 64, OfferedWireBps: 1e9}
+
+	cfg := base
+	cfg.Flows = -1
+	if _, err := NewGenerator(sim, cfg); !errors.Is(err, ErrBadFlows) {
+		t.Errorf("negative Flows: %v, want ErrBadFlows", err)
+	}
+	cfg = base
+	cfg.Flows = MaxFlows + 1
+	if _, err := NewGenerator(sim, cfg); !errors.Is(err, ErrBadFlows) {
+		t.Errorf("unrepresentable Flows: %v, want ErrBadFlows", err)
+	}
+	cfg = base
+	cfg.ZipfSkew = 0.5
+	if _, err := NewGenerator(sim, cfg); !errors.Is(err, ErrBadZipfSkew) {
+		t.Errorf("skew in (0,1]: %v, want ErrBadZipfSkew", err)
+	}
+	cfg = base
+	cfg.ChurnPerSec = -1
+	if _, err := NewGenerator(sim, cfg); !errors.Is(err, ErrBadChurnCfg) {
+		t.Errorf("negative churn: %v, want ErrBadChurnCfg", err)
+	}
+	cfg = base
+	cfg.ChurnPerSec = 100
+	cfg.Flows = maxChurnFlows * 2
+	if _, err := NewGenerator(sim, cfg); !errors.Is(err, ErrBadChurnCfg) {
+		t.Errorf("churn over huge flow set: %v, want ErrBadChurnCfg", err)
+	}
+}
+
+// TestFlowSrcInjective pins the satellite fix: the flow encoding must
+// not fold ids into 16 bits. Distinct ids anywhere in [0, MaxFlows)
+// produce distinct (SrcIP, SrcPort) pairs, including ids that the old
+// encoding (low 16 bits of SrcIP only) collided.
+func TestFlowSrcInjective(t *testing.T) {
+	seen := map[uint64]uint64{}
+	ids := []uint64{0, 1, 65535, 65536, 65537, 1 << 20, 1<<20 + 65536,
+		1 << 24, 1<<24 + 1, 1 << 39, MaxFlows - 1}
+	// The old encoding mapped id and id+65536 to the same tuple; add a
+	// dense run straddling that boundary.
+	for id := uint64(65500); id < 65600; id++ {
+		ids = append(ids, id, id+65536)
+	}
+	for _, id := range ids {
+		ip, port := FlowSrc(id)
+		key := uint64(ip.Uint32())<<16 | uint64(port)
+		if prev, dup := seen[key]; dup && prev != id {
+			t.Fatalf("FlowSrc collision: ids %d and %d -> %v:%d", prev, id, ip, port)
+		}
+		seen[key] = id
+		if ip[0] != 10 {
+			t.Fatalf("FlowSrc(%d) left the 10/8 test net: %v", id, ip)
+		}
+	}
+}
+
+// TestGeneratorFlowsBeyond16Bits runs the generator with a flow space
+// larger than the old 65536 cap and verifies emitted tuples actually
+// exceed it (distinct beyond what 16 bits could carry).
+func TestGeneratorFlowsBeyond16Bits(t *testing.T) {
+	sim := eventsim.New()
+	pool, err := mbuf.NewPool(mbuf.PoolConfig{Name: "netdev", Capacity: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPort(sim, PortConfig{ID: 0, RateBps: 100e9, RxQueues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(sim, GeneratorConfig{
+		Port: p, Pool: pool, FrameSize: 64, OfferedWireBps: 100e9,
+		Burst: 256, Flows: 1 << 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := map[uint64]bool{}
+	drain := func() {
+		buf := make([]*mbuf.Mbuf, 256)
+		for q := 0; q < 2; q++ {
+			for {
+				n := p.RxBurst(q, buf)
+				if n == 0 {
+					break
+				}
+				for i := 0; i < n; i++ {
+					f, perr := eth.Parse(buf[i].Data())
+					if perr != nil {
+						t.Fatalf("bad frame: %v", perr)
+					}
+					tuples[uint64(f.SrcIP().Uint32())<<16|uint64(f.SrcPort())] = true
+					_ = pool.Free(buf[i])
+				}
+			}
+		}
+	}
+	gen.Start()
+	for sim.Now() < 100*eventsim.Microsecond {
+		sim.Run(sim.Now() + eventsim.Microsecond)
+		drain()
+	}
+	gen.Stop()
+	sim.RunAll()
+	drain()
+	if gen.Sent() < 10000 {
+		t.Fatalf("only %d frames emitted", gen.Sent())
+	}
+	// With 4M flows and >10k uniform samples, collisions are rare: the
+	// distinct-tuple count must clear 90% of frames — far beyond any
+	// 16-bit (65536) flow space at these sample sizes, and impossible
+	// if ids were truncated.
+	if got, sent := len(tuples), int(gen.Sent()); got < sent*9/10 {
+		t.Errorf("%d distinct tuples from %d frames; flow space looks truncated", got, sent)
+	}
+	if pool.InUse() != 0 {
+		t.Errorf("%d mbufs leaked", pool.InUse())
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	sim := eventsim.New()
+	pool, err := mbuf.NewPool(mbuf.PoolConfig{Name: "netdev", Capacity: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPort(sim, PortConfig{ID: 0, RateBps: 100e9, RxQueues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(sim, GeneratorConfig{
+		Port: p, Pool: pool, FrameSize: 64, OfferedWireBps: 100e9,
+		Burst: 256, Flows: 1 << 16, ZipfSkew: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[eth.IPv4]int{}
+	total := 0
+	buf := make([]*mbuf.Mbuf, 256)
+	drain := func() {
+		for {
+			n := p.RxBurst(0, buf)
+			if n == 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				f, _ := eth.Parse(buf[i].Data())
+				counts[f.SrcIP()]++
+				total++
+				_ = pool.Free(buf[i])
+			}
+		}
+	}
+	gen.Start()
+	for sim.Now() < 100*eventsim.Microsecond {
+		sim.Run(sim.Now() + eventsim.Microsecond)
+		drain()
+	}
+	gen.Stop()
+	sim.RunAll()
+	drain()
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf s=1.5: the hottest flow should carry a large share; uniform
+	// over 65536 flows would put ~total/65536 on each.
+	if max < total/10 {
+		t.Errorf("hottest flow carried %d of %d packets; distribution looks uniform", max, total)
+	}
+	if len(counts) < 10 {
+		t.Errorf("only %d distinct flows seen; tail missing", len(counts))
+	}
+}
+
+func TestGeneratorChurn(t *testing.T) {
+	sim := eventsim.New()
+	pool, err := mbuf.NewPool(mbuf.PoolConfig{Name: "netdev", Capacity: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPort(sim, PortConfig{ID: 0, RateBps: 10e9, RxQueues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var died []uint64
+	gen, err := NewGenerator(sim, GeneratorConfig{
+		Port: p, Pool: pool, FrameSize: 64, OfferedWireBps: 1e9,
+		Flows: 128, ChurnPerSec: 1e6,
+		OnFlowDeath: func(id uint64) { died = append(died, id) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]*mbuf.Mbuf, 256)
+	gen.Start()
+	for sim.Now() < eventsim.Millisecond {
+		sim.Run(sim.Now() + 10*eventsim.Microsecond)
+		for {
+			n := p.RxBurst(0, buf)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				_ = pool.Free(buf[i])
+			}
+		}
+	}
+	gen.Stop()
+	sim.RunAll()
+	// 1M churn/s over 1ms of virtual time = ~1000 replacements.
+	if gen.Deaths() < 900 || gen.Deaths() > 1100 {
+		t.Errorf("deaths = %d, want ~1000", gen.Deaths())
+	}
+	if gen.Births() != gen.Deaths() {
+		t.Errorf("births %d != deaths %d", gen.Births(), gen.Deaths())
+	}
+	if uint64(len(died)) != gen.Deaths() {
+		t.Errorf("OnFlowDeath saw %d, counter says %d", len(died), gen.Deaths())
+	}
+	// Live set stays at Flows, every live id unique, none retired twice.
+	deadSet := map[uint64]int{}
+	for _, id := range died {
+		deadSet[id]++
+		if deadSet[id] > 1 {
+			t.Fatalf("flow %d retired twice", id)
+		}
+	}
+	live := map[uint64]bool{}
+	gen.LiveFlows(func(id uint64) {
+		if live[id] {
+			t.Fatalf("duplicate live flow %d", id)
+		}
+		if deadSet[id] > 0 {
+			t.Fatalf("retired flow %d still live", id)
+		}
+		live[id] = true
+	})
+	if len(live) != 128 {
+		t.Errorf("live set %d, want 128", len(live))
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/hwfunc"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 )
@@ -22,14 +24,23 @@ const (
 )
 
 // FlowCompressorSW is the CPU-only flow compressor: it DEFLATE-compresses
-// each packet's L4 payload in place (WAN-optimizer style).
+// each packet's L4 payload in place (WAN-optimizer style). TrackFlows
+// arms optional per-flow compression accounting in a bounded flowtab.
 type FlowCompressorSW struct {
 	level int
+	flows *flowtab.Table[eth.FiveTuple, FlowCompStats]
 
 	Compressed   uint64
 	Incompressed uint64 // payloads that did not shrink, forwarded as-is
 	BytesIn      uint64
 	BytesOut     uint64
+}
+
+// FlowCompStats aggregates one flow's compression totals.
+type FlowCompStats struct {
+	Packets  uint64
+	BytesIn  uint64
+	BytesOut uint64
 }
 
 // NewFlowCompressorSW builds a compressor at the given DEFLATE level
@@ -39,6 +50,67 @@ func NewFlowCompressorSW(level int) (*FlowCompressorSW, error) {
 		return nil, fmt.Errorf("nf: compression level %d out of range", level)
 	}
 	return &FlowCompressorSW{level: level}, nil
+}
+
+// TrackFlows arms per-flow accounting: maxFlows bounds the table (the
+// flow nearest idle expiry is evicted at the cap), ttl+clock expire
+// idle flows. Pass ttl 0 with a nil clock for a never-expiring table.
+func (c *FlowCompressorSW) TrackFlows(maxFlows int, ttl eventsim.Time, clock func() eventsim.Time) error {
+	flows, err := flowtab.New(flowtab.Config[eth.FiveTuple, FlowCompStats]{
+		Name:       "flowcomp-flows",
+		Hash:       flowtab.HashFiveTuple,
+		Clock:      clock,
+		MaxEntries: maxFlows,
+		TTL:        ttl,
+	})
+	if err != nil {
+		return err
+	}
+	c.flows = flows
+	return nil
+}
+
+// FlowTabs exposes the per-flow accounting table (empty until
+// TrackFlows).
+func (c *FlowCompressorSW) FlowTabs() []flowtab.Source {
+	if c.flows == nil {
+		return nil
+	}
+	return []flowtab.Source{c.flows}
+}
+
+// FlowStats reports one flow's totals (zero, false when untracked).
+func (c *FlowCompressorSW) FlowStats(t eth.FiveTuple) (FlowCompStats, bool) {
+	if c.flows == nil {
+		return FlowCompStats{}, false
+	}
+	st, ok := c.flows.Peek(t)
+	if !ok {
+		return FlowCompStats{}, false
+	}
+	return *st, true
+}
+
+// Tick expires idle per-flow stats (no-op without TrackFlows/ttl).
+func (c *FlowCompressorSW) Tick() int {
+	if c.flows == nil {
+		return 0
+	}
+	return c.flows.Tick()
+}
+
+// account records one packet's totals against its flow.
+func (c *FlowCompressorSW) account(frame eth.Frame, in, out int) {
+	if c.flows == nil {
+		return
+	}
+	st, _, err := c.flows.Insert(frame.Tuple())
+	if err != nil {
+		return // table at budget with no TTL: flow goes unaccounted
+	}
+	st.Packets++
+	st.BytesIn += uint64(in)
+	st.BytesOut += uint64(out)
 }
 
 // Process compresses the packet payload in place when that shrinks it.
@@ -68,6 +140,7 @@ func (c *FlowCompressorSW) Process(m *mbuf.Mbuf) (Verdict, float64) {
 	if buf.Len() >= len(payload) {
 		c.Incompressed++
 		c.BytesOut += uint64(len(payload))
+		c.account(frame, len(payload), len(payload))
 		return VerdictForward, cycles
 	}
 	// Shrink the packet: overwrite the payload and trim the tail.
@@ -78,6 +151,7 @@ func (c *FlowCompressorSW) Process(m *mbuf.Mbuf) (Verdict, float64) {
 	fixupLengthsAfterResize(m)
 	c.Compressed++
 	c.BytesOut += uint64(buf.Len())
+	c.account(frame, len(payload), buf.Len())
 	return VerdictForward, cycles
 }
 

@@ -1,0 +1,118 @@
+package nf
+
+import (
+	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
+
+// A cached verdict costs one flow-table probe: cheaper than even an
+// empty ACL walk (firewallCyclesBase), and independent of rule count —
+// the point of flow-aware classification.
+const flowFirewallHitCycles = 22.0
+
+// FlowFirewall wraps a stateless Firewall with a per-flow verdict
+// cache: the first packet of a flow walks the ACL, later packets of
+// the same 5-tuple pay one allocation-free flow-table lookup. With a
+// TTL armed the cache self-bounds under churn; rule changes must call
+// Invalidate.
+type FlowFirewall struct {
+	fw    *Firewall
+	flows *flowtab.Table[eth.FiveTuple, FirewallAction]
+
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// FlowFirewallConfig parameterizes NewFlowFirewall.
+type FlowFirewallConfig struct {
+	// MaxFlows caps cached verdicts (table capacity stops doubling at
+	// this power of two); at the cap the entry nearest expiry is
+	// evicted. Zero bounds the cache only by MemBudgetBytes.
+	MaxFlows int
+	// MemBudgetBytes is the hard cache memory budget. Zero is
+	// unbudgeted.
+	MemBudgetBytes int
+	// FlowTTL expires cached verdicts idle for this long. Requires
+	// Clock. Zero keeps them until Invalidate.
+	FlowTTL eventsim.Time
+	// Clock supplies virtual time for FlowTTL; wire it to Sim.Now.
+	Clock func() eventsim.Time
+}
+
+// NewFlowFirewall builds a flow-aware front for fw.
+func NewFlowFirewall(fw *Firewall, cfg FlowFirewallConfig) (*FlowFirewall, error) {
+	flows, err := flowtab.New(flowtab.Config[eth.FiveTuple, FirewallAction]{
+		Name:           "fw-flows",
+		Hash:           flowtab.HashFiveTuple,
+		Clock:          cfg.Clock,
+		MaxEntries:     cfg.MaxFlows,
+		MemBudgetBytes: cfg.MemBudgetBytes,
+		TTL:            cfg.FlowTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FlowFirewall{fw: fw, flows: flows}, nil
+}
+
+// Firewall returns the wrapped stateless firewall (rule management,
+// Allowed/Denied/Hits counters for cache-miss traffic).
+func (f *FlowFirewall) Firewall() *Firewall { return f.fw }
+
+// FlowTabs exposes the verdict cache for telemetry registration.
+func (f *FlowFirewall) FlowTabs() []flowtab.Source {
+	return []flowtab.Source{f.flows}
+}
+
+// CachedFlows reports the number of cached verdicts.
+func (f *FlowFirewall) CachedFlows() int { return f.flows.Len() }
+
+// Tick expires idle cached verdicts (no-op without a FlowTTL).
+func (f *FlowFirewall) Tick() int { return f.flows.Tick() }
+
+// Invalidate drops every cached verdict; call it after rule changes.
+func (f *FlowFirewall) Invalidate() {
+	keys := make([]eth.FiveTuple, 0, f.flows.Len())
+	f.flows.Range(func(k eth.FiveTuple, _ *FirewallAction) bool {
+		keys = append(keys, k)
+		return true
+	})
+	for _, k := range keys {
+		f.flows.Delete(k)
+	}
+}
+
+// Process classifies one packet: cached verdict when the flow is known,
+// a full ACL walk (through the wrapped firewall, so its counters still
+// advance) on the first packet of a flow.
+func (f *FlowFirewall) Process(m *mbuf.Mbuf) (Verdict, float64) {
+	frame, err := eth.Parse(m.Data())
+	if err != nil {
+		f.fw.Denied++
+		return VerdictDrop, flowFirewallHitCycles
+	}
+	t := frame.Tuple()
+	if a, ok := f.flows.Lookup(t); ok {
+		f.CacheHits++
+		if *a == FirewallAllow {
+			f.fw.Allowed++
+			return VerdictForward, flowFirewallHitCycles
+		}
+		f.fw.Denied++
+		return VerdictDrop, flowFirewallHitCycles
+	}
+	f.CacheMisses++
+	verdict, cycles := f.fw.Process(m)
+	action := FirewallDeny
+	if verdict == VerdictForward {
+		action = FirewallAllow
+	}
+	// Cache the verdict; a refused insert (budget full, no TTL to evict
+	// by) just means this flow stays uncached.
+	if a, _, err := f.flows.Insert(t); err == nil {
+		*a = action
+	}
+	return verdict, cycles + flowFirewallHitCycles
+}

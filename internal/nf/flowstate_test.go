@@ -1,0 +1,389 @@
+package nf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+)
+
+// natPacket builds an outbound packet from an internal (src, srcPort).
+func natPacket(t *testing.T, pool *mbuf.Pool, src eth.IPv4, srcPort uint16) *mbuf.Mbuf {
+	t.Helper()
+	m, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	n, err := eth.Build(buf, eth.BuildConfig{
+		SrcMAC: eth.MAC{2, 0, 0, 0, 0, 1}, DstMAC: eth.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: src, DstIP: eth.IPv4{8, 8, 8, 8},
+		SrcPort: srcPort, DstPort: 80, Proto: eth.ProtoUDP, Payload: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendBytes(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// translate runs one outbound packet through the NAT and returns the
+// allocated external port.
+func translate(t *testing.T, nat *NAT, pool *mbuf.Pool, src eth.IPv4, srcPort uint16) (uint16, Verdict) {
+	t.Helper()
+	m := natPacket(t, pool, src, srcPort)
+	defer func() { _ = pool.Free(m) }()
+	v, _ := nat.ProcessOutbound(m)
+	if v != VerdictForward {
+		return 0, v
+	}
+	f, _ := eth.Parse(m.Data())
+	return f.SrcPort(), v
+}
+
+// TestNATPortPoolWraparound drives the allocator past the top of the
+// pool: the cursor must wrap to PortBase and skip still-held ports, and
+// a range running past 65535 must clamp rather than wrap to low ports.
+func TestNATPortPoolWraparound(t *testing.T) {
+	p := pool(t)
+	nat := NewNAT(NATConfig{External: eth.IPv4{203, 0, 113, 1}, PortBase: 65530, PortCount: 10})
+	got := map[uint16]bool{}
+	for i := 0; i < 6; i++ { // clamped pool is 65530..65535: 6 ports
+		port, v := translate(t, nat, p, eth.IPv4{192, 168, 1, byte(i + 1)}, 1000)
+		if v != VerdictForward {
+			t.Fatalf("flow %d rejected before pool exhausted", i)
+		}
+		if port < 65530 {
+			t.Fatalf("allocated port %d outside clamped pool", port)
+		}
+		if got[port] {
+			t.Fatalf("port %d allocated twice", port)
+		}
+		got[port] = true
+	}
+	if _, v := translate(t, nat, p, eth.IPv4{192, 168, 1, 99}, 1000); v != VerdictDrop {
+		t.Fatal("clamped pool did not exhaust at 6 ports")
+	}
+	// Free a mid-pool port; the wrapped cursor must find exactly it.
+	if err := nat.Release(eth.IPv4{192, 168, 1, 3}, 1000, eth.ProtoUDP); err != nil {
+		t.Fatal(err)
+	}
+	port, v := translate(t, nat, p, eth.IPv4{192, 168, 1, 200}, 1000)
+	if v != VerdictForward {
+		t.Fatal("free port not found after wraparound")
+	}
+	if !got[port] {
+		t.Fatalf("reallocated port %d was never in the pool", port)
+	}
+	if err := nat.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNATExhaustionReportsConsistentCount pins the satellite fix: the
+// exhaustion error checks and reports the same (inbound) counter.
+func TestNATExhaustionReportsConsistentCount(t *testing.T) {
+	nat := NewNAT(NATConfig{External: eth.IPv4{203, 0, 113, 1}, PortBase: 40000, PortCount: 3})
+	for i := 0; i < 3; i++ {
+		key := natKey{ip: eth.IPv4{192, 168, 0, byte(i + 1)}, port: 1000, proto: eth.ProtoUDP}
+		if _, err := nat.allocate(key); err != nil {
+			t.Fatalf("flow %d: %v", i, err)
+		}
+	}
+	_, err := nat.allocate(natKey{ip: eth.IPv4{192, 168, 0, 99}, port: 1000, proto: eth.ProtoUDP})
+	if !errors.Is(err, ErrNATPortsExhausted) {
+		t.Fatalf("want ErrNATPortsExhausted, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "(3 mappings)") {
+		t.Errorf("exhaustion error %q does not report the checked count 3", err)
+	}
+}
+
+// TestNATReleaseReallocateReuse cycles release -> allocate repeatedly
+// across the whole pool; every released port must become allocatable
+// again and the tables must stay a bijection throughout.
+func TestNATReleaseReallocateReuse(t *testing.T) {
+	p := pool(t)
+	nat := NewNAT(NATConfig{External: eth.IPv4{203, 0, 113, 1}, PortBase: 40000, PortCount: 8})
+	for round := 0; round < 5; round++ {
+		ports := map[uint16]eth.IPv4{}
+		for i := 0; i < 8; i++ {
+			src := eth.IPv4{192, 168, byte(round), byte(i + 1)}
+			port, v := translate(t, nat, p, src, 2000)
+			if v != VerdictForward {
+				t.Fatalf("round %d flow %d rejected", round, i)
+			}
+			ports[port] = src
+		}
+		if len(ports) != 8 || nat.Mappings() != 8 {
+			t.Fatalf("round %d: %d ports, %d mappings", round, len(ports), nat.Mappings())
+		}
+		if err := nat.CheckConsistency(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, src := range ports {
+			if err := nat.Release(src, 2000, eth.ProtoUDP); err != nil {
+				t.Fatalf("round %d release: %v", round, err)
+			}
+		}
+		if nat.Mappings() != 0 {
+			t.Fatalf("round %d: %d mappings survive full release", round, nat.Mappings())
+		}
+	}
+}
+
+// TestNATFlowTTLFreesPorts arms the idle timeout: expired translations
+// must free their external ports and keep the tables consistent, and
+// traffic (either direction) must keep a flow alive.
+func TestNATFlowTTLFreesPorts(t *testing.T) {
+	p := pool(t)
+	var now eventsim.Time
+	nat := NewNAT(NATConfig{
+		External: eth.IPv4{203, 0, 113, 1}, PortBase: 40000, PortCount: 100,
+		FlowTTL: eventsim.Second,
+		Clock:   func() eventsim.Time { return now },
+	})
+	for i := 0; i < 10; i++ {
+		if _, v := translate(t, nat, p, eth.IPv4{192, 168, 2, byte(i + 1)}, 3000); v != VerdictForward {
+			t.Fatalf("flow %d rejected", i)
+		}
+	}
+	// Keep flow 0 alive with periodic traffic; let the rest idle out.
+	for step := 0; step < 4; step++ {
+		now += eventsim.Second / 2
+		if _, v := translate(t, nat, p, eth.IPv4{192, 168, 2, 1}, 3000); v != VerdictForward {
+			t.Fatal("live flow dropped")
+		}
+		nat.Tick()
+	}
+	if got := nat.Mappings(); got != 1 {
+		t.Fatalf("%d mappings survive idle expiry, want 1", got)
+	}
+	if err := nat.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The freed ports are allocatable again.
+	for i := 0; i < 99; i++ {
+		if _, v := translate(t, nat, p, eth.IPv4{192, 168, 3, byte(i + 1)}, 3000); v != VerdictForward {
+			t.Fatalf("post-expiry flow %d rejected", i)
+		}
+	}
+	if err := nat.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNATPressureEvictionBounded: at the MaxFlows cap with a TTL armed,
+// new flows pressure-evict the oldest instead of dropping, and the
+// tables stay a bijection.
+func TestNATPressureEvictionBounded(t *testing.T) {
+	p := pool(t)
+	var now eventsim.Time
+	nat := NewNAT(NATConfig{
+		External: eth.IPv4{203, 0, 113, 1},
+		MaxFlows: 64, FlowTTL: eventsim.Second,
+		Clock: func() eventsim.Time { return now },
+	})
+	for i := 0; i < 500; i++ {
+		now += eventsim.Millisecond
+		src := eth.IPv4{192, 168, byte(i >> 8), byte(i)}
+		if _, v := translate(t, nat, p, src, 4000); v != VerdictForward {
+			t.Fatalf("flow %d dropped despite pressure eviction", i)
+		}
+	}
+	if got := nat.Mappings(); got > 64 {
+		t.Fatalf("%d mappings exceed the 64-flow cap", got)
+	}
+	if err := nat.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNATCheckConsistencyDetectsOrphan(t *testing.T) {
+	p := pool(t)
+	nat := NewNAT(NATConfig{External: eth.IPv4{203, 0, 113, 1}})
+	ext, v := translate(t, nat, p, eth.IPv4{192, 168, 9, 1}, 5000)
+	if v != VerdictForward {
+		t.Fatal("setup flow rejected")
+	}
+	if err := nat.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: drop the outbound half only (bypassing Release).
+	nat.outbound.Delete(natKey{ip: eth.IPv4{192, 168, 9, 1}, port: 5000, proto: eth.ProtoUDP})
+	err := nat.CheckConsistency()
+	if err == nil {
+		t.Fatal("orphaned inbound entry undetected")
+	}
+	if !strings.Contains(err.Error(), "out of sync") {
+		t.Errorf("unexpected diagnosis: %v", err)
+	}
+	_ = ext
+}
+
+func TestFlowFirewallCachesVerdicts(t *testing.T) {
+	p := pool(t)
+	fw := NewFirewall(FirewallAllow)
+	if err := fw.AddRule(FirewallRule{
+		SrcPrefix: 0x0A420000, SrcDepth: 16, Action: FirewallDeny, Description: "blocklist",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var now eventsim.Time
+	ffw, err := NewFlowFirewall(fw, FlowFirewallConfig{
+		MaxFlows: 1024, FlowTTL: eventsim.Second,
+		Clock: func() eventsim.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(src eth.IPv4) Verdict {
+		m := natPacket(t, p, src, 6000)
+		defer func() { _ = p.Free(m) }()
+		v, _ := ffw.Process(m)
+		return v
+	}
+	allowed := eth.IPv4{192, 168, 0, 1}
+	blocked := eth.IPv4{10, 66, 0, 1}
+	// First packets miss the cache, repeats hit it — same verdicts.
+	for i := 0; i < 3; i++ {
+		if v := run(allowed); v != VerdictForward {
+			t.Fatalf("pass %d: allowed flow verdict %v", i, v)
+		}
+		if v := run(blocked); v != VerdictDrop {
+			t.Fatalf("pass %d: blocked flow verdict %v", i, v)
+		}
+	}
+	if ffw.CacheMisses != 2 {
+		t.Errorf("CacheMisses = %d, want 2", ffw.CacheMisses)
+	}
+	if ffw.CacheHits != 4 {
+		t.Errorf("CacheHits = %d, want 4", ffw.CacheHits)
+	}
+	if ffw.CachedFlows() != 2 {
+		t.Errorf("CachedFlows = %d, want 2", ffw.CachedFlows())
+	}
+	// Totals still conserve packets.
+	if fw.Allowed+fw.Denied != 6 {
+		t.Errorf("allowed %d + denied %d != 6 packets", fw.Allowed, fw.Denied)
+	}
+	// A cached hit must be cheaper than an ACL walk.
+	m := natPacket(t, p, allowed, 6000)
+	_, hitCycles := ffw.Process(m)
+	_ = p.Free(m)
+	if _, walkCycles := fw.Process(func() *mbuf.Mbuf {
+		m := natPacket(t, p, eth.IPv4{172, 16, 0, 1}, 6000)
+		defer func() { _ = p.Free(m) }()
+		return m
+	}()); hitCycles >= walkCycles+flowFirewallHitCycles {
+		t.Errorf("cache hit (%v cycles) not cheaper than walk (%v)", hitCycles, walkCycles)
+	}
+	// Invalidate empties the cache; TTL expires idle verdicts.
+	ffw.Invalidate()
+	if ffw.CachedFlows() != 0 {
+		t.Errorf("%d flows survive Invalidate", ffw.CachedFlows())
+	}
+	run(allowed)
+	now += 2 * eventsim.Second
+	ffw.Tick()
+	if ffw.CachedFlows() != 0 {
+		t.Errorf("%d flows survive TTL expiry", ffw.CachedFlows())
+	}
+}
+
+func TestSADBBySPI(t *testing.T) {
+	db := NewSADB()
+	if err := db.AddDefaultSA(); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := db.BySPI(0x1001)
+	if err != nil || sa.SPI != 0x1001 {
+		t.Fatalf("BySPI(0x1001) = %v, %v", sa, err)
+	}
+	sa2, err := db.BySPI(0x1002)
+	if err != nil || sa2.SPI != 0x1002 {
+		t.Fatalf("BySPI(0x1002) = %v, %v", sa2, err)
+	}
+	if _, err := db.BySPI(0xdead); !errors.Is(err, ErrNoSA) {
+		t.Errorf("unknown SPI: %v", err)
+	}
+	// Duplicate SPIs still refused through the flowtab index.
+	if err := db.AddSA(0xC0000000, 2, DefaultSA()); !errors.Is(err, ErrDupeSPI) {
+		t.Errorf("dup SPI: %v", err)
+	}
+	if len(db.FlowTabs()) != 1 {
+		t.Error("SPI index not exposed for telemetry")
+	}
+}
+
+func TestFlowCompTrackFlows(t *testing.T) {
+	p := pool(t)
+	c, err := NewFlowCompressorSW(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FlowTabs() != nil {
+		t.Error("FlowTabs non-nil before TrackFlows")
+	}
+	if err := c.TrackFlows(1024, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("compressible compressible ", 20))
+	m := newPacket(t, p, payload, eth.IPv4{192, 168, 0, 1})
+	f, _ := eth.Parse(m.Data())
+	tuple := f.Tuple()
+	for i := 0; i < 3; i++ {
+		m2 := newPacket(t, p, payload, eth.IPv4{192, 168, 0, 1})
+		if v, _ := c.Process(m2); v != VerdictForward {
+			t.Fatalf("pass %d: verdict %v", i, v)
+		}
+		_ = p.Free(m2)
+	}
+	_ = p.Free(m)
+	st, ok := c.FlowStats(tuple)
+	if !ok {
+		t.Fatal("flow untracked")
+	}
+	if st.Packets != 3 {
+		t.Errorf("Packets = %d, want 3", st.Packets)
+	}
+	if st.BytesIn != 3*uint64(len(payload)) {
+		t.Errorf("BytesIn = %d, want %d", st.BytesIn, 3*len(payload))
+	}
+	if st.BytesOut == 0 || st.BytesOut >= st.BytesIn {
+		t.Errorf("BytesOut = %d not in (0, %d)", st.BytesOut, st.BytesIn)
+	}
+}
+
+// TestNATZeroAllocHitPath pins the rebase's point: established-flow
+// translation allocates nothing.
+func TestNATZeroAllocHitPath(t *testing.T) {
+	p := pool(t)
+	var now eventsim.Time
+	nat := NewNAT(NATConfig{
+		External: eth.IPv4{203, 0, 113, 1},
+		FlowTTL:  eventsim.Second,
+		Clock:    func() eventsim.Time { return now },
+	})
+	m := natPacket(t, p, eth.IPv4{192, 168, 7, 7}, 7000)
+	defer func() { _ = p.Free(m) }()
+	if v, _ := nat.ProcessOutbound(m); v != VerdictForward {
+		t.Fatal("setup translation failed")
+	}
+	raw := append([]byte(nil), m.Data()...)
+	if avg := testing.AllocsPerRun(500, func() {
+		now += eventsim.Microsecond
+		copy(m.Data(), raw) // restore the pre-translation header
+		if v, _ := nat.ProcessOutbound(m); v != VerdictForward {
+			t.Fatal("hit path dropped")
+		}
+		nat.Tick()
+	}); avg != 0 {
+		t.Fatalf("NAT hit path allocates %.1f/op, want 0", avg)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 )
 
@@ -15,6 +17,7 @@ const natCycles = 55.0
 // Errors returned by the NAT.
 var (
 	ErrNATPortsExhausted = errors.New("nf: NAT port pool exhausted")
+	ErrNATFlowsExhausted = errors.New("nf: NAT flow table full")
 	ErrNATNoMapping      = errors.New("nf: no NAT mapping for inbound packet")
 )
 
@@ -25,16 +28,20 @@ var (
 // Outbound packets (from the inside interface) get their source rewritten
 // to the external address and an allocated external port; inbound packets
 // are matched on destination port and rewritten back.
+//
+// Translation state lives in a pair of flowtab tables (outbound keyed by
+// the internal endpoint, inbound by the external port) so the hit path is
+// allocation-free at millions of flows and, with FlowTTL armed, idle
+// translations expire off the clock wheel — evicting an outbound entry
+// drops its paired inbound entry, so the two stay exactly 1:1.
 type NAT struct {
 	external eth.IPv4
 	base     uint16
 	nextPort uint16
 	maxPort  uint16
 
-	// outbound maps the internal (srcIP, srcPort, proto) to the allocated
-	// external port; inbound maps the external port back.
-	outbound map[natKey]uint16
-	inbound  map[uint16]natKey
+	outbound *flowtab.Table[natKey, uint16]
+	inbound  *flowtab.Table[uint16, natKey]
 
 	Translated uint64
 	Dropped    uint64
@@ -46,34 +53,91 @@ type natKey struct {
 	proto uint8
 }
 
+func hashNATKey(k natKey) uint64 {
+	return flowtab.Mix64(uint64(k.ip.Uint32())<<24 | uint64(k.port)<<8 | uint64(k.proto))
+}
+
+func hashPort(p uint16) uint64 { return flowtab.Mix64(uint64(p)) }
+
 // NATConfig parameterizes NewNAT.
 type NATConfig struct {
 	// External is the public address translations use.
 	External eth.IPv4
 	// PortBase and PortCount bound the external port pool. Zero selects
-	// 20000..60000.
+	// 20000..60000; a range running past 65535 is clamped to it.
 	PortBase  uint16
 	PortCount uint16
+	// MaxFlows caps concurrent translations below the port-pool bound
+	// (table capacity stops doubling at this power of two). Zero leaves
+	// the pool as the only bound.
+	MaxFlows int
+	// FlowTTL expires translations idle for this long (both directions
+	// count as activity). Requires Clock. Zero keeps mappings forever,
+	// the pre-flowtab behavior.
+	FlowTTL eventsim.Time
+	// Clock supplies virtual time for FlowTTL; wire it to Sim.Now.
+	Clock func() eventsim.Time
 }
 
-// NewNAT builds a source NAT.
+// NewNAT builds a source NAT. It panics on a config the flow tables
+// cannot be built from (FlowTTL without Clock) — a programming error,
+// not a runtime condition.
 func NewNAT(cfg NATConfig) *NAT {
 	if cfg.PortBase == 0 {
 		cfg.PortBase = 20000
 		cfg.PortCount = 40000
 	}
-	return &NAT{
+	maxPort := int(cfg.PortBase) + int(cfg.PortCount) - 1
+	if maxPort > 65535 {
+		maxPort = 65535
+	}
+	n := &NAT{
 		external: cfg.External,
 		base:     cfg.PortBase,
 		nextPort: cfg.PortBase,
-		maxPort:  cfg.PortBase + cfg.PortCount - 1,
-		outbound: make(map[natKey]uint16),
-		inbound:  make(map[uint16]natKey),
+		maxPort:  uint16(maxPort),
 	}
+	initial := 1024
+	if cfg.MaxFlows > 0 && cfg.MaxFlows < initial {
+		initial = cfg.MaxFlows
+	}
+	var err error
+	n.outbound, err = flowtab.New(flowtab.Config[natKey, uint16]{
+		Name:           "nat-outbound",
+		Hash:           hashNATKey,
+		Clock:          cfg.Clock,
+		InitialEntries: initial,
+		MaxEntries:     cfg.MaxFlows,
+		TTL:            cfg.FlowTTL,
+		// An idle translation timing out (or being pressure-evicted)
+		// must free its external port.
+		OnEvict: func(_ natKey, ext *uint16) { n.inbound.Delete(*ext) },
+	})
+	if err != nil {
+		panic(fmt.Sprintf("nf: NAT outbound table: %v", err))
+	}
+	n.inbound, err = flowtab.New(flowtab.Config[uint16, natKey]{
+		Name:           "nat-inbound",
+		Hash:           hashPort,
+		InitialEntries: initial,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("nf: NAT inbound table: %v", err))
+	}
+	return n
 }
 
 // Mappings reports the number of active translations.
-func (n *NAT) Mappings() int { return len(n.outbound) }
+func (n *NAT) Mappings() int { return n.outbound.Len() }
+
+// FlowTabs exposes the NAT's flow tables for telemetry registration.
+func (n *NAT) FlowTabs() []flowtab.Source {
+	return []flowtab.Source{n.outbound, n.inbound}
+}
+
+// Tick expires translations idle past FlowTTL (no-op without one) and
+// reports how many were evicted. Drive it from a paced eventsim timer.
+func (n *NAT) Tick() int { return n.outbound.Tick() }
 
 // ProcessOutbound translates an inside->outside packet in place. It
 // returns the verdict and cycle cost.
@@ -84,8 +148,10 @@ func (n *NAT) ProcessOutbound(m *mbuf.Mbuf) (Verdict, float64) {
 		return VerdictDrop, natCycles
 	}
 	key := natKey{ip: frame.SrcIP(), port: frame.SrcPort(), proto: frame.Proto()}
-	ext, ok := n.outbound[key]
-	if !ok {
+	var ext uint16
+	if p, ok := n.outbound.Lookup(key); ok {
+		ext = *p
+	} else {
 		ext, err = n.allocate(key)
 		if err != nil {
 			n.Dropped++
@@ -106,11 +172,15 @@ func (n *NAT) ProcessInbound(m *mbuf.Mbuf) (Verdict, float64) {
 		n.Dropped++
 		return VerdictDrop, natCycles
 	}
-	key, ok := n.inbound[frame.DstPort()]
-	if !ok || key.proto != frame.Proto() {
+	kp, ok := n.inbound.Lookup(frame.DstPort())
+	if !ok || kp.proto != frame.Proto() {
 		n.Dropped++
 		return VerdictDrop, natCycles
 	}
+	key := *kp
+	// Inbound traffic keeps the translation alive: refresh the outbound
+	// entry, which owns the idle deadline.
+	n.outbound.Lookup(key)
 	frame.SetDstIP(key.ip)
 	setL4DstPort(frame, key.port)
 	frame.SetIPChecksum(frame.ComputeIPChecksum())
@@ -120,17 +190,30 @@ func (n *NAT) ProcessInbound(m *mbuf.Mbuf) (Verdict, float64) {
 
 func (n *NAT) allocate(key natKey) (uint16, error) {
 	capacity := int(n.maxPort-n.base) + 1
-	if len(n.inbound) >= capacity {
-		return 0, fmt.Errorf("%w (%d mappings)", ErrNATPortsExhausted, len(n.outbound))
+	if n.inbound.Len() >= capacity {
+		return 0, fmt.Errorf("%w (%d mappings)", ErrNATPortsExhausted, n.inbound.Len())
 	}
 	for {
 		p := n.nextPort
 		n.advance()
-		if _, used := n.inbound[p]; !used {
-			n.outbound[key] = p
-			n.inbound[p] = key
-			return p, nil
+		if _, used := n.inbound.Peek(p); used {
+			continue
 		}
+		// Outbound first: at the MaxFlows cap with a TTL armed this
+		// pressure-evicts the translation nearest expiry (freeing its
+		// port via OnEvict); without a TTL it reports full.
+		ext, _, err := n.outbound.Insert(key)
+		if err != nil {
+			return 0, fmt.Errorf("%w (%d flows): %v", ErrNATFlowsExhausted, n.outbound.Len(), err)
+		}
+		*ext = p
+		rev, _, err := n.inbound.Insert(p)
+		if err != nil {
+			n.outbound.Delete(key)
+			return 0, fmt.Errorf("%w (%d flows): %v", ErrNATFlowsExhausted, n.inbound.Len(), err)
+		}
+		*rev = key
+		return p, nil
 	}
 }
 
@@ -145,13 +228,55 @@ func (n *NAT) advance() {
 // Release drops the translation for an internal endpoint (flow expiry).
 func (n *NAT) Release(ip eth.IPv4, port uint16, proto uint8) error {
 	key := natKey{ip: ip, port: port, proto: proto}
-	ext, ok := n.outbound[key]
+	ext, ok := n.outbound.Peek(key)
 	if !ok {
 		return ErrNATNoMapping
 	}
-	delete(n.outbound, key)
-	delete(n.inbound, ext)
+	n.inbound.Delete(*ext)
+	n.outbound.Delete(key)
 	return nil
+}
+
+// CheckConsistency verifies the outbound and inbound tables form an
+// exact bijection: every translation has its reverse entry, no inbound
+// entry is orphaned, and no external port is double-allocated. Cold —
+// the fallback/recovery harness runs it after soaks and transitions.
+func (n *NAT) CheckConsistency() error {
+	if o, i := n.outbound.Len(), n.inbound.Len(); o != i {
+		return fmt.Errorf("nf: NAT tables out of sync: %d outbound, %d inbound", o, i)
+	}
+	var err error
+	owners := make(map[uint16]natKey, n.outbound.Len())
+	n.outbound.Range(func(k natKey, ext *uint16) bool {
+		if prev, dup := owners[*ext]; dup {
+			err = fmt.Errorf("nf: NAT port %d double-allocated (%v:%d and %v:%d)",
+				*ext, prev.ip, prev.port, k.ip, k.port)
+			return false
+		}
+		owners[*ext] = k
+		rev, ok := n.inbound.Peek(*ext)
+		if !ok {
+			err = fmt.Errorf("nf: NAT translation %v:%d -> %d lacks its inbound entry", k.ip, k.port, *ext)
+			return false
+		}
+		if *rev != k {
+			err = fmt.Errorf("nf: NAT port %d inbound entry points at %v:%d, owner is %v:%d",
+				*ext, rev.ip, rev.port, k.ip, k.port)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	n.inbound.Range(func(p uint16, k *natKey) bool {
+		if _, ok := owners[p]; !ok {
+			err = fmt.Errorf("nf: orphaned NAT inbound entry %d -> %v:%d", p, k.ip, k.port)
+			return false
+		}
+		return true
+	})
+	return err
 }
 
 func setL4SrcPort(f eth.Frame, port uint16) {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/opencloudnext/dhl-go/internal/eth"
+	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/lpm"
 	"github.com/opencloudnext/dhl-go/internal/swcrypto"
 )
@@ -40,16 +41,28 @@ func (sa SA) validate() error {
 
 // SADB maps traffic selectors (destination prefixes) to SAs, the "IPsec SA
 // Matching" stage of Figure 5(a). Selector resolution reuses the DIR-24-8
-// LPM table.
+// LPM table; the SPI index (inbound SA resolution, ESP header -> SA) is a
+// flowtab table so decrypt-path lookups stay allocation-free at large SA
+// counts.
 type SADB struct {
 	table *lpm.Table
 	sas   []SA
-	bySPI map[uint32]int
+	bySPI *flowtab.Table[uint32, int]
 }
+
+func hashSPI(spi uint32) uint64 { return flowtab.Mix64(uint64(spi)) }
 
 // NewSADB creates an empty database.
 func NewSADB() *SADB {
-	return &SADB{table: lpm.New(64), bySPI: make(map[uint32]int)}
+	bySPI, err := flowtab.New(flowtab.Config[uint32, int]{
+		Name:           "sadb-spi",
+		Hash:           hashSPI,
+		InitialEntries: 64,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("nf: SADB SPI index: %v", err))
+	}
+	return &SADB{table: lpm.New(64), bySPI: bySPI}
 }
 
 // AddSA installs sa for traffic whose destination matches prefix/depth.
@@ -57,7 +70,7 @@ func (db *SADB) AddSA(prefix uint32, depth uint8, sa SA) error {
 	if err := sa.validate(); err != nil {
 		return err
 	}
-	if _, dup := db.bySPI[sa.SPI]; dup {
+	if _, dup := db.bySPI.Peek(sa.SPI); dup {
 		return fmt.Errorf("%w: %d", ErrDupeSPI, sa.SPI)
 	}
 	idx := len(db.sas)
@@ -73,7 +86,11 @@ func (db *SADB) AddSA(prefix uint32, depth uint8, sa SA) error {
 		AuthKey: append([]byte(nil), sa.AuthKey...),
 		Salt:    sa.Salt,
 	})
-	db.bySPI[sa.SPI] = idx
+	slot, _, err := db.bySPI.Insert(sa.SPI)
+	if err != nil {
+		return fmt.Errorf("nf: SPI index: %w", err)
+	}
+	*slot = idx
 	return nil
 }
 
@@ -84,6 +101,21 @@ func (db *SADB) Match(dst eth.IPv4) (*SA, error) {
 		return nil, ErrNoSA
 	}
 	return &db.sas[idx], nil
+}
+
+// BySPI resolves an SA by its security parameter index, the inbound
+// (ESP header) direction of Match.
+func (db *SADB) BySPI(spi uint32) (*SA, error) {
+	idx, ok := db.bySPI.Peek(spi)
+	if !ok {
+		return nil, ErrNoSA
+	}
+	return &db.sas[*idx], nil
+}
+
+// FlowTabs exposes the SPI index for telemetry registration.
+func (db *SADB) FlowTabs() []flowtab.Source {
+	return []flowtab.Source{db.bySPI}
 }
 
 // Len reports the number of installed SAs.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — the allocation-budget benchmark gate.
 #
-# Three passes, cheapest-smoke first:
+# Four passes, cheapest-smoke first:
 #   1. every benchmark in the repo once (-benchtime=1x) with -benchmem, so
 #      a benchmark that panics or b.Fatals fails the gate fast;
 #   2. the cmd/dhl-bench harness as an end-to-end smoke;
-#   3. the data-path pair (Packer->...->Distributor pipeline + Distributor
+#   3. the million-flow stateful-NF sweep (flows vs goodput, bytes/flow)
+#      emitting BENCH_pr8.json;
+#   4. the data-path pair (Packer->...->Distributor pipeline + Distributor
 #      in isolation) at a measuring benchtime, emitting BENCH_pr3.json:
 #      ns/op, B/op and allocs/op next to the pre-arena baseline recorded
 #      when the pooled batch pipeline landed, so a regression that
@@ -26,6 +28,9 @@ go test -run '^$' -bench . -benchmem -benchtime=1x -count=1 ./...
 
 echo "==> cmd/dhl-bench smoke (table1)"
 go run ./cmd/dhl-bench table1 >/dev/null
+
+echo "==> flow-scale sweep (stateful firewall, 10k..2M flows) -> BENCH_pr8.json"
+go run ./cmd/dhl-bench -quick -json flowscale > BENCH_pr8.json
 
 echo "==> go test -bench 'Pipeline|Distributor' -benchmem -benchtime=$benchtime ./internal/core"
 go test -run '^$' -bench 'Pipeline|Distributor' -benchmem -benchtime="$benchtime" -count=1 ./internal/core | tee "$raw"

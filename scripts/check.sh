@@ -45,6 +45,12 @@ go test -run '^$' -bench 'Pipeline|Distributor' -benchmem -benchtime=1x -count=1
 echo "==> chaos smoke (seeded fault-injection soak, -short)"
 go test -run Chaos -short -count=1 ./internal/core ./internal/harness
 
+echo "==> flow-scale smoke (100k-flow Zipf churn soak + failover flow-state audit, -short, -race)"
+go test -race -short -run 'FlowScale|FlowState' -count=1 ./internal/harness
+
+echo "==> flow-table zero-alloc gate (hit path, churn, NAT translate: 0 allocs/op)"
+go test -run 'ZeroAlloc' -count=1 ./internal/flowtab ./internal/nf
+
 echo "==> telemetry smoke (stage clock, zero-alloc budget, exporter golden)"
 go test -run 'Telemetry|ServeMetricsGolden|WritePrometheus' -count=1 \
     ./internal/core ./internal/telemetry .
@@ -82,12 +88,18 @@ if [[ -z "$up" ]]; then
 fi
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd acc.load -args loopback,0 >/dev/null
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd tune.batch -args 2048 >/dev/null
-"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" | grep -q 'loopback' || {
+# Capture-then-grep: piping straight into grep -q makes the producer
+# take a SIGPIPE/EPIPE when grep exits at the first match, which
+# pipefail then reports as a failure (curl exit 23).
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" > "$smoke_dir/overview.txt"
+grep -q 'loopback' "$smoke_dir/overview.txt" || {
     echo "overview is missing the live-loaded accelerator" >&2
+    cat "$smoke_dir/overview.txt" >&2
     exit 1
 }
 if command -v curl >/dev/null; then
-    curl -fsS "http://127.0.0.1:$port/metrics" | grep -q dhl_stage_latency_ns || {
+    curl -fsS "http://127.0.0.1:$port/metrics" > "$smoke_dir/metrics.txt"
+    grep -q dhl_stage_latency_ns "$smoke_dir/metrics.txt" || {
         echo "/metrics scrape lost the stage histograms" >&2
         exit 1
     }
