@@ -4,22 +4,29 @@
 //
 // Connect mode (-addr) drives a running system over /api/v1:
 //
-//	dhl-inspect -addr :9090                     overview: sys.info + health.get
+//	dhl-inspect -addr :9090                     overview: sys.info + health.get + placement.get
 //	dhl-inspect -addr :9090 -cmd acc.load -args ipsec-crypto,0
+//	dhl-inspect -addr :9090 -cmd acc.migrate -args 1
+//	dhl-inspect -addr :9090 -cmd board.drain -args 0
 //	dhl-inspect -addr :9090 -watch 5            5 telemetry.delta long-polls
 //	dhl-inspect -addr :9090 -json ...           machine-readable output
 //
 // -cmd sends one management RPC; -args fills its parameters
-// positionally (run -cmd help for the table). -watch long-polls
-// telemetry.delta and prints the per-stage latency delta for each
-// active window. -json prints raw JSON instead of tables.
+// positionally (run -cmd help for the table). The fleet surface —
+// placement.get, acc.migrate, acc.replicate, board.drain/undrain/offline
+// and placement.rebalance — drives the multi-board placement scheduler.
+// -watch long-polls telemetry.delta and prints the per-stage latency
+// delta for each active window. -json prints raw JSON instead of tables.
 //
 // Spawn mode (no -addr) stands up a simulated system, loads accelerator
 // modules, and dumps the FPGA floorplan, resource utilization and the
 // hardware function table — the operator's view of Figure 2:
 //
-//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-fill]
+//	dhl-inspect [-modules ipsec-crypto,pattern-matching] [-boards N] [-fill]
 //	            [-chaos-seed N] [-watch N] [-serve addr]
+//
+// -boards spawns a fleet of N boards per node, so a second dhl-inspect
+// can exercise migration and replication against the served system.
 //
 // -fill keeps loading copies of the first module until the board rejects
 // the next one, demonstrating the §V-F packing bound.
@@ -64,6 +71,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print raw JSON instead of tables")
 	serve := flag.String("serve", "", "spawn mode: serve /metrics, /debug/* and /api/v1 at this address, pump until sys.shutdown or SIGINT")
 	modules := flag.String("modules", "ipsec-crypto,pattern-matching", "spawn mode: comma-separated hardware function names to load")
+	boards := flag.Int("boards", 1, "spawn mode: FPGA boards per node (a fleet for migration/replication RPCs)")
 	fill := flag.Bool("fill", false, "spawn mode: load copies of the first module until the board is full")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "spawn mode: arm fault injection with this seed and run a loopback chaos burst (0: off)")
 	watch := flag.Int("watch", 0, "print per-stage latency deltas for N rounds (spawn: paced loopback traffic; -addr: telemetry.delta long-polls)")
@@ -74,15 +82,15 @@ func main() {
 	case *cmd == "help":
 		printCommandTable(os.Stdout)
 	case *addr != "":
-		if *serve != "" || *fill || *chaosSeed != 0 || *modules != flag.Lookup("modules").DefValue {
-			err = fmt.Errorf("-serve, -modules, -fill and -chaos-seed spawn a local system and cannot be combined with -addr")
+		if *serve != "" || *fill || *chaosSeed != 0 || *boards != 1 || *modules != flag.Lookup("modules").DefValue {
+			err = fmt.Errorf("-serve, -modules, -boards, -fill and -chaos-seed spawn a local system and cannot be combined with -addr")
 		} else {
 			err = runConnected(*addr, *cmd, *args, *watch, *jsonOut)
 		}
 	case *cmd != "":
 		err = fmt.Errorf("-cmd drives a live system; it requires -addr (or use -serve to spawn one first)")
 	default:
-		err = runSpawned(*modules, *fill, *chaosSeed, *watch, *serve, *jsonOut)
+		err = runSpawned(*modules, *boards, *fill, *chaosSeed, *watch, *serve, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhl-inspect:", err)
@@ -116,6 +124,14 @@ var cmdSpecs = map[string]cmdSpec{
 	"health.get":      {[]string{"acc_id:int?"}, "health FSM state, one or all accelerators"},
 	"stats.get":       {[]string{"node:int?"}, "one node's transfer conservation ledger"},
 	"telemetry.delta": {[]string{"stream:string", "wait_ms:int?"}, "long-poll activity since the stream's last call"},
+
+	"placement.get":       {nil, "fleet snapshot: boards, resources, routed endpoints"},
+	"placement.rebalance": {nil, "move accelerators off lost/draining boards"},
+	"acc.migrate":         {[]string{"acc_id:int", "board:int?"}, "live-migrate an accelerator (board omitted: scheduler picks)"},
+	"acc.replicate":       {[]string{"acc_id:int", "board:int?"}, "warm a load-sharing replica on another board"},
+	"board.drain":         {[]string{"board:int"}, "stop placements on a board and migrate its accelerators away"},
+	"board.undrain":       {[]string{"board:int"}, "return a draining board to service"},
+	"board.offline":       {[]string{"board:int"}, "hard-kill a board and rebalance off it"},
 }
 
 func printCommandTable(w *os.File) {
@@ -236,8 +252,32 @@ func overviewRemote(c *dhl.ControlClient, jsonOut bool) error {
 	if err := c.Call("health.get", nil, &health); err != nil {
 		return err
 	}
+	var fleet struct {
+		Boards []struct {
+			Board       int    `json:"board"`
+			Node        int    `json:"node"`
+			State       string `json:"state"`
+			FreeLUTs    int    `json:"free_luts"`
+			FreeBRAM    int    `json:"free_bram"`
+			FreeRegions int    `json:"free_regions"`
+			MigratedIn  uint64 `json:"migrated_in"`
+			MigratedOut uint64 `json:"migrated_out"`
+			Endpoints   []struct {
+				AccID    dhl.AccID `json:"acc_id"`
+				HF       string    `json:"hf"`
+				Region   int       `json:"region"`
+				Weight   uint32    `json:"weight"`
+				Ready    bool      `json:"ready"`
+				Disabled bool      `json:"disabled"`
+				Primary  bool      `json:"primary"`
+			} `json:"endpoints"`
+		} `json:"boards"`
+	}
+	if err := c.Call("placement.get", nil, &fleet); err != nil {
+		return err
+	}
 	if jsonOut {
-		raw, err := json.Marshal(map[string]any{"info": info, "health": health.Accs})
+		raw, err := json.Marshal(map[string]any{"info": info, "health": health.Accs, "placement": fleet.Boards})
 		if err != nil {
 			return err
 		}
@@ -262,6 +302,19 @@ func overviewRemote(c *dhl.ControlClient, jsonOut bool) error {
 	for _, a := range info.Accelerators {
 		fmt.Printf("  acc_id %d: %s node %d fpga %d region %d ready=%v — %s\n",
 			a.AccID, a.HF, a.Node, a.FPGA, a.Region, a.Ready, healthByID[a.AccID])
+	}
+	fmt.Println("\nFleet placement:")
+	for _, b := range fleet.Boards {
+		fmt.Printf("  board %d: node %d %s — free %d LUTs, %d BRAM, %d region(s); migrations in/out %d/%d\n",
+			b.Board, b.Node, b.State, b.FreeLUTs, b.FreeBRAM, b.FreeRegions, b.MigratedIn, b.MigratedOut)
+		for _, ep := range b.Endpoints {
+			role := "replica"
+			if ep.Primary {
+				role = "primary"
+			}
+			fmt.Printf("    acc_id %d (%s) region %d: %s, weight %d, ready=%v disabled=%v\n",
+				ep.AccID, ep.HF, ep.Region, role, ep.Weight, ep.Ready, ep.Disabled)
+		}
 	}
 	return nil
 }
@@ -335,7 +388,7 @@ func printDeltaRound(round int, d *dhl.TelemetrySnapshot) {
 
 // --- spawn mode ---------------------------------------------------------
 
-func runSpawned(modules string, fill bool, chaosSeed uint64, watch int, serve string, jsonOut bool) error {
+func runSpawned(modules string, boards int, fill bool, chaosSeed uint64, watch int, serve string, jsonOut bool) error {
 	if jsonOut {
 		return fmt.Errorf("-json applies to connect mode (-addr) output")
 	}
@@ -353,7 +406,7 @@ func runSpawned(modules string, fill bool, chaosSeed uint64, watch int, serve st
 	if serve != "" {
 		opts = append(opts, dhl.WithControlPlane())
 	}
-	sys, err := dhl.Open(dhl.SystemConfig{Telemetry: watch > 0}, opts...)
+	sys, err := dhl.Open(dhl.SystemConfig{Telemetry: watch > 0, FPGAsPerNode: boards}, opts...)
 	if err != nil {
 		return err
 	}

@@ -95,6 +95,9 @@ const (
 	FaultModuleHang      = faultinject.ModuleHang
 	FaultRegionSEU       = faultinject.RegionSEU
 	FaultCompletionStall = faultinject.CompletionStall
+	FaultBoardOffline    = faultinject.BoardOffline
+	FaultICAPWedge       = faultinject.ICAPWedge
+	FaultPCIeLinkFlap    = faultinject.PCIeLinkFlap
 )
 
 // NewFaultPlan builds a deterministic fault plan from a seed; the same
@@ -389,6 +392,25 @@ func buildSystem(cfg SystemConfig) (*System, error) {
 		}
 	}
 	sys.rt = rt
+	if sys.tel != nil {
+		sched := rt.Placement()
+		for b := range attachments {
+			b := b
+			boardLabel := fmt.Sprintf("board=%q", fmt.Sprint(b))
+			sys.tel.RegisterGauge("dhl_board_state", boardLabel,
+				"Board lifecycle state: 1 alive, 2 draining, 3 lost.",
+				func() float64 { return float64(sched.BoardHealthOf(b)) })
+			sys.tel.RegisterGauge("dhl_board_accs", boardLabel,
+				"Route endpoints (primaries and replicas) bound to the board.",
+				func() float64 { return float64(sched.EndpointsOn(b)) })
+			sys.tel.RegisterGauge("dhl_board_migrations", boardLabel+`,dir="in"`,
+				"Completed migration/promotion cutovers, by direction.",
+				func() float64 { in, _ := sched.Migrations(b); return float64(in) })
+			sys.tel.RegisterGauge("dhl_board_migrations", boardLabel+`,dir="out"`,
+				"Completed migration/promotion cutovers, by direction.",
+				func() float64 { _, out := sched.Migrations(b); return float64(out) })
+		}
+	}
 	for node := 0; node < cfg.Nodes; node++ {
 		if aerr := rt.AttachCores(node, sys.NewCore(node), sys.NewCore(node), pool); aerr != nil {
 			return nil, aerr

@@ -122,6 +122,7 @@ const (
 type inflight struct {
 	t         *txEngine
 	hf        *hfEntry // routing entry, for health attribution
+	hfEpoch   uint32   // hf.epoch at flush; stale after a cutover
 	dma       *pcie.Engine
 	dev       *fpga.Device
 	regionIdx int
@@ -204,6 +205,19 @@ func (t *txEngine) releaseInflight(ib *inflight) {
 	t.ibFree = append(t.ibFree, ib)
 }
 
+// noteFault attributes this batch's failure to its accelerator's health
+// FSM — unless the accelerator has been cut over to a new placement since
+// the batch was flushed (migration, replica promotion), in which case the
+// straggler says nothing about the fresh instance and is dropped from
+// health accounting. The drop/ledger counters are unaffected.
+//
+//dhl:hotpath
+func (ib *inflight) noteFault() {
+	if ib.hf != nil && ib.hfEpoch == ib.hf.epoch {
+		ib.t.r.noteFault(ib.hf)
+	}
+}
+
 // retryDMA handles a failed DMA post: injected transfer faults are
 // transient by definition, so they are re-posted with exponential backoff
 // through the bound thunk until the retry budget runs out. Any other
@@ -254,7 +268,7 @@ func (ib *inflight) send() {
 			return
 		}
 		ib.t.stats.DispatchErrors++
-		ib.t.r.noteFault(ib.hf)
+		ib.noteFault()
 		ib.fail()
 		return
 	}
@@ -296,7 +310,7 @@ func (ib *inflight) h2cDone() {
 	ib.outSeg = ib.t.arena.lease()
 	if _, err := ib.dev.Dispatch(ib.regionIdx, ib.buf, ib.outSeg, ib.dispatchDoneFn); err != nil {
 		ib.t.stats.DispatchErrors++
-		ib.t.r.noteFault(ib.hf)
+		ib.noteFault()
 		ib.fail()
 	}
 }
@@ -310,7 +324,7 @@ func (ib *inflight) dispatchDone(out []byte, err error) {
 	}
 	if err != nil {
 		ib.t.stats.DispatchErrors++
-		ib.t.r.noteFault(ib.hf)
+		ib.noteFault()
 		ib.fail()
 		return
 	}
@@ -328,7 +342,7 @@ func (ib *inflight) postC2H() {
 			return
 		}
 		ib.t.stats.DispatchErrors++
-		ib.t.r.noteFault(ib.hf)
+		ib.noteFault()
 		ib.fail()
 		return
 	}

@@ -146,10 +146,13 @@ func BenchmarkDistributor(b *testing.B) {
 	payload := bytes.Repeat([]byte{0xCD}, 256)
 	const nRecs = 16
 	out := make([]*mbuf.Mbuf, 2*nRecs)
+	entry := r.rt.hfByAcc[r.acc]
 	cycle := func() {
 		ib := tx.getInflight()
 		ib.buf = tx.arena.lease()
 		ib.outSeg = tx.arena.lease()
+		ib.hf = entry
+		ib.hfEpoch = entry.epoch
 		for i := 0; i < nRecs; i++ {
 			m, err := r.pool.Alloc()
 			if err != nil {

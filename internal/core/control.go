@@ -95,16 +95,30 @@ func (r *Runtime) EvictPR(acc AccID) error {
 	if e.reloading {
 		return fmt.Errorf("%w (acc_id %d)", ErrAccReloading, acc)
 	}
-	dev := r.cfg.FPGAs[e.fpgaIdx].Device
-	if e.ready && !dev.IsShutdown() {
-		if err := dev.Unload(e.regionIdx); err != nil {
-			return fmt.Errorf("core: evict acc_id %d: %w", acc, err)
-		}
-	} else if !e.ready {
+	if e.migrating {
+		return fmt.Errorf("%w: acc_id %d", ErrMigrating, acc)
+	}
+	if !e.ready && !r.cfg.FPGAs[e.fpgaIdx].Device.IsShutdown() {
 		// Initial PR still streaming through ICAP; the region cannot be
 		// reclaimed mid-bitstream.
 		return fmt.Errorf("%w (acc_id %d)", ErrAccReloading, acc)
 	}
+	// Unload every endpoint in the acc's rotation — primary and replicas —
+	// whose board is still alive. A replica still warming (PR in flight)
+	// finishes its write and sits idle; its region is reclaimed when the
+	// board is next reloaded.
+	if e.route != nil {
+		for _, ep := range e.route.Endpoints() {
+			dev := r.cfg.FPGAs[ep.FPGA].Device
+			if !ep.Ready || dev.IsShutdown() {
+				continue
+			}
+			if err := dev.Unload(ep.Region); err != nil {
+				return fmt.Errorf("core: evict acc_id %d: %w", acc, err)
+			}
+		}
+	}
+	r.sched.Unbind(uint16(acc))
 	// Drop staged (never-sent) packets on every node; they have no route
 	// the moment the table row goes away.
 	for _, tx := range r.nodeTx {

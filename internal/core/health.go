@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/placement"
 )
 
 // Health is the per-accelerator health state, driven by a
@@ -137,6 +138,12 @@ func (r *Runtime) noteFault(e *hfEntry) {
 			r.tel.Health.Degraded.Inc()
 		}
 		e.health = HealthDegraded
+		// Shed load: when replicas exist, shrink the struggling primary's
+		// share of the weighted round-robin instead of waiting for
+		// quarantine to take it out entirely.
+		if e.route != nil && e.route.Live() > 1 {
+			e.route.SetWeight(e.fpgaIdx, e.regionIdx, placement.ShedWeight)
+		}
 	}
 }
 
@@ -153,6 +160,9 @@ func (r *Runtime) noteSuccess(e *hfEntry) {
 	}
 	e.consecFails = 0
 	e.health = HealthHealthy
+	if e.route != nil {
+		e.route.SetWeight(e.fpgaIdx, e.regionIdx, placement.DefaultWeight)
+	}
 }
 
 // quarantine moves the accelerator to Quarantined and starts the
@@ -164,16 +174,25 @@ func (r *Runtime) quarantine(e *hfEntry) {
 	}
 	e.health = HealthQuarantined
 	e.quarantines++
+	// Take the primary endpoint out of the rotation; replicas (if any)
+	// absorb its share, otherwise Pick returns nil and the Packer falls
+	// back to software or unprocessed delivery.
+	if e.route != nil {
+		e.route.Disable(e.fpgaIdx, e.regionIdx)
+	}
 	if e.reloading {
 		return
 	}
 	dev := r.cfg.FPGAs[e.fpgaIdx].Device
 	e.reloading = true
 	if err := dev.Reload(e.regionIdx, func() { r.reloaded(e) }); err != nil {
-		// Device gone or region unusable: stay quarantined for good — the
-		// fallback (or unprocessed delivery) carries the traffic from
-		// here on. Reload flushed nothing, so there is nothing to leak.
+		// Device gone or region unusable: the board cannot recover this
+		// placement. Try to move off it — promote a warm replica or
+		// re-place on another board. If neither works, stay quarantined
+		// for good; the fallback (or unprocessed delivery) carries the
+		// traffic. Reload flushed nothing, so there is nothing to leak.
 		e.reloading = false
+		r.migrateOff(e)
 	}
 }
 
@@ -194,6 +213,10 @@ func (r *Runtime) reloaded(e *hfEntry) {
 	}
 	e.consecFails = 0
 	e.health = HealthHealthy
+	if e.route != nil {
+		e.route.Enable(e.fpgaIdx, e.regionIdx)
+		e.route.SetWeight(e.fpgaIdx, e.regionIdx, placement.DefaultWeight)
+	}
 }
 
 // forceRecover is the watchdog's hard-deadline action against an

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/placement"
+)
+
+// This file is the actuation side of the fleet scheduler: replica
+// promotion, live migration of an accelerator instance between boards,
+// and the operator verbs (Replicate, Rebalance, DrainBoard, OfflineBoard)
+// built on them. The placement.Scheduler decides; this file streams the
+// bitstreams, replays configuration, and performs the atomic cutover.
+// Everything runs on the simulation's event loop, so cutovers are
+// race-free against the data path by construction.
+
+// Errors returned by the migration surface.
+var (
+	// ErrMigrating reports a second migration requested while one is
+	// already in flight for the same accelerator.
+	ErrMigrating = errors.New("core: migration already in flight for accelerator")
+)
+
+// primaryBoardLost is the data path's escape hatch: flush calls it when it
+// observes the primary endpoint's board shut down. //go:noinline keeps its
+// cold body (closures, map traffic) out of flush's zero-allocation budget.
+//
+//go:noinline
+func (r *Runtime) primaryBoardLost(e *hfEntry) {
+	r.migrateOff(e)
+}
+
+// migrateOff moves an accelerator off its current primary: a warm replica
+// is promoted instantly; otherwise a live migration re-places it on a
+// healthy board. If neither is possible the accelerator stays where it is
+// — disabled endpoints mean the Packer degrades to the software fallback
+// (or unprocessed delivery) from the next flush.
+func (r *Runtime) migrateOff(e *hfEntry) {
+	if e.migrating {
+		return
+	}
+	if r.promoteReplica(e) {
+		return
+	}
+	if _, err := r.Migrate(e.accID, -1); err != nil {
+		// Nowhere to go (no capacity, every board excluded): the fallback
+		// carries the traffic until an operator frees capacity.
+		return
+	}
+}
+
+// promoteReplica cuts the accelerator over to a warm replica: the first
+// ready, enabled endpoint on a live board becomes the primary, the old
+// primary endpoint leaves the rotation, and the health FSM is reset for
+// the fresh instance. Instant — no ICAP write, no config replay (replicas
+// are configured as they warm up). Reports whether a replica was found.
+func (r *Runtime) promoteReplica(e *hfEntry) bool {
+	if e.route == nil {
+		return false
+	}
+	for _, ep := range e.route.Endpoints() {
+		if ep.Primary || !ep.Ready || ep.Disabled {
+			continue
+		}
+		if r.cfg.FPGAs[ep.FPGA].Device.IsShutdown() {
+			continue
+		}
+		oldBoard, oldRegion := e.fpgaIdx, e.regionIdx
+		e.fpgaIdx, e.regionIdx = ep.FPGA, ep.Region
+		e.epoch++
+		e.route.MarkPrimary(ep.FPGA, ep.Region)
+		e.route.Remove(oldBoard, oldRegion)
+		if old := r.cfg.FPGAs[oldBoard].Device; !old.IsShutdown() {
+			// Reclaim the abandoned region when the board survives (drain,
+			// quarantine-without-reload); a lost board has nothing to free.
+			_ = old.Unload(oldRegion)
+		}
+		r.sched.NoteMigration(oldBoard, ep.FPGA)
+		r.healAfterCutover(e)
+		e.ready = true
+		e.pendingCf = nil
+		e.reloading = false
+		return true
+	}
+	return false
+}
+
+// healAfterCutover resets the health FSM for a freshly placed instance:
+// the faults that condemned the old placement say nothing about the new
+// silicon.
+func (r *Runtime) healAfterCutover(e *hfEntry) {
+	if r.tel != nil && e.health != HealthHealthy {
+		r.tel.Health.Recovered.Inc()
+	}
+	e.consecFails = 0
+	e.health = HealthHealthy
+}
+
+// Migrate live-migrates the accelerator's primary instance to another
+// board: stream the PR bitstream to the target, replay every recorded
+// configuration blob, then cut the hardware-function-table row over
+// atomically (between simulation events). Batches staged while no endpoint
+// serves are held by the Packer exactly as during an initial load; batches
+// already in flight against the old placement drain normally, and the
+// entry's epoch guard keeps their outcomes from poisoning the fresh
+// instance's health accounting.
+//
+// target -1 asks the placement scheduler for a board (NUMA-preferring
+// first-fit, excluding boards already hosting one of the acc's endpoints).
+// Returns the chosen board index.
+func (r *Runtime) Migrate(acc AccID, target int) (int, error) {
+	e, ok := r.hfByAcc[acc]
+	if !ok {
+		return -1, fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	if e.migrating {
+		return -1, fmt.Errorf("%w: acc_id %d", ErrMigrating, acc)
+	}
+	oldDev := r.cfg.FPGAs[e.fpgaIdx].Device
+	if e.reloading {
+		if !oldDev.IsShutdown() {
+			// A recovery reload is live on healthy hardware; let it finish
+			// rather than racing it with a cutover.
+			return -1, fmt.Errorf("%w (acc_id %d)", ErrAccReloading, acc)
+		}
+		// The reload died with its board mid-ICAP: its completion will
+		// never run, so the in-flight marker is stale. Clear it and move.
+		e.reloading = false
+	}
+	if !e.ready && !oldDev.IsShutdown() {
+		// Initial PR still streaming on live hardware; migrating now would
+		// abandon a region mid-bitstream for no benefit.
+		return -1, fmt.Errorf("%w (acc_id %d)", ErrAccReloading, acc)
+	}
+	if target < 0 {
+		exclude := make([]int, 0, len(e.route.Endpoints()))
+		for _, ep := range e.route.Endpoints() {
+			exclude = append(exclude, ep.FPGA)
+		}
+		idx, err := r.sched.Place(e.spec, e.node, exclude)
+		if err != nil {
+			return -1, err
+		}
+		target = idx
+	} else if target >= len(r.cfg.FPGAs) {
+		return -1, fmt.Errorf("%w: %d of %d", placement.ErrUnknownBoard, target, len(r.cfg.FPGAs))
+	}
+	dev := r.cfg.FPGAs[target].Device
+	e.migrating = true
+	tgt := target
+	regionIdx, err := dev.LoadPR(e.spec, func(ri int) {
+		r.migrationArrived(e, tgt, ri)
+	})
+	if err != nil {
+		e.migrating = false
+		return -1, err
+	}
+	e.route.Add(target, regionIdx, placement.DefaultWeight, false)
+	return target, nil
+}
+
+// migrationArrived completes a migration: the target region's PR write has
+// finished, so replay the recorded configuration and cut over.
+func (r *Runtime) migrationArrived(e *hfEntry, board, region int) {
+	dev := r.cfg.FPGAs[board].Device
+	for _, blob := range e.cfgBlobs {
+		// A blob the module accepted once and rejects now would be a module
+		// bug; traffic failures would surface it through the health FSM.
+		_ = dev.Configure(region, blob)
+	}
+	oldBoard, oldRegion := e.fpgaIdx, e.regionIdx
+	e.fpgaIdx, e.regionIdx = board, region
+	e.epoch++
+	e.route.SetReady(board, region, true)
+	e.route.MarkPrimary(board, region)
+	e.route.Remove(oldBoard, oldRegion)
+	if old := r.cfg.FPGAs[oldBoard].Device; !old.IsShutdown() {
+		_ = old.Unload(oldRegion)
+	}
+	r.sched.NoteMigration(oldBoard, board)
+	r.healAfterCutover(e)
+	e.ready = true
+	e.pendingCf = nil
+	e.reloading = false
+	e.migrating = false
+}
+
+// Replicate loads a second (third, ...) instance of the accelerator on
+// another board and adds it to the acc's weighted rotation at
+// DefaultWeight. The replica warms in the background — PR write, then a
+// replay of every recorded configuration blob — and joins the rotation
+// only when ready, so goodput never dips. target -1 lets the scheduler
+// pick (excluding boards already hosting an endpoint of this acc).
+// Returns the chosen board index.
+func (r *Runtime) Replicate(acc AccID, target int) (int, error) {
+	e, ok := r.hfByAcc[acc]
+	if !ok {
+		return -1, fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	if target < 0 {
+		exclude := make([]int, 0, len(e.route.Endpoints()))
+		for _, ep := range e.route.Endpoints() {
+			exclude = append(exclude, ep.FPGA)
+		}
+		idx, err := r.sched.Place(e.spec, e.node, exclude)
+		if err != nil {
+			return -1, err
+		}
+		target = idx
+	} else if target >= len(r.cfg.FPGAs) {
+		return -1, fmt.Errorf("%w: %d of %d", placement.ErrUnknownBoard, target, len(r.cfg.FPGAs))
+	}
+	dev := r.cfg.FPGAs[target].Device
+	tgt := target
+	regionIdx, err := dev.LoadPR(e.spec, func(ri int) {
+		for _, blob := range e.cfgBlobs {
+			_ = dev.Configure(ri, blob)
+		}
+		e.route.SetReady(tgt, ri, true)
+	})
+	if err != nil {
+		return -1, err
+	}
+	e.route.Add(target, regionIdx, placement.DefaultWeight, false)
+	return target, nil
+}
+
+// Rebalance sweeps the hardware function table and moves every
+// accelerator whose primary sits on a lost or draining board: promotion
+// to a warm replica when one exists, live migration otherwise. Sweeps in
+// acc_id order for determinism. Returns how many accelerators were moved
+// (promotions count; in-flight migrations count when initiated) and the
+// first migration refusal encountered, if any — partial progress is still
+// progress.
+func (r *Runtime) Rebalance() (int, error) {
+	moved := 0
+	var firstErr error
+	for acc := AccID(1); acc <= r.nextAcc; acc++ {
+		e, ok := r.hfByAcc[acc]
+		if !ok || e.migrating {
+			continue
+		}
+		if r.sched.BoardHealthOf(e.fpgaIdx) == placement.BoardAlive {
+			continue
+		}
+		if r.promoteReplica(e) {
+			moved++
+			continue
+		}
+		if _, err := r.Migrate(acc, -1); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// DrainBoard marks the board draining — it refuses new placements but
+// keeps serving — and immediately rebalances its accelerators away.
+// Returns how many were moved.
+func (r *Runtime) DrainBoard(board int) (int, error) {
+	if err := r.sched.SetDraining(board, true); err != nil {
+		return 0, err
+	}
+	return r.Rebalance()
+}
+
+// UndrainBoard returns a draining board to service.
+func (r *Runtime) UndrainBoard(board int) error {
+	return r.sched.SetDraining(board, false)
+}
+
+// OfflineBoard hard-kills the board — the simulation's stand-in for
+// yanking a card — then sweeps its endpoints out of every rotation and
+// rebalances. In-flight batches against the board take the failure edges
+// (DMA fault, dispatch against a shutdown device) and are attributed
+// DropFault; nothing is stranded. Returns how many accelerators were
+// moved off it.
+func (r *Runtime) OfflineBoard(board int) (int, error) {
+	if board < 0 || board >= len(r.cfg.FPGAs) {
+		return 0, fmt.Errorf("%w: %d of %d", placement.ErrUnknownBoard, board, len(r.cfg.FPGAs))
+	}
+	r.cfg.FPGAs[board].Device.Shutdown()
+	r.sched.BoardLostSweep(board)
+	return r.Rebalance()
+}

@@ -148,6 +148,92 @@ func TestTwoNodeFallbackToRemoteBoard(t *testing.T) {
 	}
 }
 
+func TestTwoNodeMigrationFollowsRoute(t *testing.T) {
+	// Cross-node live migration: the accelerator moves from the node-local
+	// board to the remote node's board. The NF's IBQ/TX/RX cores stay
+	// where the NF registered — packets are still packed by node 0's TX
+	// core — but every dispatch after cutover crosses to the node-1 board,
+	// because flush consults the routing layer, not the attach-time node.
+	r := newTwoNodeRig(t)
+	nf, _ := r.rt.Register("xnode", 0)
+	acc, err := r.rt.SearchByName("rev", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+	e := r.rt.hfByAcc[acc]
+	if e.fpgaIdx != 0 {
+		t.Fatalf("initial placement on board %d, want the node-local 0", e.fpgaIdx)
+	}
+
+	mk := func(payload string) *mbuf.Mbuf {
+		m, merr := r.pool.Alloc()
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		_ = m.AppendBytes([]byte(payload))
+		m.AccID = uint16(acc)
+		return m
+	}
+	if _, err := r.rt.SendPackets(nf, []*mbuf.Mbuf{mk("before-move")}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+
+	// Migrate to the node-1 board. The scheduler has only board 1 to
+	// offer (board 0 hosts the primary and is excluded).
+	board, err := r.rt.Migrate(acc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if board != 1 {
+		t.Fatalf("migrated to board %d, want 1", board)
+	}
+	r.settle()
+	if e.fpgaIdx != 1 {
+		t.Fatalf("primary on board %d after migration, want 1", e.fpgaIdx)
+	}
+
+	if _, err := r.rt.SendPackets(nf, []*mbuf.Mbuf{mk("after-move!")}); err != nil {
+		t.Fatal(err)
+	}
+	r.settle()
+
+	out := make([]*mbuf.Mbuf, 4)
+	got, _ := r.rt.ReceivePackets(nf, out)
+	if got != 2 {
+		t.Fatalf("received %d packets, want 2", got)
+	}
+	for i := 0; i < got; i++ {
+		if out[i].Status != mbuf.StatusOK {
+			t.Errorf("packet %d status %v", i, out[i].Status)
+		}
+		_ = r.pool.Free(out[i])
+	}
+
+	// The NF's node-0 transfer path packed both packets; node 1's cores
+	// saw none of them — the cross-node hop happens at dispatch, through
+	// the route, not by re-homing the NF.
+	ts0, _ := r.rt.Stats(0)
+	ts1, _ := r.rt.Stats(1)
+	if ts0.PktsPacked != 2 || ts0.PktsDistributed != 2 {
+		t.Errorf("node0 packed/distributed = %d/%d, want 2/2", ts0.PktsPacked, ts0.PktsDistributed)
+	}
+	if ts1.PktsPacked != 0 {
+		t.Errorf("node1 packed %d packets, want 0", ts1.PktsPacked)
+	}
+	// And the batches landed on each board in era order: one batch on
+	// board 0 before the move, one on board 1 after.
+	b0, _, _, _ := r.rt.cfg.FPGAs[0].Device.RegionStats(0)
+	b1, _, _, _ := r.rt.cfg.FPGAs[1].Device.RegionStats(e.regionIdx)
+	if b0 != 1 || b1 != 1 {
+		t.Errorf("batches per board = %d/%d, want 1/1", b0, b1)
+	}
+	if r.pool.InUse() != 0 {
+		t.Errorf("leak: %d mbufs in use", r.pool.InUse())
+	}
+}
+
 func TestNoFPGAAtAll(t *testing.T) {
 	sim := eventsim.New()
 	rt, err := NewRuntime(Config{Sim: sim})

@@ -17,6 +17,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/pcie"
 	"github.com/opencloudnext/dhl-go/internal/perf"
+	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/ring"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
@@ -216,6 +217,18 @@ type hfEntry struct {
 	// software fallback at registration so it is functionally equivalent.
 	cfgBlobs [][]byte
 
+	// route is the acc's live routing state (primary + replicas with
+	// weights), owned by the placement scheduler; the Packer consults it
+	// directly on every flush. fpgaIdx/regionIdx above mirror the primary
+	// endpoint — the one the health FSM tracks.
+	route *placement.Route
+	// epoch increments at every cutover (migration, replica promotion) so
+	// stragglers from a previous placement cannot poison the fresh
+	// instance's health accounting.
+	epoch uint32
+	// migrating guards against concurrent re-placements of the same acc.
+	migrating bool
+
 	// Health FSM state (active only when the runtime is armed).
 	health      Health
 	consecFails int
@@ -247,6 +260,12 @@ type Runtime struct {
 	hfByKey map[hfKey]*hfEntry
 	hfByAcc map[AccID]*hfEntry
 	nextAcc AccID
+
+	// sched is the fleet placement scheduler: it decides which board
+	// hosts each module and owns the per-acc routing state the data path
+	// consults. The runtime actuates its decisions (ICAP writes, config
+	// replay, cutover).
+	sched *placement.Scheduler
 
 	nfs    []*nfEntry // index = NFID-1
 	ibqs   []*ring.Ring[*mbuf.Mbuf]
@@ -287,6 +306,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		armed:   cfg.Faults != nil || cfg.WatchdogTimeout > 0,
 		tel:     cfg.Telemetry,
 	}
+	devices := make([]*fpga.Device, len(cfg.FPGAs))
+	for i := range cfg.FPGAs {
+		devices[i] = cfg.FPGAs[i].Device
+	}
+	r.sched = placement.New(devices)
 	for node := 0; node < cfg.Nodes; node++ {
 		ibq, rerr := ring.New[*mbuf.Mbuf](fmt.Sprintf("ibq-node%d", node),
 			nextPow2(cfg.IBQSize), ring.SingleConsumer)
@@ -314,6 +338,12 @@ func nextPow2(n int) int {
 
 // Sim exposes the runtime's simulation (for NF actors).
 func (r *Runtime) Sim() *eventsim.Sim { return r.sim }
+
+// Placement exposes the fleet scheduler for inspection (control plane,
+// gauges). Mutation goes through the runtime's own methods — Migrate,
+// Replicate, Rebalance, DrainBoard, OfflineBoard — which actuate what the
+// scheduler decides.
+func (r *Runtime) Placement() *placement.Scheduler { return r.sched }
 
 // RegisterModule adds a module spec to the accelerator module database.
 // Per §IV-C, software developers may add self-built accelerator modules as
@@ -418,39 +448,46 @@ func (r *Runtime) SearchByName(name string, node int) (AccID, error) {
 	return r.LoadPR(name, node)
 }
 
-// LoadPR implements DHL_load_pr(): it selects an FPGA on the NF's node
-// (falling back to any board), reserves a reconfigurable part, and streams
-// the PR bitstream through ICAP without disturbing other running regions.
+// LoadPR implements DHL_load_pr(): it asks the placement scheduler for a
+// board (NUMA-preferring first-fit over the fleet's LUT/BRAM accounting),
+// reserves a reconfigurable part, and streams the PR bitstream through
+// ICAP without disturbing other running regions. A board whose ICAP write
+// fails (an injected wedge) is excluded and placement retries elsewhere.
 func (r *Runtime) LoadPR(name string, node int) (AccID, error) {
 	spec, ok := r.db[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownHF, name)
 	}
 	var entry *hfEntry
-	// Prefer a board on the NF's NUMA node (§IV-A2), then fall back to any
-	// board with room.
-	for pass := 0; pass < 2 && entry == nil; pass++ {
-		for i := range r.cfg.FPGAs {
-			local := r.cfg.FPGAs[i].Device.Node() == node
-			if (pass == 0) != local {
-				continue
+	var lastErr error
+	var exclude []int
+	for entry == nil {
+		idx, perr := r.sched.Place(spec, node, exclude)
+		if perr != nil {
+			if lastErr == nil {
+				lastErr = perr
 			}
-			if e, err := r.tryLoad(i, spec); err == nil {
-				entry = e
-				break
-			}
+			break
 		}
+		e, lerr := r.tryLoad(idx, spec)
+		if lerr == nil {
+			entry = e
+			break
+		}
+		lastErr = lerr
+		exclude = append(exclude, idx)
 	}
 	if entry == nil {
 		if len(r.cfg.FPGAs) == 0 {
 			return 0, ErrNoFPGA
 		}
-		return 0, fmt.Errorf("%w: %q does not fit on any board", ErrCapacity, name)
+		return 0, fmt.Errorf("%w: %q does not fit on any board: %v", ErrCapacity, name, lastErr)
 	}
 	entry.name = name
 	entry.node = node
 	r.nextAcc++
 	entry.accID = r.nextAcc
+	entry.route = r.sched.Bind(uint16(entry.accID), name, entry.fpgaIdx, entry.regionIdx)
 	r.hfByKey[hfKey{name, node}] = entry
 	r.hfByAcc[entry.accID] = entry
 	if r.tel != nil {
@@ -474,6 +511,9 @@ func (r *Runtime) tryLoad(fpgaIdx int, spec fpga.ModuleSpec) (*hfEntry, error) {
 	dev := r.cfg.FPGAs[fpgaIdx].Device
 	regionIdx, err := dev.LoadPR(spec, func(int) {
 		e.ready = true
+		if e.route != nil {
+			e.route.SetReady(fpgaIdx, e.regionIdx, true)
+		}
 		for _, blob := range e.pendingCf {
 			// A bad blob is the NF's own configuration error; the module
 			// rejects it and later traffic fails visibly in its stats.

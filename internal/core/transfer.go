@@ -447,14 +447,55 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 		st.buf = nil
 		return nil
 	}
-	att := &t.r.cfg.FPGAs[e.fpgaIdx]
-	quarantined := t.r.armed && e.health == HealthQuarantined
-	if att.Device.IsShutdown() {
-		quarantined = true
+	// Routing: the placement layer owns which board/region serves this
+	// acc_id. Pick the next weighted-round-robin endpoint, lazily retiring
+	// endpoints whose board has died since the last flush. A dead
+	// *primary* additionally triggers re-placement on the cold edge —
+	// instant promotion of a warm replica, or a live migration (PR reload
+	// on a healthy board, config replay, cutover). A quarantined
+	// accelerator's primary is disabled by the health FSM, so with no
+	// replicas its batches take the fallback/unprocessed path exactly as
+	// before routes existed.
+	var att *FPGAAttachment
+	regionIdx := -1
+	for {
+		ep := e.route.Pick()
+		if ep == nil {
+			break
+		}
+		a := &t.r.cfg.FPGAs[ep.FPGA]
+		if a.Device.IsShutdown() {
+			e.route.DisableBoard(ep.FPGA)
+			if ep.FPGA == e.fpgaIdx {
+				t.r.primaryBoardLost(e)
+			}
+			continue
+		}
+		att = a
+		regionIdx = ep.Region
+		break
 	}
-	if !quarantined && !e.ready {
-		return nil // hold until partial reconfiguration completes
+	if att == nil && e.route.HasPending() {
+		// A warming endpoint whose board died mid-PR will never become
+		// ready — its ICAP completion was abandoned with the board. Take
+		// it out of the hold calculus (and re-place a dead pending
+		// primary) so held batches degrade instead of waiting forever.
+		eps := e.route.Endpoints()
+		for i := range eps {
+			ep := &eps[i]
+			if ep.Ready || ep.Disabled || !t.r.cfg.FPGAs[ep.FPGA].Device.IsShutdown() {
+				continue
+			}
+			e.route.DisableBoard(ep.FPGA)
+			if ep.FPGA == e.fpgaIdx {
+				t.r.primaryBoardLost(e)
+			}
+		}
+		if e.route.HasPending() {
+			return nil // hold until a PR (initial load or migration) completes
+		}
 	}
+	quarantined := att == nil
 
 	// Adaptive batching controller (§VI.2): grow on size-triggered
 	// flushes, shrink on timeout-triggered ones.
@@ -476,9 +517,12 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 	ib.meta, st.mbufs = st.mbufs, ib.meta
 
 	ib.hf = e
-	ib.dma = att.DMA
-	ib.dev = att.Device
-	ib.regionIdx = e.regionIdx
+	ib.hfEpoch = e.epoch
+	if att != nil {
+		ib.dma = att.DMA
+		ib.dev = att.Device
+		ib.regionIdx = regionIdx
+	}
 	if t.tel != nil {
 		// Open the batch's trace span: identity, size, and the pack-stage
 		// boundary (first packet staged -> this flush).
@@ -588,11 +632,13 @@ func (x *rxEngine) watchdogFire() {
 		if !ib.overdue {
 			ib.overdue = true
 			x.stats.WatchdogTimeouts++
-			x.r.noteFault(ib.hf)
+			ib.noteFault()
 		}
 		if now >= ib.deadline+3*x.timeout {
 			x.stats.ForcedQuarantines++
-			x.r.forceRecover(ib.hf)
+			if ib.hf != nil && ib.hfEpoch == ib.hf.epoch {
+				x.r.forceRecover(ib.hf)
+			}
 			// Re-escalate only if the batch is still stuck a full hard
 			// window later.
 			ib.deadline = now
@@ -674,9 +720,9 @@ func (x *rxEngine) distribute(cb *inflight) {
 			_ = pool.Free(cb.meta[i])
 		}
 		if cb.mode == modeFPGA {
-			x.r.noteFault(cb.hf)
+			cb.noteFault()
 		}
-	} else if cb.mode == modeFPGA {
+	} else if cb.mode == modeFPGA && cb.hf != nil && cb.hfEpoch == cb.hf.epoch {
 		x.r.noteSuccess(cb.hf)
 	}
 	if x.tel != nil {

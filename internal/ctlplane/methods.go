@@ -8,6 +8,7 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/flowtab"
+	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -38,6 +39,14 @@ var methods = map[string]method{
 	"health.get":      {"health FSM state for one or all accelerators: {acc_id?} -> {accs}", handleHealthGet},
 	"stats.get":       {"one node's transfer-core conservation ledger plus NF flow-table stats: {node} -> stats", handleStatsGet},
 	"telemetry.delta": {"long-poll telemetry activity since the stream's last call: {stream, wait_ms}", handleTelemetryDelta},
+
+	"placement.get":       {"fleet snapshot: every board's state, free resources and routed endpoints -> {boards}", handlePlacementGet},
+	"placement.rebalance": {"move accelerators off lost/draining boards: -> {moved}", handlePlacementRebalance},
+	"acc.migrate":         {"live-migrate an accelerator's primary to another board: {acc_id, board?} -> {board}", handleAccMigrate},
+	"acc.replicate":       {"load a warm replica on another board and add it to the rotation: {acc_id, board?} -> {board}", handleAccReplicate},
+	"board.drain":         {"refuse new placements on a board and migrate its accelerators away: {board} -> {moved}", handleBoardDrain},
+	"board.undrain":       {"return a draining board to service: {board}", handleBoardUndrain},
+	"board.offline":       {"hard-kill a board and rebalance off it: {board} -> {moved}", handleBoardOffline},
 }
 
 // methodNames lists the table's methods sorted for the GET directory.
@@ -435,6 +444,196 @@ func handleStatsGet(s *Server, raw json.RawMessage) (any, *Error) {
 		res.Flowtabs = []flowtab.Info{}
 	}
 	return res, nil
+}
+
+// endpointJSON is one routed module instance in a placement snapshot.
+type endpointJSON struct {
+	AccID    uint16 `json:"acc_id"`
+	HF       string `json:"hf"`
+	Region   int    `json:"region"`
+	Weight   uint32 `json:"weight"`
+	Ready    bool   `json:"ready"`
+	Disabled bool   `json:"disabled"`
+	Primary  bool   `json:"primary"`
+}
+
+// boardJSON is one board in a placement snapshot.
+type boardJSON struct {
+	Board       int            `json:"board"`
+	DeviceID    int            `json:"device_id"`
+	Node        int            `json:"node"`
+	State       string         `json:"state"`
+	FreeLUTs    int            `json:"free_luts"`
+	FreeBRAM    int            `json:"free_bram"`
+	FreeRegions int            `json:"free_regions"`
+	MigratedIn  uint64         `json:"migrated_in"`
+	MigratedOut uint64         `json:"migrated_out"`
+	Endpoints   []endpointJSON `json:"endpoints"`
+}
+
+func boardsJSON(infos []placement.BoardInfo) []boardJSON {
+	boards := make([]boardJSON, 0, len(infos))
+	for _, b := range infos {
+		eps := make([]endpointJSON, 0, len(b.Endpoints))
+		for _, ep := range b.Endpoints {
+			eps = append(eps, endpointJSON{
+				AccID: ep.Acc, HF: ep.HF, Region: ep.Region,
+				Weight: ep.Weight, Ready: ep.Ready,
+				Disabled: ep.Disabled, Primary: ep.Primary,
+			})
+		}
+		boards = append(boards, boardJSON{
+			Board: b.Board, DeviceID: b.DeviceID, Node: b.Node, State: b.State,
+			FreeLUTs: b.FreeLUTs, FreeBRAM: b.FreeBRAM, FreeRegions: b.FreeRegions,
+			MigratedIn: b.MigratedIn, MigratedOut: b.MigratedOut, Endpoints: eps,
+		})
+	}
+	return boards
+}
+
+func handlePlacementGet(s *Server, raw json.RawMessage) (any, *Error) {
+	var boards []boardJSON
+	if derr := s.dispatch(func() { boards = boardsJSON(s.cfg.Backend.PlacementTable()) }); derr != nil {
+		return nil, derr
+	}
+	if boards == nil {
+		boards = []boardJSON{}
+	}
+	return struct {
+		Boards []boardJSON `json:"boards"`
+	}{boards}, nil
+}
+
+func handlePlacementRebalance(s *Server, raw json.RawMessage) (any, *Error) {
+	var (
+		moved int
+		err   error
+	)
+	if derr := s.dispatch(func() { moved, err = s.cfg.Backend.Rebalance() }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		Moved int `json:"moved"`
+	}{moved}, nil
+}
+
+// accBoardParams are the shared {acc_id, board?} parameters of
+// acc.migrate and acc.replicate; a missing board lets the placement
+// scheduler choose.
+type accBoardParams struct {
+	AccID core.AccID `json:"acc_id"`
+	Board *int       `json:"board"`
+}
+
+func (p accBoardParams) board() int {
+	if p.Board == nil {
+		return -1
+	}
+	return *p.Board
+}
+
+func handleAccMigrate(s *Server, raw json.RawMessage) (any, *Error) {
+	var p accBoardParams
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		board int
+		err   error
+	)
+	if derr := s.dispatch(func() { board, err = s.cfg.Backend.Migrate(p.AccID, p.board()) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		Board int `json:"board"`
+	}{board}, nil
+}
+
+func handleAccReplicate(s *Server, raw json.RawMessage) (any, *Error) {
+	var p accBoardParams
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		board int
+		err   error
+	)
+	if derr := s.dispatch(func() { board, err = s.cfg.Backend.Replicate(p.AccID, p.board()) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		Board int `json:"board"`
+	}{board}, nil
+}
+
+func handleBoardDrain(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Board int `json:"board"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		moved int
+		err   error
+	)
+	if derr := s.dispatch(func() { moved, err = s.cfg.Backend.DrainBoard(p.Board) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		Moved int `json:"moved"`
+	}{moved}, nil
+}
+
+func handleBoardUndrain(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Board int `json:"board"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var err error
+	if derr := s.dispatch(func() { err = s.cfg.Backend.UndrainBoard(p.Board) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return okResult{OK: true}, nil
+}
+
+func handleBoardOffline(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		Board int `json:"board"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	var (
+		moved int
+		err   error
+	)
+	if derr := s.dispatch(func() { moved, err = s.cfg.Backend.OfflineBoard(p.Board) }); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return struct {
+		Moved int `json:"moved"`
+	}{moved}, nil
 }
 
 // telemetry.delta long-poll parameters.

@@ -42,6 +42,7 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/flowtab"
+	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -92,6 +93,15 @@ type Backend interface {
 	ModuleDB() []string
 	FlowTables() []flowtab.Info
 	Snapshot() *telemetry.Snapshot
+
+	// Fleet surface: board-level placement, replication and migration.
+	PlacementTable() []placement.BoardInfo
+	Migrate(acc core.AccID, board int) (int, error)
+	Replicate(acc core.AccID, board int) (int, error)
+	Rebalance() (int, error)
+	DrainBoard(board int) (int, error)
+	UndrainBoard(board int) error
+	OfflineBoard(board int) (int, error)
 }
 
 // Config parameterizes New.

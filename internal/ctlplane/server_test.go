@@ -12,6 +12,7 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/flowtab"
+	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -27,6 +28,10 @@ type fakeBackend struct {
 	watchdogUs int
 	tel        *telemetry.Registry
 	statsErr   error
+
+	drained    map[int]bool
+	lost       map[int]bool
+	migrations int
 }
 
 func newFakeBackend() *fakeBackend {
@@ -159,6 +164,112 @@ func (f *fakeBackend) Snapshot() *telemetry.Snapshot {
 		return nil
 	}
 	return f.tel.Snapshot()
+}
+
+// The fake fleet: two boards, board state tracked in maps, migrations
+// counted but not modeled.
+func (f *fakeBackend) boardOK(board int) error {
+	if board < 0 || board >= 2 {
+		return errors.New("unknown board")
+	}
+	return nil
+}
+
+func (f *fakeBackend) PlacementTable() []placement.BoardInfo {
+	out := make([]placement.BoardInfo, 2)
+	for i := range out {
+		state := "alive"
+		if f.drained[i] {
+			state = "draining"
+		}
+		if f.lost[i] {
+			state = "lost"
+		}
+		out[i] = placement.BoardInfo{
+			Board: i, DeviceID: i, State: state, FreeRegions: 4,
+			Endpoints: []placement.EndpointInfo{},
+		}
+	}
+	for acc, info := range f.accs {
+		b := info.FPGA
+		if b < 0 || b >= 2 {
+			continue
+		}
+		out[b].Endpoints = append(out[b].Endpoints, placement.EndpointInfo{
+			Acc: uint16(acc), HF: info.Name, Region: info.Region, Primary: true, Ready: info.Ready,
+		})
+	}
+	return out
+}
+
+func (f *fakeBackend) Migrate(acc core.AccID, board int) (int, error) {
+	info, ok := f.accs[acc]
+	if !ok {
+		return -1, errors.New("unknown acc")
+	}
+	if board < 0 {
+		board = 1 - info.FPGA
+	}
+	if err := f.boardOK(board); err != nil {
+		return -1, err
+	}
+	info.FPGA = board
+	f.accs[acc] = info
+	f.migrations++
+	return board, nil
+}
+
+func (f *fakeBackend) Replicate(acc core.AccID, board int) (int, error) {
+	info, ok := f.accs[acc]
+	if !ok {
+		return -1, errors.New("unknown acc")
+	}
+	if board < 0 {
+		board = 1 - info.FPGA
+	}
+	return board, f.boardOK(board)
+}
+
+func (f *fakeBackend) Rebalance() (int, error) {
+	moved := 0
+	for acc, info := range f.accs {
+		if f.lost[info.FPGA] || f.drained[info.FPGA] {
+			if _, err := f.Migrate(acc, -1); err == nil {
+				moved++
+			}
+		}
+	}
+	return moved, nil
+}
+
+func (f *fakeBackend) DrainBoard(board int) (int, error) {
+	if err := f.boardOK(board); err != nil {
+		return 0, err
+	}
+	if f.drained == nil {
+		f.drained = make(map[int]bool)
+	}
+	f.drained[board] = true
+	return f.Rebalance()
+}
+
+func (f *fakeBackend) UndrainBoard(board int) error {
+	if err := f.boardOK(board); err != nil {
+		return err
+	}
+	delete(f.drained, board)
+	return nil
+}
+
+func (f *fakeBackend) OfflineBoard(board int) (int, error) {
+	if err := f.boardOK(board); err != nil {
+		return 0, err
+	}
+	if f.lost == nil {
+		f.lost = make(map[int]bool)
+	}
+	f.lost[board] = true
+	return f.Rebalance()
 }
 
 // newTestServer wires a fake backend behind a synchronous Post (the

@@ -60,6 +60,18 @@ const (
 	// CompletionStall delays a completed batch's enqueue onto the RX
 	// completion ring.
 	CompletionStall
+	// BoardOffline kills the whole board — power loss or a fatal PCIe
+	// link-down: the device shuts down, every region goes dark and all
+	// subsequent operations fail until the fleet scheduler re-places the
+	// board's modules elsewhere.
+	BoardOffline
+	// ICAPWedge wedges the configuration port: the PR load or reload that
+	// drew it fails outright, forcing placement onto another board.
+	ICAPWedge
+	// PCIeLinkFlap is a transient link retrain: the posted DMA transfer
+	// fails with ErrTransferFault but the channel recovers immediately,
+	// so bounded retry absorbs it.
+	PCIeLinkFlap
 
 	// NumKinds is the number of fault kinds (for sizing tables).
 	NumKinds
@@ -70,6 +82,7 @@ var kindNames = [NumKinds]string{
 	"dma-c2h-error", "dma-c2h-corrupt", "dma-c2h-stall",
 	"module-error", "module-garbage", "module-hang",
 	"region-seu", "completion-stall",
+	"board-offline", "icap-wedge", "pcie-link-flap",
 }
 
 // String names the kind for stats and tooling output.

@@ -38,7 +38,41 @@ var (
 	// ErrModuleHang is delivered to the withheld completions of a hung
 	// region when the region is reset, reloaded or the device shuts down.
 	ErrModuleHang = errors.New("fpga: module hang (batch flushed by region reset)")
+	// ErrICAPWedged reports an injected configuration-port wedge: the PR
+	// write never started, the region is untouched, and the caller should
+	// place the module on another board.
+	ErrICAPWedged = errors.New("fpga: ICAP configuration port wedged")
 )
+
+// InsufficientError is the structured form of an ErrInsufficient load
+// rejection: it carries the requested versus available LUT/BRAM so a
+// placement scheduler (or an operator reading the error) can see exactly
+// why a board refused a module. errors.Is(err, ErrInsufficient) remains
+// true for every rejection.
+type InsufficientError struct {
+	// Module is the spec name that was refused ("" for the static-region
+	// check at device construction).
+	Module string
+	// NeedLUTs/NeedBRAM is the requested footprint.
+	NeedLUTs int
+	NeedBRAM int
+	// HaveLUTs/HaveBRAM is what the device had available at refusal.
+	HaveLUTs int
+	HaveBRAM int
+}
+
+// Error renders the rejection with the full resource picture.
+func (e *InsufficientError) Error() string {
+	if e.Module == "" {
+		return fmt.Sprintf("%v: static region needs %d LUT/%d BRAM, device has %d/%d",
+			ErrInsufficient, e.NeedLUTs, e.NeedBRAM, e.HaveLUTs, e.HaveBRAM)
+	}
+	return fmt.Sprintf("%v: %s needs %d LUT/%d BRAM, have %d/%d",
+		ErrInsufficient, e.Module, e.NeedLUTs, e.NeedBRAM, e.HaveLUTs, e.HaveBRAM)
+}
+
+// Unwrap keeps errors.Is(err, ErrInsufficient) working.
+func (e *InsufficientError) Unwrap() error { return ErrInsufficient }
 
 // Module is the functional behaviour of an accelerator module. The
 // Dispatcher hands each module the encoded request batch for its
@@ -250,6 +284,12 @@ type FaultStats struct {
 	// HungFlushed counts parked batches flushed with ErrModuleHang. Once
 	// recovery has run, HungFlushed == Hangs.
 	HungFlushed uint64
+	// BoardLosses counts injected whole-board failures (at most 1: the
+	// device stays down once BoardOffline strikes).
+	BoardLosses uint64
+	// ICAPWedges counts PR loads/reloads refused by an injected
+	// configuration-port wedge.
+	ICAPWedges uint64
 }
 
 // FaultCounters reports the device's injected-fault observations.
@@ -327,7 +367,10 @@ func (d *Device) newCtx() *dispatchCtx {
 func NewDevice(sim *eventsim.Sim, cfg Config) (*Device, error) {
 	cfg = cfg.withDefaults()
 	if cfg.StaticLUTs > cfg.TotalLUTs || cfg.StaticBRAM > cfg.TotalBRAM {
-		return nil, fmt.Errorf("%w: static region exceeds device", ErrInsufficient)
+		return nil, &InsufficientError{
+			NeedLUTs: cfg.StaticLUTs, NeedBRAM: cfg.StaticBRAM,
+			HaveLUTs: cfg.TotalLUTs, HaveBRAM: cfg.TotalBRAM,
+		}
 	}
 	d := &Device{sim: sim, cfg: cfg, regions: make([]Region, cfg.Regions)}
 	for i := range d.regions {
@@ -464,6 +507,13 @@ func (d *Device) Reload(regionIdx int, done func()) error {
 	case RegionEmpty:
 		return ErrNotLoaded
 	}
+	if f := d.cfg.Faults; f != nil && f.Fire(faultinject.ICAPWedge) {
+		// The wedge strikes before the write starts: the region keeps its
+		// (faulty) module and parked batches; the caller decides whether to
+		// retry, reset, or migrate the accelerator to another board.
+		d.fstats.ICAPWedges++
+		return ErrICAPWedged
+	}
 	d.flushHung(r)
 	spec := r.spec
 	r.state = RegionReconfiguring
@@ -507,8 +557,15 @@ func (d *Device) LoadPR(spec ModuleSpec, done func(regionIdx int)) (int, error) 
 		return -1, ErrNoFreeRegion
 	}
 	if spec.LUTs > d.AvailableLUTs() || spec.BRAM > d.AvailableBRAM() {
-		return -1, fmt.Errorf("%w: %s needs %d LUT/%d BRAM, have %d/%d",
-			ErrInsufficient, spec.Name, spec.LUTs, spec.BRAM, d.AvailableLUTs(), d.AvailableBRAM())
+		return -1, &InsufficientError{
+			Module:   spec.Name,
+			NeedLUTs: spec.LUTs, NeedBRAM: spec.BRAM,
+			HaveLUTs: d.AvailableLUTs(), HaveBRAM: d.AvailableBRAM(),
+		}
+	}
+	if f := d.cfg.Faults; f != nil && f.Fire(faultinject.ICAPWedge) {
+		d.fstats.ICAPWedges++
+		return -1, ErrICAPWedged
 	}
 	r := &d.regions[idx]
 	r.state = RegionReconfiguring
@@ -586,6 +643,14 @@ func (d *Device) Configure(regionIdx int, params []byte) error {
 //dhl:hotpath
 func (d *Device) Dispatch(regionIdx int, batch, dst []byte, done func(out []byte, err error)) (eventsim.Time, error) {
 	if d.shutdown {
+		return 0, ErrDeviceShutdown
+	}
+	if f := d.cfg.Faults; f != nil && f.Fire(faultinject.BoardOffline) {
+		// Whole-board failure: power loss or fatal link-down. The board
+		// goes dark before this batch reaches the Dispatcher; Shutdown
+		// flushes parked batches so nothing is stranded.
+		d.fstats.BoardLosses++
+		d.Shutdown()
 		return 0, ErrDeviceShutdown
 	}
 	r, err := d.Region(regionIdx)

@@ -1,0 +1,340 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/opencloudnext/dhl-go/internal/core"
+	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/faultinject"
+	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/hwfunc"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
+	"github.com/opencloudnext/dhl-go/internal/pcie"
+	"github.com/opencloudnext/dhl-go/internal/stats"
+)
+
+// The board-failover experiment measures the blast radius of losing a
+// whole FPGA board — the failure domain above a single region's SEU. A
+// two-board fleet serves the ipsec-crypto accelerator; a BoardOffline
+// fault (power loss / fatal link-down) kills the primary's board about a
+// sixth of the way through the paced run. Three runs share one schedule:
+//
+//   - baseline: no fault, the fleet's fault-free goodput reference;
+//   - board-loss/no-replica: the data path discovers the dead board on
+//     the next flush and the placement layer live-migrates the module to
+//     the surviving board — a fresh PR load over ICAP (~29 ms for the
+//     5.6 MB ipsec bitstream) plus configuration replay. The goodput
+//     curve's dip width is the MTTR;
+//   - board-loss/replica: a warm replica was load-sharing on the second
+//     board; promotion is a routing-table cutover, no ICAP write, and
+//     goodput shows no measurable outage.
+//
+// Every packet remains accounted for across the failure: delivered, or
+// attributed in the drop ledger; the run fails on any mbuf leak.
+
+// BoardFailoverConfig parameterizes RunBoardFailover.
+type BoardFailoverConfig struct {
+	// Seed drives the deterministic fault plan. 0 selects the default.
+	Seed uint64
+	// Packets is the total paced packet count per run (default 9600: a
+	// 60 ms run at 4 packets / 25 us, fitting the ~29 ms re-place PR with
+	// slack on both sides).
+	Packets int
+	// FrameSize is the plaintext frame size in bytes (default 256).
+	FrameSize int
+	// Buckets is the goodput-curve resolution (default 60).
+	Buckets int
+}
+
+func (c BoardFailoverConfig) withDefaults() BoardFailoverConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Packets <= 0 {
+		c.Packets = 9600
+	}
+	if c.FrameSize <= 0 {
+		c.FrameSize = 256
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 60
+	}
+	return c
+}
+
+// BoardFailoverRun is one paced run's outcome: the common failover
+// measurements plus the fleet-level placement facts.
+type BoardFailoverRun struct {
+	FailoverRun
+
+	// FinalBoard is the board serving the accelerator when the run ends.
+	FinalBoard int
+	// MigratedIn counts cutovers into the surviving board (replica
+	// promotion or live migration).
+	MigratedIn uint64
+	// BoardLosses counts injected whole-board failures observed by the
+	// dead board's fault counters.
+	BoardLosses uint64
+}
+
+// BoardFailoverResult aggregates the three runs.
+type BoardFailoverResult struct {
+	Seed uint64
+	// BaselineGoodBps is the fleet's fault-free mean goodput over the
+	// interior buckets, the reference for the MTTR thresholds.
+	BaselineGoodBps float64
+
+	Baseline  BoardFailoverRun
+	NoReplica BoardFailoverRun
+	Replica   BoardFailoverRun
+}
+
+// boardFailoverMode selects the run variant.
+type boardFailoverMode int
+
+const (
+	bfBaseline boardFailoverMode = iota
+	bfNoReplica
+	bfReplica
+)
+
+// newFleetRuntime stands up a DHL runtime over several boards on node 0.
+// plan, when non-nil, arms ONLY board 0 — the kill target must be
+// deterministic even when a replica spreads dispatches over the fleet.
+func (tb *testbed) newFleetRuntime(boards int, plan *faultinject.Plan, coreCfg core.Config) (*core.Runtime, []*fpga.Device, error) {
+	devs := make([]*fpga.Device, boards)
+	atts := make([]core.FPGAAttachment, boards)
+	for i := 0; i < boards; i++ {
+		var p *faultinject.Plan
+		if i == 0 {
+			p = plan
+		}
+		dev, err := fpga.NewDevice(tb.sim, fpga.Config{ID: i, Node: 0, Faults: p, Telemetry: coreCfg.Telemetry})
+		if err != nil {
+			return nil, nil, err
+		}
+		devs[i] = dev
+		atts[i] = core.FPGAAttachment{Device: dev, DMA: pcie.NewEngine(tb.sim, pcie.Config{Telemetry: coreCfg.Telemetry})}
+	}
+	coreCfg.Sim = tb.sim
+	coreCfg.FPGAs = atts
+	rt, err := core.NewRuntime(coreCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, spec := range hwfunc.Specs() {
+		if err := rt.RegisterModule(spec); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rt, devs, nil
+}
+
+// RunBoardFailover runs the board-level failure experiment: a fault-free
+// baseline, a board loss recovered by live migration, and a board loss
+// absorbed by a warm replica — all from one seed.
+func RunBoardFailover(cfg BoardFailoverConfig) (*BoardFailoverResult, error) {
+	cfg = cfg.withDefaults()
+	res := &BoardFailoverResult{Seed: cfg.Seed}
+
+	base, err := runBoardFailoverOnce(cfg, bfBaseline, "fleet-baseline")
+	if err != nil {
+		return nil, fmt.Errorf("harness: board-failover baseline: %w", err)
+	}
+	res.Baseline = base
+	res.BaselineGoodBps = interiorMean(base.Curve)
+
+	if res.NoReplica, err = runBoardFailoverOnce(cfg, bfNoReplica, "board-loss/no-replica"); err != nil {
+		return nil, fmt.Errorf("harness: board-failover no-replica: %w", err)
+	}
+	if res.Replica, err = runBoardFailoverOnce(cfg, bfReplica, "board-loss/replica"); err != nil {
+		return nil, fmt.Errorf("harness: board-failover replica: %w", err)
+	}
+
+	analyzeFailoverRun(&res.Baseline.FailoverRun, res.BaselineGoodBps)
+	analyzeFailoverRun(&res.NoReplica.FailoverRun, res.BaselineGoodBps)
+	analyzeFailoverRun(&res.Replica.FailoverRun, res.BaselineGoodBps)
+	return res, nil
+}
+
+// runBoardFailoverOnce paces cfg.Packets ipsec frames through a two-board
+// fleet, killing board 0 mid-run for the fault variants.
+func runBoardFailoverOnce(cfg BoardFailoverConfig, mode boardFailoverMode, label string) (BoardFailoverRun, error) {
+	run := BoardFailoverRun{FailoverRun: FailoverRun{Label: label}, FinalBoard: -1}
+	tb, err := newTestbed(0)
+	if err != nil {
+		return run, err
+	}
+	var plan *faultinject.Plan
+	if mode != bfBaseline {
+		// Kill board 0 on its Nth dispatch, about a sixth of the run in
+		// (each burst packs into one batch; with a replica board 0 takes
+		// every other batch, so the loss lands a third of the way in).
+		killAt := cfg.Packets / (failoverBurst * 6)
+		if killAt < 1 {
+			killAt = 1
+		}
+		if plan, err = faultinject.NewPlan(cfg.Seed,
+			faultinject.Spec{Kind: faultinject.BoardOffline, EveryN: uint64(killAt), Count: 1}); err != nil {
+			return run, err
+		}
+	}
+	rt, devs, err := tb.newFleetRuntime(2, plan, core.Config{
+		BatchBytes:      2048,
+		FlushTimeout:    5 * eventsim.Microsecond,
+		WatchdogTimeout: 250 * eventsim.Microsecond,
+	})
+	if err != nil {
+		return run, err
+	}
+	if err := rt.AttachCores(0, tb.core(), tb.core(), tb.pool); err != nil {
+		return run, err
+	}
+	nfID, err := rt.Register("fleet-gen", 0)
+	if err != nil {
+		return run, err
+	}
+	acc, err := rt.SearchByName(hwfunc.IPsecCryptoName, 0)
+	if err != nil {
+		return run, err
+	}
+	var key [32]byte
+	var authKey [20]byte
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	for i := range authKey {
+		authKey[i] = byte(0xa0 + i)
+	}
+	blob, err := hwfunc.EncodeIPsecCryptoConfig(key[:], authKey[:], 0x01020304)
+	if err != nil {
+		return run, err
+	}
+	if err := rt.AccConfigure(acc, blob); err != nil {
+		return run, err
+	}
+	tb.settle(40 * eventsim.Millisecond) // initial ICAP load of the 5.6 MB bitstream
+	if mode == bfReplica {
+		if _, err := rt.Replicate(acc, -1); err != nil {
+			return run, err
+		}
+		tb.settle(40 * eventsim.Millisecond) // warm the replica's PR + config replay
+	}
+
+	nBursts := (cfg.Packets + failoverBurst - 1) / failoverBurst
+	duration := eventsim.Time(nBursts) * failoverIntervalPs
+	t0 := tb.sim.Now()
+	ts := stats.NewTimeSeries(duration.Seconds(), cfg.Buckets)
+
+	req := make([]byte, 0, hwfunc.IPsecReqPrefix+cfg.FrameSize)
+	req = binary.BigEndian.AppendUint16(req, 0)
+	for i := 0; i < cfg.FrameSize; i++ {
+		req = append(req, byte(i))
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	scratch := make([]*mbuf.Mbuf, 64)
+	drain := func() {
+		for firstErr == nil {
+			n, err := rt.ReceivePackets(nfID, scratch)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if n == 0 {
+				return
+			}
+			at := (tb.sim.Now() - t0).Seconds()
+			for _, m := range scratch[:n] {
+				switch m.Status {
+				case mbuf.StatusUnprocessed:
+					run.DeliveredUnprocessed++
+				case mbuf.StatusFallback:
+					run.DeliveredFallback++
+					ts.Add(at, float64(m.Len()*8))
+				default:
+					run.DeliveredOK++
+					ts.Add(at, float64(m.Len()*8))
+				}
+				fail(tb.pool.Free(m))
+			}
+		}
+	}
+
+	sent := 0
+	batch := make([]*mbuf.Mbuf, 0, failoverBurst)
+	var tick func()
+	tick = func() {
+		drain()
+		if firstErr != nil {
+			return
+		}
+		batch = batch[:0]
+		for b := 0; b < failoverBurst && sent < cfg.Packets; b++ {
+			sent++
+			m, err := tb.pool.Alloc()
+			if err != nil {
+				run.SourceDrops++
+				continue
+			}
+			if err := m.AppendBytes(req); err != nil {
+				fail(err)
+				fail(tb.pool.Free(m))
+				return
+			}
+			m.AccID = uint16(acc)
+			batch = append(batch, m)
+		}
+		n, err := rt.SendPackets(nfID, batch)
+		if err != nil {
+			fail(err)
+			n = 0
+		}
+		for _, m := range batch[n:] {
+			run.SourceDrops++
+			fail(tb.pool.Free(m))
+		}
+		if sent < cfg.Packets {
+			tb.sim.After(failoverIntervalPs, tick)
+		}
+	}
+	tb.sim.After(0, tick)
+	tb.sim.Run(t0 + duration)
+
+	// Drain the tail: a re-place PR still in flight gets another 60 ms.
+	deadline := tb.sim.Now() + 60*eventsim.Millisecond
+	for tb.sim.Now() < deadline && tb.pool.InUse() > 0 && firstErr == nil {
+		tb.sim.Run(tb.sim.Now() + eventsim.Millisecond)
+		drain()
+	}
+	drain()
+	if firstErr != nil {
+		return run, firstErr
+	}
+
+	run.BucketUs = ts.BucketWidth() * 1e6
+	run.Curve = make([]float64, cfg.Buckets)
+	for i := range run.Curve {
+		run.Curve[i] = ts.Rate(i)
+	}
+	run.Leaked = tb.pool.InUse()
+	if run.Stats, err = rt.Stats(0); err != nil {
+		return run, err
+	}
+	if run.Health, err = rt.AccHealth(acc); err != nil {
+		return run, err
+	}
+	if info, err := rt.AccInfoFor(acc); err == nil {
+		run.FinalBoard = info.FPGA
+	}
+	in, _ := rt.Placement().Migrations(1)
+	run.MigratedIn = in
+	run.BoardLosses = devs[0].FaultCounters().BoardLosses
+	return run, nil
+}

@@ -17,7 +17,10 @@ type CheckedErr struct{}
 // AccConfigure/Unregister/SendPackets/ReceivePackets), the mempool
 // contract entry points (Pool.Free/FreeBulk/Retain/AllocBulk, Cache.Free/
 // Flush), the recovery surface (Device.Reload/ResetRegion,
-// Runtime.RegisterFallback), the operational surface lifecycle
+// Runtime.RegisterFallback), the fleet placement surface
+// (Migrate/Replicate/Rebalance/Place — a dropped migration error leaves
+// the accelerator stranded on a board the caller believes it left), the
+// operational surface lifecycle
 // (System.Serve, Exporter.Serve/Close — a dropped Serve error is an
 // operator endpoint that silently never came up), and the management
 // client (ControlClient.Call — a dropped Call error is a management
@@ -41,6 +44,10 @@ var apiMethods = map[string]bool{
 	"Reload":           true,
 	"ResetRegion":      true,
 	"RegisterFallback": true,
+	"Migrate":          true,
+	"Replicate":        true,
+	"Rebalance":        true,
+	"Place":            true,
 	"Serve":            true,
 	"Close":            true,
 	"Call":             true,

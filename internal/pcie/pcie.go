@@ -145,6 +145,9 @@ type Stats struct {
 	Stalled uint64
 	// StallPs is the total injected stall time.
 	StallPs eventsim.Time
+	// LinkFlaps counts transfers failed by an injected transient link
+	// retrain (ErrTransferFault; the bounded retry path absorbs them).
+	LinkFlaps uint64
 }
 
 type channel struct {
@@ -242,6 +245,13 @@ func (e *Engine) Transfer(dir Direction, size int, done func()) (eventsim.Time, 
 	var outcome faultinject.Outcome
 	var stall eventsim.Time
 	if f := e.cfg.Faults; f != nil {
+		if f.Fire(faultinject.PCIeLinkFlap) {
+			// A link retrain hits whichever direction posted next; the
+			// channel itself recovers instantly, so no occupancy is booked
+			// and the bounded retry path absorbs the failure.
+			ch.stats.LinkFlaps++
+			return 0, 0, ErrTransferFault
+		}
 		if f.Fire(kinds[0]) {
 			ch.stats.Faults++
 			return 0, 0, ErrTransferFault

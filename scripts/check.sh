@@ -48,6 +48,12 @@ go test -run Chaos -short -count=1 ./internal/core ./internal/harness
 echo "==> flow-scale smoke (100k-flow Zipf churn soak + failover flow-state audit, -short, -race)"
 go test -race -short -run 'FlowScale|FlowState' -count=1 ./internal/harness
 
+echo "==> board-failover smoke (whole-board loss: replica promotion + live migration, -race)"
+go test -race -short -run 'BoardFailover' -count=1 ./internal/harness
+
+echo "==> migration zero-leak gate (live migration under traffic: ledger balanced, 0 mbufs leaked)"
+go test -race -run 'MigrationZeroLeak|MigrateLive|ReplicaPromotion' -count=1 ./internal/core
+
 echo "==> flow-table zero-alloc gate (hit path, churn, NAT translate: 0 allocs/op)"
 go test -run 'ZeroAlloc' -count=1 ./internal/flowtab ./internal/nf
 
@@ -65,7 +71,7 @@ cleanup() {
 trap cleanup EXIT
 go build -o "$smoke_dir/dhl-inspect" ./cmd/dhl-inspect
 port=$((21000 + RANDOM % 9000))
-"$smoke_dir/dhl-inspect" -serve "127.0.0.1:$port" -modules ipsec-crypto \
+"$smoke_dir/dhl-inspect" -serve "127.0.0.1:$port" -modules ipsec-crypto -boards 2 \
     > "$smoke_dir/serve.log" 2>&1 &
 serve_pid=$!
 up=""
@@ -88,6 +94,15 @@ if [[ -z "$up" ]]; then
 fi
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd acc.load -args loopback,0 >/dev/null
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd tune.batch -args 2048 >/dev/null
+# Fleet surface: replicate the live accelerator onto the second board and
+# confirm the placement table reports both endpoints.
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd acc.replicate -args 1 >/dev/null
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd placement.get > "$smoke_dir/placement.txt"
+grep -q '"board": 1' "$smoke_dir/placement.txt" || {
+    echo "placement.get is missing the second board after acc.replicate" >&2
+    cat "$smoke_dir/placement.txt" >&2
+    exit 1
+}
 # Capture-then-grep: piping straight into grep -q makes the producer
 # take a SIGPIPE/EPIPE when grep exits at the first match, which
 # pipefail then reports as a failure (curl exit 23).

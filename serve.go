@@ -7,6 +7,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/ctlplane"
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
+	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
@@ -178,3 +179,49 @@ func (s *System) Nodes() int { return s.rt.Nodes() }
 // ModuleDB lists the accelerator module database's hardware function
 // names.
 func (s *System) ModuleDB() []string { return s.rt.ModuleDB() }
+
+// PlacementBoard is one board in a fleet placement snapshot: lifecycle
+// state, free LUT/BRAM/region resources, migration counters, and every
+// module endpoint routed to the board.
+type PlacementBoard = placement.BoardInfo
+
+// PlacementEndpoint is one routed module instance within a
+// PlacementBoard: its acc_id, region, round-robin weight and flags.
+type PlacementEndpoint = placement.EndpointInfo
+
+// PlacementTable snapshots the fleet: every board's state, remaining
+// resources and routed endpoints, in board order.
+func (s *System) PlacementTable() []PlacementBoard { return s.rt.Placement().Snapshot() }
+
+// Migrate live-migrates an accelerator's primary instance to another
+// board: PR load on the target, configuration replay, then an atomic
+// hardware-function-table cutover. Held traffic waits (exactly like an
+// initial load); nothing is dropped or leaked. board -1 lets the
+// placement scheduler choose. Returns the chosen board.
+func (s *System) Migrate(acc AccID, board int) (int, error) { return s.rt.Migrate(acc, board) }
+
+// Replicate warms a replica of the accelerator on another board and adds
+// it to the acc's weighted round-robin rotation once ready. With a warm
+// replica in place, losing the primary's board costs no measurable
+// goodput: the replica is promoted instantly. board -1 lets the
+// scheduler choose. Returns the chosen board.
+func (s *System) Replicate(acc AccID, board int) (int, error) { return s.rt.Replicate(acc, board) }
+
+// Rebalance moves every accelerator whose primary sits on a lost or
+// draining board: replica promotion when possible, live migration
+// otherwise. Returns how many were moved.
+func (s *System) Rebalance() (int, error) { return s.rt.Rebalance() }
+
+// DrainBoard stops new placements on the board and rebalances its
+// accelerators away; the board keeps serving until they are gone.
+// Returns how many were moved.
+func (s *System) DrainBoard(board int) (int, error) { return s.rt.DrainBoard(board) }
+
+// UndrainBoard returns a draining board to service.
+func (s *System) UndrainBoard(board int) error { return s.rt.UndrainBoard(board) }
+
+// OfflineBoard hard-kills a board — the simulation's stand-in for
+// pulling the card — and rebalances off it. In-flight batches fail
+// cleanly and are attributed in the drop ledger. Returns how many
+// accelerators were moved.
+func (s *System) OfflineBoard(board int) (int, error) { return s.rt.OfflineBoard(board) }
