@@ -4,13 +4,13 @@
 //
 // Usage:
 //
-//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|flowscale|boardfailover|all]
+//	dhl-bench [table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|flowscale|boardfailover|diurnal|all]
 //
 // With no argument it runs everything. Full-fidelity windows take a few
 // minutes of wall time; pass -quick for shorter measurement windows.
-// The flowscale target additionally accepts -json to emit the sweep as a
-// machine-readable document (scripts/bench.sh captures it as
-// BENCH_pr8.json).
+// The flowscale and diurnal targets additionally accept -json to emit
+// the sweep as a machine-readable document (scripts/bench.sh captures
+// them as BENCH_pr8.json and BENCH_pr10.json).
 package main
 
 import (
@@ -26,21 +26,24 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
 )
 
-// emitJSON switches the flowscale target from the human table to a JSON
-// document on stdout.
+// emitJSON switches the flowscale and diurnal targets from the human
+// table to a JSON document on stdout.
 var emitJSON bool
+
+// jsonTargets are the steps that support the -json flag.
+var jsonTargets = map[string]bool{"flowscale": true, "diurnal": true}
 
 func main() {
 	quick := flag.Bool("quick", false, "use short measurement windows")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (flowscale target only)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (flowscale and diurnal targets only)")
 	flag.Parse()
 	emitJSON = *jsonOut
 	targets := flag.Args()
 	if len(targets) == 0 {
 		targets = []string{"all"}
 	}
-	if emitJSON && (len(targets) != 1 || strings.ToLower(targets[0]) != "flowscale") {
-		fmt.Fprintln(os.Stderr, "dhl-bench: -json is only supported with exactly the flowscale target")
+	if emitJSON && (len(targets) != 1 || !jsonTargets[strings.ToLower(targets[0])]) {
+		fmt.Fprintln(os.Stderr, "dhl-bench: -json is only supported with exactly one of the flowscale or diurnal targets")
 		os.Exit(1)
 	}
 	if err := run(targets, *quick); err != nil {
@@ -71,6 +74,7 @@ func run(targets []string, quick bool) error {
 		{"telemetry", runTelemetry},
 		{"flowscale", runFlowScaleBench},
 		{"boardfailover", runBoardFailoverBench},
+		{"diurnal", runDiurnalBench},
 	}
 	known := make(map[string]bool, len(steps))
 	for _, s := range steps {
@@ -78,7 +82,7 @@ func run(targets []string, quick bool) error {
 	}
 	for t := range want {
 		if t != "all" && !known[t] {
-			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|flowscale|boardfailover|all)", t)
+			return fmt.Errorf("unknown target %q (want table1|fig4|fig6|fig7|table5|table6|table7|ablation|telemetry|flowscale|boardfailover|diurnal|all)", t)
 		}
 	}
 	for _, s := range steps {
@@ -417,6 +421,109 @@ func runAblation(bool) error {
 	for _, r := range vert {
 		fmt.Printf("%-22s %8.2f Gbps aggregate DMA ceiling\n", r.Label, r.AggregateGbps)
 	}
+	return nil
+}
+
+// diurnalSeries is one run (fixed or autotuned) of the T5 sweep in the
+// BENCH_pr10.json document.
+type diurnalSeries struct {
+	Label           string  `json:"label"`
+	PeakGoodputBps  float64 `json:"peak_goodput_bps"`
+	PeakP50Us       float64 `json:"peak_p50_us"`
+	PeakP99Us       float64 `json:"peak_p99_us"`
+	TroughGoodBps   float64 `json:"trough_goodput_bps"`
+	TroughP50Us     float64 `json:"trough_p50_us"`
+	TroughP99Us     float64 `json:"trough_p99_us"`
+	SilentDrops     uint64  `json:"silent_drops"`
+	IBQRejected     uint64  `json:"ibq_rejected"`
+	PressureEvents  uint64  `json:"pressure_events"`
+	TunerWindows    uint64  `json:"tuner_windows"`
+	GrowDecisions   uint64  `json:"tuner_grow_decisions"`
+	ShrinkDecisions uint64  `json:"tuner_shrink_decisions"`
+}
+
+func diurnalSeriesOf(label string, r harness.DiurnalResult) diurnalSeries {
+	return diurnalSeries{
+		Label:           label,
+		PeakGoodputBps:  r.Peak.Throughput.GoodBps,
+		PeakP50Us:       r.Peak.Latency.P50Us,
+		PeakP99Us:       r.Peak.Latency.P99Us,
+		TroughGoodBps:   r.Trough.Throughput.GoodBps,
+		TroughP50Us:     r.Trough.Latency.P50Us,
+		TroughP99Us:     r.Trough.Latency.P99Us,
+		SilentDrops:     r.SilentDrops,
+		IBQRejected:     r.IBQRejected,
+		PressureEvents:  r.PressureEvents,
+		TunerWindows:    r.Tuner.Windows,
+		GrowDecisions:   r.Tuner.GrowDecisions,
+		ShrinkDecisions: r.Tuner.ShrinkDecisions,
+	}
+}
+
+// runDiurnalBench runs the T5 diurnal load sweep: the same DHL IPsec
+// gateway under a peak/trough offered-load swing, fixed 6 KB batching
+// vs. the adaptive batching autotuner, with the gate ratios the PR's
+// acceptance criteria check.
+func runDiurnalBench(quick bool) error {
+	cfg := harness.DiurnalConfig{}
+	if quick {
+		cfg.Warmup = 2 * eventsim.Millisecond
+		cfg.Window = 5 * eventsim.Millisecond
+	}
+	cmp, err := harness.RunDiurnalComparison(cfg)
+	if err != nil {
+		return err
+	}
+	if emitJSON {
+		doc := struct {
+			Bench  string `json:"bench"`
+			Config struct {
+				NF            string  `json:"nf"`
+				FrameSize     int     `json:"frame_size"`
+				PeakWireBps   float64 `json:"peak_wire_bps"`
+				TroughWireBps float64 `json:"trough_wire_bps"`
+				WarmupMs      float64 `json:"warmup_ms"`
+				WindowMs      float64 `json:"window_ms"`
+			} `json:"config"`
+			Series []diurnalSeries `json:"series"`
+			Gates  struct {
+				PeakGoodputRatio float64 `json:"peak_goodput_ratio"`
+				TroughP99Cut     float64 `json:"trough_p99_cut"`
+				SilentDrops      uint64  `json:"silent_drops"`
+			} `json:"gates"`
+		}{Bench: "pr10_diurnal"}
+		dc := cmp.Fixed.Config
+		doc.Config.NF = dc.Kind.String()
+		doc.Config.FrameSize = dc.FrameSize
+		doc.Config.PeakWireBps = dc.PeakWireBps
+		doc.Config.TroughWireBps = dc.TroughWireBps
+		doc.Config.WarmupMs = dc.Warmup.Seconds() * 1e3
+		doc.Config.WindowMs = dc.Window.Seconds() * 1e3
+		doc.Series = []diurnalSeries{
+			diurnalSeriesOf("fixed-6KB", cmp.Fixed),
+			diurnalSeriesOf("autotuned", cmp.Tuned),
+		}
+		doc.Gates.PeakGoodputRatio = cmp.PeakGoodputRatio
+		doc.Gates.TroughP99Cut = cmp.TroughP99Cut
+		doc.Gates.SilentDrops = cmp.Fixed.SilentDrops + cmp.Tuned.SilentDrops
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	header("Diurnal sweep: adaptive batching autotuner vs fixed 6 KB (DHL IPsec, 1024B)")
+	fmt.Printf("offered: peak %.0f Gbps, trough %.1f Gbps (burst 1, %.0f ms windows)\n\n",
+		cmp.Fixed.Config.PeakWireBps/1e9, cmp.Fixed.Config.TroughWireBps/1e9, cmp.Fixed.Config.Window.Seconds()*1e3)
+	fmt.Printf("%-12s | %-28s | %-28s\n", "", "peak", "trough")
+	fmt.Printf("%-12s | %9s %8s %8s | %9s %8s %8s\n", "run", "Gbps", "p50(us)", "p99(us)", "Gbps", "p50(us)", "p99(us)")
+	for _, s := range []diurnalSeries{diurnalSeriesOf("fixed-6KB", cmp.Fixed), diurnalSeriesOf("autotuned", cmp.Tuned)} {
+		fmt.Printf("%-12s | %9.2f %8.2f %8.2f | %9.3f %8.2f %8.2f\n",
+			s.Label, s.PeakGoodputBps/1e9, s.PeakP50Us, s.PeakP99Us,
+			s.TroughGoodBps/1e9, s.TroughP50Us, s.TroughP99Us)
+	}
+	fmt.Printf("\ngates: peak goodput ratio %.3f (>= 0.98), trough p99 cut %.0f%% (>= 30%%), silent drops %d (= 0)\n",
+		cmp.PeakGoodputRatio, cmp.TroughP99Cut*100, cmp.Fixed.SilentDrops+cmp.Tuned.SilentDrops)
+	fmt.Printf("tuner: %d windows, %d grow / %d shrink decisions\n",
+		cmp.Tuned.Tuner.Windows, cmp.Tuned.Tuner.GrowDecisions, cmp.Tuned.Tuner.ShrinkDecisions)
 	return nil
 }
 

@@ -4,10 +4,11 @@
 //
 // Connect mode (-addr) drives a running system over /api/v1:
 //
-//	dhl-inspect -addr :9090                     overview: sys.info + health.get + placement.get
+//	dhl-inspect -addr :9090                     overview: sys.info + health.get + placement.get + tune.auto
 //	dhl-inspect -addr :9090 -cmd acc.load -args ipsec-crypto,0
 //	dhl-inspect -addr :9090 -cmd acc.migrate -args 1
 //	dhl-inspect -addr :9090 -cmd board.drain -args 0
+//	dhl-inspect -addr :9090 -cmd tune.auto -args on
 //	dhl-inspect -addr :9090 -watch 5            5 telemetry.delta long-polls
 //	dhl-inspect -addr :9090 -json ...           machine-readable output
 //
@@ -121,6 +122,7 @@ var cmdSpecs = map[string]cmdSpec{
 	"fallback.clear":  {[]string{"hf:string", "node:int?"}, "remove an installed software fallback"},
 	"tune.batch":      {[]string{"bytes:int"}, "retarget the max transfer batch size"},
 	"tune.watchdog":   {[]string{"timeout_us:int"}, "retune (0: disarm) the per-batch watchdog"},
+	"tune.auto":       {[]string{"state:string?"}, "adaptive batching autotuner: on|off|status (default status)"},
 	"health.get":      {[]string{"acc_id:int?"}, "health FSM state, one or all accelerators"},
 	"stats.get":       {[]string{"node:int?"}, "one node's transfer conservation ledger"},
 	"telemetry.delta": {[]string{"stream:string", "wait_ms:int?"}, "long-poll activity since the stream's last call"},
@@ -276,8 +278,33 @@ func overviewRemote(c *dhl.ControlClient, jsonOut bool) error {
 	if err := c.Call("placement.get", nil, &fleet); err != nil {
 		return err
 	}
+	var tune struct {
+		Enabled         bool    `json:"enabled"`
+		IntervalUs      float64 `json:"interval_us"`
+		Windows         uint64  `json:"windows"`
+		GrowDecisions   uint64  `json:"grow_decisions"`
+		ShrinkDecisions uint64  `json:"shrink_decisions"`
+		Accs            []struct {
+			AccID          dhl.AccID `json:"acc_id"`
+			HF             string    `json:"hf"`
+			Node           int       `json:"node"`
+			BatchTarget    int       `json:"batch_target"`
+			FlushTimeoutUs float64   `json:"flush_timeout_us"`
+			Fill           float64   `json:"fill"`
+			BatchLatencyUs float64   `json:"batch_latency_us"`
+		} `json:"accs"`
+		Nodes []struct {
+			Node     int    `json:"node"`
+			Burst    int    `json:"burst"`
+			Rejected uint64 `json:"ibq_rejected"`
+			Hot      bool   `json:"ibq_pressured"`
+		} `json:"nodes"`
+	}
+	if err := c.Call("tune.auto", nil, &tune); err != nil {
+		return err
+	}
 	if jsonOut {
-		raw, err := json.Marshal(map[string]any{"info": info, "health": health.Accs, "placement": fleet.Boards})
+		raw, err := json.Marshal(map[string]any{"info": info, "health": health.Accs, "placement": fleet.Boards, "autotune": tune})
 		if err != nil {
 			return err
 		}
@@ -315,6 +342,21 @@ func overviewRemote(c *dhl.ControlClient, jsonOut bool) error {
 			fmt.Printf("    acc_id %d (%s) region %d: %s, weight %d, ready=%v disabled=%v\n",
 				ep.AccID, ep.HF, ep.Region, role, ep.Weight, ep.Ready, ep.Disabled)
 		}
+	}
+	fmt.Println("\nAdaptive batching:")
+	if !tune.Enabled {
+		fmt.Println("  autotuner off (enable: -cmd tune.auto -args on)")
+		return nil
+	}
+	fmt.Printf("  autotuner on: %.0f us windows, %d sampled, decisions grow/shrink %d/%d\n",
+		tune.IntervalUs, tune.Windows, tune.GrowDecisions, tune.ShrinkDecisions)
+	for _, a := range tune.Accs {
+		fmt.Printf("  acc_id %d (%s) node %d: batch target %d B, flush %.1f us, fill %.2f, batch latency %.1f us\n",
+			a.AccID, a.HF, a.Node, a.BatchTarget, a.FlushTimeoutUs, a.Fill, a.BatchLatencyUs)
+	}
+	for _, n := range tune.Nodes {
+		fmt.Printf("  node %d: burst %d, IBQ rejected %d, pressured=%v\n",
+			n.Node, n.Burst, n.Rejected, n.Hot)
 	}
 	return nil
 }

@@ -749,3 +749,59 @@ func TestFlowTableObservability(t *testing.T) {
 		t.Errorf("flowtabs after unregister: %+v", st.Flowtabs)
 	}
 }
+
+// TestTuneAutoRPC drives the adaptive batching autotuner over the wire:
+// tune.auto on -> status -> off against a served system. The tuner is
+// constructed lazily (the system was opened with WithControlPlane, not
+// WithAutoTune), so this also covers the ensureTuner path.
+func TestTuneAutoRPC(t *testing.T) {
+	sys, err := dhl.Open(dhl.SystemConfig{}, dhl.WithControlPlane())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := sys.Serve("127.0.0.1:0", dhl.WithCallTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = exp.Close() }()
+	p := startPumper(sys)
+	defer p.shutdown()
+
+	c := dhl.DialControl(exp.Addr())
+	defer func() { _ = c.Close() }()
+
+	var st dhl.TunerStatus
+	if err := c.Call("tune.auto", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Fatalf("tuner enabled before tune.auto on: %+v", st)
+	}
+	if err := c.Call("tune.auto", map[string]any{"state": "on"}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled {
+		t.Fatalf("tune.auto on returned disabled status: %+v", st)
+	}
+	// The controller ticks on the event loop the pumper is driving.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Windows == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		if err := c.Call("tune.auto", map[string]any{"state": "status"}, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Windows == 0 {
+		t.Error("tuner sampled no windows while the loop was pumping")
+	}
+	if err := c.Call("tune.auto", map[string]any{"state": "off"}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Fatalf("tune.auto off returned enabled status: %+v", st)
+	}
+	var rpcErr *ctlplane.Error
+	if err := c.Call("tune.auto", map[string]any{"state": "sideways"}, nil); !errors.As(err, &rpcErr) || rpcErr.Code != ctlplane.CodeInvalidParams {
+		t.Errorf("bad state value: %v, want CodeInvalidParams", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/perf"
 	"github.com/opencloudnext/dhl-go/internal/ring"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
+	"github.com/opencloudnext/dhl-go/internal/tuner"
 )
 
 // Identifier types from the paper's data plane tags.
@@ -176,6 +177,27 @@ type (
 	FlowTableInfo = flowtab.Info
 )
 
+// Adaptive-batching autotuner types from internal/tuner and the
+// back-pressure surface from internal/core, re-exported for the facade.
+type (
+	// AutoTuneConfig parameterizes the adaptive batching controller
+	// (sampling interval, hysteresis, fill guard bands, and the
+	// batch/flush/burst envelopes). The zero value selects the documented
+	// defaults, bounded by the system's own global configuration.
+	AutoTuneConfig = tuner.Config
+	// TunerStatus is the controller's operator-facing state: windows
+	// closed, decisions applied, and the current per-accelerator and
+	// per-node targets. Also the `tune.auto` RPC's result shape.
+	TunerStatus = tuner.Status
+	// PressureInfo is one IBQ back-pressure signal delivered to an NF's
+	// RegisterPressure callback: refusal counts and the node's
+	// high-water state.
+	PressureInfo = core.PressureInfo
+	// AccTuning is a per-accelerator override of the batching knobs
+	// (zero fields inherit the global config).
+	AccTuning = core.AccTuning
+)
+
 // Health is an accelerator's health state (healthy/degraded/quarantined).
 type Health = core.Health
 
@@ -255,6 +277,11 @@ type System struct {
 	// ctl records that WithControlPlane armed the management API; Serve
 	// mounts /api/v1 only then.
 	ctl bool
+	// tun is the adaptive batching controller, constructed by WithAutoTune
+	// or lazily by the first AutoTuneEnable; nil until then.
+	tun *tuner.Tuner
+	// tunCfg is the controller configuration WithAutoTune captured.
+	tunCfg AutoTuneConfig
 }
 
 // Option customizes Open beyond the plain SystemConfig fields. Options
@@ -262,9 +289,11 @@ type System struct {
 type Option func(*openConfig)
 
 type openConfig struct {
-	cfg    SystemConfig
-	settle bool
-	ctl    bool
+	cfg      SystemConfig
+	settle   bool
+	ctl      bool
+	autotune bool
+	tunCfg   AutoTuneConfig
 }
 
 // WithFaultPlan arms deterministic fault injection, equivalent to
@@ -287,6 +316,25 @@ func WithControlPlane() Option {
 	return func(o *openConfig) {
 		o.ctl = true
 		o.cfg.Telemetry = true
+	}
+}
+
+// WithAutoTune arms the adaptive batching autotuner: a closed-loop
+// controller on the event loop that samples per-accelerator batch spans
+// and IBQ pressure and retunes batch size, flush timeout and poll burst
+// through the live-management surface (see internal/tuner). The
+// controller's signals come from telemetry, so this option also enables
+// it. The system opens with the controller already enabled; flip it at
+// runtime with AutoTuneEnable/AutoTuneDisable or the `tune.auto`
+// management call. At most one AutoTuneConfig may be given; its zero
+// fields select the documented defaults.
+func WithAutoTune(cfg ...AutoTuneConfig) Option {
+	return func(o *openConfig) {
+		o.autotune = true
+		o.cfg.Telemetry = true
+		if len(cfg) > 0 {
+			o.tunCfg = cfg[0]
+		}
 	}
 }
 
@@ -435,6 +483,12 @@ func Open(cfg SystemConfig, opts ...Option) (*System, error) {
 		return nil, err
 	}
 	sys.ctl = oc.ctl
+	sys.tunCfg = oc.tunCfg
+	if oc.autotune {
+		if err := sys.AutoTuneEnable(); err != nil {
+			return nil, err
+		}
+	}
 	if oc.settle {
 		sys.Settle()
 	}
@@ -534,9 +588,29 @@ func (s *System) SharedIBQ(node int) (*Queue, error) { return s.rt.SharedIBQ(nod
 func (s *System) PrivateOBQ(id NFID) (*Queue, error) { return s.rt.PrivateOBQ(id) }
 
 // SendPackets implements DHL_send_packets(); it returns how many packets
-// the shared IBQ accepted.
+// the shared IBQ accepted. The caller keeps ownership of the rest;
+// refusals are attributed (TransferStats.IBQRejected) and signaled to a
+// registered pressure callback, never silently dropped.
 func (s *System) SendPackets(id NFID, pkts []*Packet) (int, error) {
 	return s.rt.SendPackets(id, pkts)
+}
+
+// TrySendPackets is the back-pressure-aware send: same queue semantics as
+// SendPackets, plus pressured — true when the node's shared IBQ refused
+// part of this burst or sits above its high-water mark — so the NF can
+// hold unaccepted packets and retry instead of dropping them.
+func (s *System) TrySendPackets(id NFID, pkts []*Packet) (accepted int, pressured bool, err error) {
+	return s.rt.TrySendPackets(id, pkts)
+}
+
+// RegisterPressure installs an NF's IBQ back-pressure callback. The
+// callback contract: it fires synchronously on the event-loop goroutine —
+// from the send whose packets were refused, and on every high-water rise
+// and low-water fall of the NF's node IBQ — so it must return quickly,
+// must not block, and must not re-enter the send path. A nil fn removes
+// the registration.
+func (s *System) RegisterPressure(id NFID, fn func(PressureInfo)) error {
+	return s.rt.RegisterPressure(id, fn)
 }
 
 // ReceivePackets implements DHL_receive_packets().
@@ -611,3 +685,54 @@ func (s *System) UnregisterFlowTable(name string) error {
 // FlowTables snapshots every registered flow table's stats in
 // registration order (never nil).
 func (s *System) FlowTables() []FlowTableInfo { return flowtab.Collect(s.flowSrcs) }
+
+// ensureTuner lazily constructs the autotuner (first AutoTuneEnable on a
+// system opened without WithAutoTune). Requires telemetry: the
+// controller's signals are the span ring and the IBQ pressure gauges.
+func (s *System) ensureTuner() error {
+	if s.tun != nil {
+		return nil
+	}
+	if s.tel == nil {
+		return fmt.Errorf("dhl: autotuner requires telemetry (open with WithAutoTune, WithControlPlane, or SystemConfig.Telemetry)")
+	}
+	t, err := tuner.New(s.sim, s.rt, s.tel, s.tunCfg)
+	if err != nil {
+		return err
+	}
+	s.tun = t
+	return nil
+}
+
+// AutoTuneEnable arms the adaptive batching controller (constructing it
+// on first use). Idempotent while enabled. Like the rest of the System
+// surface, call it from the goroutine driving Sim().Run; the control
+// plane's `tune.auto` call routes here through the event loop.
+func (s *System) AutoTuneEnable() error {
+	if err := s.ensureTuner(); err != nil {
+		return err
+	}
+	return s.tun.Enable()
+}
+
+// AutoTuneDisable stops the controller and rolls back its interventions:
+// per-accelerator overrides clear to the global configuration and poll
+// bursts return to their enable-time baselines. Idempotent; a no-op on a
+// system whose tuner was never constructed.
+func (s *System) AutoTuneDisable() error {
+	if s.tun == nil {
+		return nil
+	}
+	return s.tun.Disable()
+}
+
+// AutoTuneStatus reports the controller's state — windows closed,
+// grow/shrink decisions applied, current per-accelerator batch/flush
+// targets and per-node bursts. A zero Status when the tuner was never
+// constructed.
+func (s *System) AutoTuneStatus() TunerStatus {
+	if s.tun == nil {
+		return TunerStatus{}
+	}
+	return s.tun.Status()
+}

@@ -204,3 +204,131 @@ func TestSystemHFTable(t *testing.T) {
 		t.Errorf("hf table %v", rows)
 	}
 }
+
+// TestAutoTuneZeroAllocHotPath proves the PR's perf clause: with the
+// adaptive batching autotuner armed and ticking on the event loop, a
+// warm steady-state burst allocates nothing — the controller's only
+// allocations happen at reconfiguration boundaries (first sight of an
+// accelerator, an actual target change), which the warmup absorbs.
+func TestAutoTuneZeroAllocHotPath(t *testing.T) {
+	// One sampling window per traffic cycle below, so every window sees
+	// the cycle's (low-fill) batch and the shrink streak can build.
+	sys, err := dhl.Open(dhl.SystemConfig{},
+		dhl.WithAutoTune(dhl.AutoTuneConfig{Interval: 2 * eventsim.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sys.SearchByName(dhl.Loopback, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := sys.Register("autotune-hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle()
+
+	// 4 packets of ~200 B stage a ~900 B batch against the 6 KB target:
+	// fill stays far below the shrink threshold, so the controller must
+	// adapt during warmup and then hold steady.
+	const nPkts = 4
+	req := bytes.Repeat([]byte{0x5A}, 200)
+	pkts := make([]*dhl.Packet, nPkts)
+	out := make([]*dhl.Packet, 2*nPkts)
+	cycle := func() {
+		for i := range pkts {
+			m, aerr := sys.Pool().Alloc()
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+			if aerr := m.AppendBytes(req); aerr != nil {
+				t.Fatal(aerr)
+			}
+			m.AccID = uint16(acc)
+			pkts[i] = m
+		}
+		sent, _, serr := sys.TrySendPackets(nf, pkts)
+		if serr != nil || sent != nPkts {
+			t.Fatalf("send %d %v", sent, serr)
+		}
+		sys.Sim().Run(sys.Sim().Now() + 2*eventsim.Millisecond)
+		got, rerr := sys.ReceivePackets(nf, out)
+		if rerr != nil || got != nPkts {
+			t.Fatalf("receive %d %v", got, rerr)
+		}
+		for i := 0; i < got; i++ {
+			_ = sys.Pool().Free(out[i])
+		}
+	}
+	warmup, measured := 50, 100
+	if testing.Short() {
+		warmup, measured = 25, 40
+	}
+	for i := 0; i < warmup; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(measured, cycle); avg != 0 {
+		t.Errorf("steady-state burst with autotuner armed allocates %.1f objects/run, want 0", avg)
+	}
+
+	st := sys.AutoTuneStatus()
+	if !st.Enabled || st.Windows == 0 {
+		t.Fatalf("tuner not running: %+v", st)
+	}
+	// Tiny 16-packet bursts never fill a 6 KB batch, so the controller
+	// must have adapted (shrink) at least once during warmup.
+	if st.GrowDecisions+st.ShrinkDecisions == 0 {
+		t.Error("autotuner made no decisions under sustained low-fill load")
+	}
+	if err := sys.AutoTuneDisable(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.AutoTuneStatus().Enabled {
+		t.Error("still enabled after AutoTuneDisable")
+	}
+}
+
+// TestBackpressureFacade exercises the facade's explicit back-pressure
+// surface: RegisterPressure + TrySendPackets against a system whose IBQ
+// is never drained (no Settle between sends), so a burst larger than
+// the 256-slot default queue must be refused in part.
+func TestBackpressureFacade(t *testing.T) {
+	sys, err := dhl.Open(dhl.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := sys.Register("bp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []dhl.PressureInfo
+	if err := sys.RegisterPressure(nf, func(pi dhl.PressureInfo) { infos = append(infos, pi) }); err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]*dhl.Packet, 300)
+	for i := range pkts {
+		m, aerr := sys.Pool().Alloc()
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		if aerr := m.AppendBytes([]byte("x")); aerr != nil {
+			t.Fatal(aerr)
+		}
+		pkts[i] = m
+	}
+	acc, pressured, err := sys.TrySendPackets(nf, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc >= len(pkts) || !pressured {
+		t.Fatalf("255-slot IBQ accepted %d of 300, pressured=%v", acc, pressured)
+	}
+	if len(infos) == 0 {
+		t.Fatal("no pressure callback for a refused burst")
+	}
+	for _, m := range pkts[acc:] { // caller keeps ownership of the tail
+		if ferr := sys.Pool().Free(m); ferr != nil {
+			t.Fatal(ferr)
+		}
+	}
+}

@@ -41,6 +41,25 @@
 // batcher and watchdog — without stopping the data path (see DESIGN.md
 // §11 and cmd/dhl-inspect).
 //
+// # Adaptive batching and backpressure
+//
+// The paper fixes the DMA batch size at 6 KB, the PCIe saturation point;
+// off-peak that batch never fills and every packet pays the flush
+// deadline in latency. Opening with WithAutoTune (or calling
+// AutoTuneEnable on a live system, or the control plane's tune.auto op)
+// arms a closed-loop controller that samples per-accelerator batch fill
+// and per-node IBQ pressure in fixed windows on the event loop and
+// retunes batch size, flush timeout and poll burst within
+// operator-configured bounds — observable via AutoTuneStatus,
+// dhl-inspect and the dhl_tuner_* metrics, reversible via
+// AutoTuneDisable, and allocation-free in steady state (DESIGN.md §14).
+//
+// Overload is reported rather than silently dropped: TrySendPackets is
+// the non-blocking send returning (accepted, pressured, err) with the
+// caller keeping ownership of the refused tail, and RegisterPressure
+// subscribes an NF to its node's IBQ high-water edges and per-refusal
+// counts so producers can shed or hold instead of guessing.
+//
 // The runnable examples under examples/ and the experiment harness
 // (internal/harness, driven by cmd/dhl-bench and the root benchmarks)
 // regenerate every table and figure of the paper's evaluation; see

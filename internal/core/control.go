@@ -6,6 +6,7 @@ import (
 
 	"github.com/opencloudnext/dhl-go/internal/eventsim"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
+	"github.com/opencloudnext/dhl-go/internal/mbuf"
 )
 
 // This file is the runtime's live-management surface: the mutations the
@@ -27,6 +28,12 @@ func (r *Runtime) Nodes() int { return r.cfg.Nodes }
 
 // BatchBytes reports the current maximum DMA batch size.
 func (r *Runtime) BatchBytes() int { return r.cfg.BatchBytes }
+
+// MinBatchBytes reports the adaptive-batching floor.
+func (r *Runtime) MinBatchBytes() int { return r.cfg.MinBatchBytes }
+
+// FlushTimeout reports the global partial-batch flush deadline.
+func (r *Runtime) FlushTimeout() eventsim.Time { return r.cfg.FlushTimeout }
 
 // WatchdogTimeout reports the current per-batch watchdog deadline (zero
 // when the watchdog is disarmed).
@@ -197,6 +204,144 @@ func (r *Runtime) SetBatchBytes(bytes int) error {
 		}
 	}
 	return nil
+}
+
+// AccTuning is a per-accelerator override of the global batching knobs.
+// Zero fields mean "inherit the global config"; the autotuner (and an
+// operator via `tune.acc`) sets them per accelerator so a lightly loaded
+// module can run small, quick batches while a saturated one keeps the
+// paper's 6 KB target.
+type AccTuning struct {
+	// BatchBytes caps the accelerator's staging target (and, under
+	// adaptive batching, the controller's growth ceiling).
+	BatchBytes int
+	// FlushTimeout overrides how long this accelerator's partial batch
+	// may wait before being forced out.
+	FlushTimeout eventsim.Time
+}
+
+// SetAccBatchBytes overrides one accelerator's batch-size target on a
+// running system, bounded like SetBatchBytes (at least MinBatchBytes, at
+// most the arena segment capacity). Zero clears the override, returning
+// the accelerator to the global BatchBytes. The override survives
+// staging-area teardown (quiet periods, StopCores) and applies to every
+// node's staging for the accelerator.
+func (r *Runtime) SetAccBatchBytes(acc AccID, bytes int) error {
+	if _, ok := r.hfByAcc[acc]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	if bytes != 0 {
+		if bytes < r.cfg.MinBatchBytes {
+			return fmt.Errorf("%w: %d < min %d", ErrBadBatchConfig, bytes, r.cfg.MinBatchBytes)
+		}
+		for _, tx := range r.nodeTx {
+			if tx != nil && bytes > tx.arena.segSize/2 {
+				return fmt.Errorf("%w: %d > %d", ErrBatchTooBig, bytes, tx.arena.segSize/2)
+			}
+		}
+	}
+	tune := r.accTune[acc]
+	tune.BatchBytes = bytes
+	r.setAccTune(acc, tune)
+	target := bytes
+	if target == 0 {
+		target = r.cfg.BatchBytes
+	}
+	for _, tx := range r.nodeTx {
+		if tx == nil {
+			continue
+		}
+		st, ok := tx.staging[acc]
+		if !ok {
+			continue
+		}
+		st.batchCap = bytes
+		if r.cfg.Batching == AdaptiveBatching {
+			st.effBatch = min(max(st.effBatch, r.cfg.MinBatchBytes), target)
+		} else {
+			st.effBatch = target
+		}
+	}
+	return nil
+}
+
+// SetAccFlushTimeout overrides one accelerator's partial-batch flush
+// deadline on a running system. Zero clears the override (back to the
+// global FlushTimeout); a batch already waiting is re-judged against the
+// new deadline on the TX core's next poll.
+func (r *Runtime) SetAccFlushTimeout(acc AccID, d eventsim.Time) error {
+	if _, ok := r.hfByAcc[acc]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	if d < 0 {
+		return fmt.Errorf("%w: negative flush timeout %d", ErrBadBatchConfig, d)
+	}
+	tune := r.accTune[acc]
+	tune.FlushTimeout = d
+	r.setAccTune(acc, tune)
+	for _, tx := range r.nodeTx {
+		if tx == nil {
+			continue
+		}
+		if st, ok := tx.staging[acc]; ok {
+			st.flushTimeout = d
+		}
+	}
+	return nil
+}
+
+// setAccTune stores (or, when fully cleared, deletes) an accelerator's
+// tuning override so AccTuningFor and fresh staging areas see it.
+func (r *Runtime) setAccTune(acc AccID, tune AccTuning) {
+	if tune == (AccTuning{}) {
+		delete(r.accTune, acc)
+		return
+	}
+	r.accTune[acc] = tune
+}
+
+// AccTuningFor reports an accelerator's current tuning override (zero
+// fields inherit the global config).
+func (r *Runtime) AccTuningFor(acc AccID) (AccTuning, error) {
+	if _, ok := r.hfByAcc[acc]; !ok {
+		return AccTuning{}, fmt.Errorf("%w: %d", ErrUnknownAcc, acc)
+	}
+	return r.accTune[acc], nil
+}
+
+// SetBurst retunes one node's poll-core dequeue burst on a running
+// system: how many IBQ packets the TX core claims (and DMA completions
+// the RX core claims) per poll iteration. Burst is a per-node knob — it
+// sizes the shared-IBQ dequeue, which serves every accelerator on the
+// node — unlike batch size and flush timeout, which are per accelerator.
+// Resizing reallocates the two scratch slices; that is the
+// reconfiguration-boundary allocation the zero-alloc budget permits, and
+// the hot path stays allocation-free afterwards.
+func (r *Runtime) SetBurst(node, burst int) error {
+	if node < 0 || node >= r.cfg.Nodes {
+		return fmt.Errorf("core: node %d out of range [0,%d)", node, r.cfg.Nodes)
+	}
+	if burst < 1 || burst > 1024 {
+		return fmt.Errorf("%w: burst %d outside [1,1024]", ErrBadBatchConfig, burst)
+	}
+	tx, rx := r.nodeTx[node], r.nodeRx[node]
+	if tx == nil || rx == nil {
+		return fmt.Errorf("%w: %d", ErrNoCores, node)
+	}
+	if len(tx.scratch) == burst {
+		return nil
+	}
+	tx.scratch = make([]*mbuf.Mbuf, burst)
+	rx.scratch = make([]*inflight, burst)
+	return nil
+}
+
+// Burst reports one node's current poll-core dequeue burst.
+func (r *Runtime) Burst(node int) int {
+	if node < 0 || node >= r.cfg.Nodes || r.nodeTx[node] == nil {
+		return r.cfg.Burst
+	}
+	return len(r.nodeTx[node].scratch)
 }
 
 // SetWatchdogTimeout retunes (or arms) the per-batch watchdog on a

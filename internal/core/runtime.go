@@ -249,6 +249,12 @@ type nfEntry struct {
 	sent     uint64
 	returned uint64
 	obqDrops uint64
+
+	// pressure is the NF's registered back-pressure callback
+	// (RegisterPressure); rejected counts packets the shared IBQ refused
+	// from this NF.
+	pressure func(PressureInfo)
+	rejected uint64
 }
 
 // Runtime is the DHL Runtime.
@@ -272,6 +278,14 @@ type Runtime struct {
 	nodeTx []*txEngine
 	nodeRx []*rxEngine
 	pools  []*mbuf.Pool // per-node pool recorded by AttachCores
+
+	// Back-pressure state per node: lifetime IBQ refusal count and the
+	// hysteresis latch for the high-water pressure signal (see
+	// notePressure). accTune records per-accelerator tuning overrides so
+	// they survive staging-area teardown (EvictPR, StopCores).
+	ibqRejects []uint64
+	ibqHot     []bool
+	accTune    map[AccID]AccTuning
 
 	// armed caches whether the fault detection/recovery machinery is on
 	// (Config.Faults set or WatchdogTimeout > 0).
@@ -305,6 +319,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		pools:   make([]*mbuf.Pool, cfg.Nodes),
 		armed:   cfg.Faults != nil || cfg.WatchdogTimeout > 0,
 		tel:     cfg.Telemetry,
+
+		ibqRejects: make([]uint64, cfg.Nodes),
+		ibqHot:     make([]bool, cfg.Nodes),
+		accTune:    make(map[AccID]AccTuning),
 	}
 	devices := make([]*fpga.Device, len(cfg.FPGAs))
 	for i := range cfg.FPGAs {
@@ -323,6 +341,15 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			r.tel.RegisterGauge("dhl_ring_occupancy", fmt.Sprintf("ring=%q", q.Name()),
 				"Current queue depth of a runtime ring (IBQ, OBQ, DMA completion).",
 				func() float64 { return float64(q.Len()) })
+			n := node
+			r.tel.RegisterGauge("dhl_ibq_pressure", fmt.Sprintf("node=\"%d\"", node),
+				"Shared-IBQ back-pressure latch: 1 while the queue sits above its high-water mark.",
+				func() float64 {
+					if r.ibqHot[n] {
+						return 1
+					}
+					return 0
+				})
 		}
 	}
 	return r, nil
@@ -580,8 +607,11 @@ func (r *Runtime) PrivateOBQ(id NFID) (*ring.Ring[*mbuf.Mbuf], error) {
 
 // SendPackets implements DHL_send_packets(): the NF enqueues tagged
 // packets onto its node's shared IBQ. It returns how many were accepted;
-// the caller owns (and typically frees) the rest, mirroring
-// rte_ring_enqueue_burst semantics.
+// the caller owns (and typically frees, or retries) the rest, mirroring
+// rte_ring_enqueue_burst semantics. Refused packets are never silent:
+// each refusal is counted in TransferStats.IBQRejected and delivered to
+// the NF's registered pressure callback (see RegisterPressure and
+// TrySendPackets for the back-pressure-aware variant).
 func (r *Runtime) SendPackets(id NFID, pkts []*mbuf.Mbuf) (int, error) {
 	nf, err := r.nf(id)
 	if err != nil {
@@ -601,6 +631,7 @@ func (r *Runtime) SendPackets(id NFID, pkts []*mbuf.Mbuf) (int, error) {
 	}
 	n := r.ibqs[nf.node].EnqueueBurst(pkts)
 	nf.sent += uint64(n)
+	r.notePressure(nf, id, len(pkts)-n)
 	return n, nil
 }
 

@@ -37,6 +37,14 @@ type TransferStats struct {
 	// encoded into a batch segment: oversized records, or staging for a
 	// still-reconfiguring region outgrowing its fixed segment.
 	StagingDrops uint64
+	// IBQRejected counts packets the shared IBQ refused at
+	// SendPackets/TrySendPackets because the queue was full. These
+	// packets never entered the transfer layer (the caller keeps
+	// ownership, so they are outside the IBQDrained identity above), but
+	// every refusal is counted here and signaled to the producing NF
+	// through its registered pressure callback — back-pressure is always
+	// attributed, never a silent drop.
+	IBQRejected uint64
 
 	// DMARetries counts transient transfer-fault re-posts; DMARetryGiveUps
 	// counts batches that exhausted the retry budget and failed.
@@ -85,6 +93,35 @@ type accState struct {
 	mbufs    []*mbuf.Mbuf
 	firstAt  eventsim.Time
 	effBatch int
+
+	// Per-accelerator tuning overrides (SetAccBatchBytes /
+	// SetAccFlushTimeout — the autotuner's actuators). batchCap bounds
+	// the adaptive controller's growth for this accelerator; zero means
+	// Config.BatchBytes. flushTimeout overrides the deadline pass's
+	// forced-flush age for this accelerator; zero means
+	// Config.FlushTimeout.
+	batchCap     int
+	flushTimeout eventsim.Time
+}
+
+// flushAfter is the staging area's effective forced-flush age.
+//
+//dhl:hotpath
+func (st *accState) flushAfter(def eventsim.Time) eventsim.Time {
+	if st.flushTimeout != 0 {
+		return st.flushTimeout
+	}
+	return def
+}
+
+// growCap is the adaptive controller's effective growth ceiling.
+//
+//dhl:hotpath
+func (st *accState) growCap(def int) int {
+	if st.batchCap != 0 {
+		return st.batchCap
+	}
+	return def
 }
 
 // txEngine is one node's TX poll core: shared-IBQ dequeue + Packer + DMA
@@ -224,6 +261,7 @@ func (r *Runtime) Stats(node int) (TransferStats, error) {
 		return TransferStats{}, ErrNoCores
 	}
 	s := r.nodeTx[node].stats
+	s.IBQRejected = r.ibqRejects[node]
 	rxs := r.nodeRx[node].stats
 	s.PktsDistributed = rxs.PktsDistributed
 	s.NFIDMismatches = rxs.NFIDMismatches
@@ -303,10 +341,12 @@ func (t *txEngine) body() (float64, func()) {
 	now := t.r.sim.Now()
 	t.sends = t.sends[:0]
 
-	// Deadline pass: force out batches that have waited FlushTimeout.
+	// Deadline pass: force out batches that have waited past their
+	// accelerator's flush timeout (the per-acc override, or the global
+	// FlushTimeout).
 	for _, acc := range t.order {
 		st := t.staging[acc]
-		if len(st.mbufs) > 0 && now-st.firstAt >= t.r.cfg.FlushTimeout {
+		if len(st.mbufs) > 0 && now-st.firstAt >= st.flushAfter(t.r.cfg.FlushTimeout) {
 			if ib := t.flush(acc, st, false); ib != nil {
 				t.sends = append(t.sends, ib)
 				cycles += perf.RuntimeTxCyclesPerBatch
@@ -345,7 +385,7 @@ func (t *txEngine) body() (float64, func()) {
 		acc := AccID(m.AccID)
 		st, ok := t.staging[acc]
 		if !ok {
-			st = t.newAccState()
+			st = t.newAccState(acc)
 			t.staging[acc] = st
 			t.order = append(t.order, acc)
 		}
@@ -386,11 +426,22 @@ func (t *txEngine) body() (float64, func()) {
 
 // newAccState is the cold constructor for a first-seen acc_id's staging
 // area; //go:noinline keeps its allocation out of body's //dhl:hotpath
-// range under escape analysis.
+// range under escape analysis. Per-acc tuning set before the first
+// packet arrived (SetAccBatchBytes / SetAccFlushTimeout record into
+// Runtime.accTune) is picked up here, so overrides survive staging
+// teardown and re-creation.
 //
 //go:noinline
-func (t *txEngine) newAccState() *accState {
-	return &accState{effBatch: t.r.cfg.BatchBytes}
+func (t *txEngine) newAccState(acc AccID) *accState {
+	st := &accState{effBatch: t.r.cfg.BatchBytes}
+	if tune, ok := t.r.accTune[acc]; ok {
+		if tune.BatchBytes != 0 {
+			st.effBatch = tune.BatchBytes
+			st.batchCap = tune.BatchBytes
+		}
+		st.flushTimeout = tune.FlushTimeout
+	}
+	return st
 }
 
 // pendingCommit returns the bound commit callback when this iteration
@@ -501,7 +552,7 @@ func (t *txEngine) flush(acc AccID, st *accState, bySize bool) *inflight {
 	// flushes, shrink on timeout-triggered ones.
 	if t.r.cfg.Batching == AdaptiveBatching {
 		if bySize {
-			st.effBatch = min(st.effBatch*2, t.r.cfg.BatchBytes)
+			st.effBatch = min(st.effBatch*2, st.growCap(t.r.cfg.BatchBytes))
 		} else {
 			st.effBatch = max(st.effBatch/2, t.r.cfg.MinBatchBytes)
 		}

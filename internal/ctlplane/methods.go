@@ -3,6 +3,7 @@ package ctlplane
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"sort"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
+	"github.com/opencloudnext/dhl-go/internal/tuner"
 )
 
 // method is one management API entry: a short doc line for the GET
@@ -36,6 +38,7 @@ var methods = map[string]method{
 	"fallback.clear":  {"remove an installed software fallback: {hf, node}", handleFallbackClear},
 	"tune.batch":      {"retarget the Packer's max batch size: {bytes} -> {batch_bytes}", handleTuneBatch},
 	"tune.watchdog":   {"retune or disarm the per-batch watchdog: {timeout_us} -> {timeout_us}", handleTuneWatchdog},
+	"tune.auto":       {"adaptive batching autotuner: {state: on|off|status} -> controller status", handleTuneAuto},
 	"health.get":      {"health FSM state for one or all accelerators: {acc_id?} -> {accs}", handleHealthGet},
 	"stats.get":       {"one node's transfer-core conservation ledger plus NF flow-table stats: {node} -> stats", handleStatsGet},
 	"telemetry.delta": {"long-poll telemetry activity since the stream's last call: {stream, wait_ms}", handleTelemetryDelta},
@@ -343,6 +346,43 @@ func handleTuneWatchdog(s *Server, raw json.RawMessage) (any, *Error) {
 	return struct {
 		TimeoutUs int `json:"timeout_us"`
 	}{cur}, nil
+}
+
+func handleTuneAuto(s *Server, raw json.RawMessage) (any, *Error) {
+	var p struct {
+		// State selects the action: "on" enables the controller, "off"
+		// disables it (rolling its overrides back), and "" or "status"
+		// only reads. Every variant returns the controller's status.
+		State string `json:"state,omitempty"`
+	}
+	if derr := decodeParams(raw, &p); derr != nil {
+		return nil, derr
+	}
+	switch p.State {
+	case "on", "off", "", "status":
+	default:
+		return nil, &Error{Code: CodeInvalidParams,
+			Message: fmt.Sprintf("ctlplane: tune.auto state %q (want on, off or status)", p.State)}
+	}
+	var (
+		err    error
+		status tuner.Status
+	)
+	if derr := s.dispatch(func() {
+		switch p.State {
+		case "on":
+			err = s.cfg.Backend.AutoTuneEnable()
+		case "off":
+			err = s.cfg.Backend.AutoTuneDisable()
+		}
+		status = s.cfg.Backend.AutoTuneStatus()
+	}); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, opError(err)
+	}
+	return status, nil
 }
 
 // healthJSON is one accelerator's identity plus health FSM report.

@@ -44,6 +44,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
+	"github.com/opencloudnext/dhl-go/internal/tuner"
 )
 
 // JSON-RPC 2.0 error codes (spec-defined range plus the server-defined
@@ -102,6 +103,11 @@ type Backend interface {
 	DrainBoard(board int) (int, error)
 	UndrainBoard(board int) error
 	OfflineBoard(board int) (int, error)
+
+	// Autotuner surface: the adaptive batching controller (tune.auto).
+	AutoTuneEnable() error
+	AutoTuneDisable() error
+	AutoTuneStatus() tuner.Status
 }
 
 // Config parameterizes New.

@@ -14,6 +14,7 @@ import (
 	"github.com/opencloudnext/dhl-go/internal/flowtab"
 	"github.com/opencloudnext/dhl-go/internal/placement"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
+	"github.com/opencloudnext/dhl-go/internal/tuner"
 )
 
 // fakeBackend implements Backend in memory; a real-system integration
@@ -32,6 +33,8 @@ type fakeBackend struct {
 	drained    map[int]bool
 	lost       map[int]bool
 	migrations int
+
+	autotune bool
 }
 
 func newFakeBackend() *fakeBackend {
@@ -164,6 +167,21 @@ func (f *fakeBackend) Snapshot() *telemetry.Snapshot {
 		return nil
 	}
 	return f.tel.Snapshot()
+}
+
+// The fake autotuner: a bool plus a canned status.
+func (f *fakeBackend) AutoTuneEnable() error {
+	f.autotune = true
+	return nil
+}
+
+func (f *fakeBackend) AutoTuneDisable() error {
+	f.autotune = false
+	return nil
+}
+
+func (f *fakeBackend) AutoTuneStatus() tuner.Status {
+	return tuner.Status{Enabled: f.autotune, Windows: 3, GrowDecisions: 1}
 }
 
 // The fake fleet: two boards, board state tracked in maps, migrations

@@ -395,35 +395,43 @@ func wireDHL(tb *testbed, rxPort, txPort *netdev.Port, cfg SingleNFConfig, dropp
 		return nil, err
 	}
 
-	var app dhlNF
-	switch cfg.Kind {
-	case IPsecGateway:
-		sadb := nf.NewSADB()
-		if err := sadb.AddDefaultSA(); err != nil {
-			return nil, err
-		}
-		gw, gerr := nf.NewIPsecGatewayDHL(rt, sadb, "ipsec-gw", 0)
-		if gerr != nil {
-			return nil, gerr
-		}
-		app = ipsecDHLAdapter{gw}
-	case NIDS:
-		rules, rerr := nf.NewRuleSet(nf.DefaultSnortRules())
-		if rerr != nil {
-			return nil, rerr
-		}
-		ids, ierr := nf.NewNIDSDHL(rt, rules, "nids", 0)
-		if ierr != nil {
-			return nil, ierr
-		}
-		app = nidsDHLAdapter{ids}
-	default:
-		return nil, fmt.Errorf("harness: unknown NF kind %v", cfg.Kind)
+	app, aerr := buildDHLApp(rt, cfg.Kind)
+	if aerr != nil {
+		return nil, aerr
 	}
 
 	wireDHLIngressCounted(tb, rt, app, rxPort, dropped)
 	wireDHLEgressCounted(tb, rt, app, txPort, dropped)
 	return rt, nil
+}
+
+// buildDHLApp constructs the DHL-version NF of the given kind against a
+// runtime, registering it on node 0.
+func buildDHLApp(rt *core.Runtime, kind NFKind) (dhlNF, error) {
+	switch kind {
+	case IPsecGateway:
+		sadb := nf.NewSADB()
+		if err := sadb.AddDefaultSA(); err != nil {
+			return nil, err
+		}
+		gw, err := nf.NewIPsecGatewayDHL(rt, sadb, "ipsec-gw", 0)
+		if err != nil {
+			return nil, err
+		}
+		return ipsecDHLAdapter{gw}, nil
+	case NIDS:
+		rules, err := nf.NewRuleSet(nf.DefaultSnortRules())
+		if err != nil {
+			return nil, err
+		}
+		ids, err := nf.NewNIDSDHL(rt, rules, "nids", 0)
+		if err != nil {
+			return nil, err
+		}
+		return nidsDHLAdapter{ids}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown NF kind %v", kind)
+	}
 }
 
 var discardCounter uint64

@@ -22,10 +22,15 @@ type CheckedErr struct{}
 // the accelerator stranded on a board the caller believes it left), the
 // operational surface lifecycle
 // (System.Serve, Exporter.Serve/Close — a dropped Serve error is an
-// operator endpoint that silently never came up), and the management
+// operator endpoint that silently never came up), the management
 // client (ControlClient.Call — a dropped Call error is a management
-// operation that silently did not happen) on any type in this module
-// that defines them.
+// operation that silently did not happen), and the adaptive-batching
+// surface (TrySendPackets/RegisterPressure/AutoTuneEnable/
+// AutoTuneDisable/SetAccBatchBytes/SetAccFlushTimeout/SetBurst — a
+// dropped TrySendPackets error leaks the refused tail of the burst,
+// and a dropped AutoTuneEnable error is a controller the operator
+// believes is running but is not) on any type in this module that
+// defines them.
 var apiMethods = map[string]bool{
 	"SendPackets":      true,
 	"ReceivePackets":   true,
@@ -51,6 +56,15 @@ var apiMethods = map[string]bool{
 	"Serve":            true,
 	"Close":            true,
 	"Call":             true,
+
+	// PR10 adaptive batching & backpressure surface.
+	"TrySendPackets":     true,
+	"RegisterPressure":   true,
+	"AutoTuneEnable":     true,
+	"AutoTuneDisable":    true,
+	"SetAccBatchBytes":   true,
+	"SetAccFlushTimeout": true,
+	"SetBurst":           true,
 }
 
 // Name implements Analyzer.

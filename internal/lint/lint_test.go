@@ -92,6 +92,10 @@ func TestGoldenPositives(t *testing.T) {
 				"result of ResetRegion",
 				"result of Serve",
 				"result of Close",
+				"result of TrySendPackets",
+				"result of RegisterPressure",
+				"result of SetAccBatchBytes",
+				"result of SetBurst",
 			},
 		},
 		{

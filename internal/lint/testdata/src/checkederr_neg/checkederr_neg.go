@@ -5,6 +5,7 @@ package checkederr_neg
 import (
 	"net"
 
+	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
@@ -46,4 +47,24 @@ func ExporterHandled(e *telemetry.Exporter, ln net.Listener) error {
 	defer func() { _ = e.Close() }()
 	ln.Close()
 	return e.Serve(ln)
+}
+
+// PressureHandled exercises the adaptive-batching surface correctly:
+// the refusal callback registration is checked, TrySendPackets' refused
+// tail is freed, and the tuning setters propagate their verdicts.
+func PressureHandled(rt *core.Runtime, id core.NFID, p *mbuf.Pool, pkts []*mbuf.Mbuf) error {
+	if err := rt.RegisterPressure(id, func(core.PressureInfo) {}); err != nil {
+		return err
+	}
+	acc, _, err := rt.TrySendPackets(id, pkts)
+	if err != nil {
+		return err
+	}
+	for _, m := range pkts[acc:] {
+		_ = p.Free(m)
+	}
+	if err := rt.SetAccBatchBytes(0, 1024); err != nil {
+		return err
+	}
+	return rt.SetBurst(0, 32)
 }

@@ -5,6 +5,7 @@ package checkederr_pos
 import (
 	"net"
 
+	"github.com/opencloudnext/dhl-go/internal/core"
 	"github.com/opencloudnext/dhl-go/internal/fpga"
 	"github.com/opencloudnext/dhl-go/internal/mbuf"
 	"github.com/opencloudnext/dhl-go/internal/telemetry"
@@ -39,4 +40,15 @@ func DropRecovery(d *fpga.Device) {
 func DropExporter(e *telemetry.Exporter, ln net.Listener) {
 	go e.Serve(ln) // dropped error
 	e.Close()      // dropped error
+}
+
+// DropPressure discards the adaptive-batching surface's verdicts: a
+// dropped TrySendPackets result leaks the refused tail of the burst, and
+// dropped tuning setters leave the operator believing an override took
+// effect when the runtime rejected it.
+func DropPressure(rt *core.Runtime, id core.NFID, pkts []*mbuf.Mbuf) {
+	rt.TrySendPackets(id, pkts)  // dropped error (and accepted count)
+	rt.RegisterPressure(id, nil) // dropped error
+	rt.SetAccBatchBytes(0, 1024) // dropped error
+	rt.SetBurst(0, 32)           // dropped error
 }

@@ -200,6 +200,29 @@ func (g *Generator) Start() {
 // Stop halts emission after the current burst.
 func (g *Generator) Stop() { g.stop = true }
 
+// SetOfferedWireBps retargets the offered load on a running generator:
+// the next burst is paced at the new rate (capped at the port line
+// rate, like the constructor). Diurnal-load harnesses use it to swing
+// between peak and trough phases without tearing the flow state down.
+func (g *Generator) SetOfferedWireBps(bps float64) error {
+	if bps <= 0 {
+		return ErrBadRateCfg
+	}
+	if bps > g.cfg.Port.RateBps() {
+		bps = g.cfg.Port.RateBps()
+	}
+	g.cfg.OfferedWireBps = bps
+	frameWire := float64(g.cfg.FrameSize+eth.WireOverhead) * 8
+	g.interBurst = eventsim.Time(frameWire * float64(g.cfg.Burst) / bps * 1e12)
+	if g.interBurst <= 0 {
+		g.interBurst = 1
+	}
+	return nil
+}
+
+// OfferedWireBps reports the current offered load in wire bits/s.
+func (g *Generator) OfferedWireBps() float64 { return g.cfg.OfferedWireBps }
+
 // Sent reports frames delivered to the port (including ones the port
 // dropped on full RX queues).
 func (g *Generator) Sent() uint64 { return g.sent }

@@ -255,3 +255,57 @@ func TestGeneratorChurn(t *testing.T) {
 		t.Errorf("live set %d, want 128", len(live))
 	}
 }
+
+// TestSetOfferedWireBps retargets a running generator and verifies the
+// emitted frame rate actually follows: halving the offered load halves
+// the deliveries per unit time.
+func TestSetOfferedWireBps(t *testing.T) {
+	sim, pool, p := newRig(t, 40e9, 1)
+	g, err := NewGenerator(sim, GeneratorConfig{
+		Port: p, Pool: pool, FrameSize: 1024, OfferedWireBps: 8e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetOfferedWireBps(0); !errors.Is(err, ErrBadRateCfg) {
+		t.Errorf("zero rate accepted: %v", err)
+	}
+	if err := g.SetOfferedWireBps(100e9); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.OfferedWireBps(); got != 40e9 {
+		t.Errorf("rate not capped at line rate: %g", got)
+	}
+	drain := func() {
+		buf := make([]*mbuf.Mbuf, 64)
+		for {
+			n := p.RxBurst(0, buf)
+			if n == 0 {
+				return
+			}
+			for _, m := range buf[:n] {
+				_ = pool.Free(m)
+			}
+		}
+	}
+	if err := g.SetOfferedWireBps(8e9); err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	sim.Run(sim.Now() + eventsim.Millisecond)
+	drain()
+	atPeak := g.Sent()
+	if err := g.SetOfferedWireBps(2e9); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(sim.Now() + eventsim.Millisecond)
+	drain()
+	atTrough := g.Sent() - atPeak
+	g.Stop()
+	if atPeak == 0 || atTrough == 0 {
+		t.Fatalf("no traffic: peak %d trough %d", atPeak, atTrough)
+	}
+	ratio := float64(atPeak) / float64(atTrough)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("peak/trough frame ratio %.2f, want ~4 after a 8->2 Gbps retarget", ratio)
+	}
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import "testing"
+
+func TestSpanRingCopySince(t *testing.T) {
+	r := New(4)
+	dst := make([]Span, 4)
+
+	n, last := r.Spans.CopySince(0, dst)
+	if n != 0 || last != 0 {
+		t.Fatalf("empty ring: n=%d last=%d", n, last)
+	}
+
+	for i := 1; i <= 3; i++ {
+		r.Spans.Push(&Span{NFID: uint16(i)})
+	}
+	n, last = r.Spans.CopySince(0, dst)
+	if n != 3 || last != 3 {
+		t.Fatalf("first read: n=%d last=%d", n, last)
+	}
+	for i := 0; i < 3; i++ {
+		if dst[i].NFID != uint16(i+1) || dst[i].Seq != uint64(i+1) {
+			t.Fatalf("dst[%d] = %+v, want oldest-first order", i, dst[i])
+		}
+	}
+
+	// Nothing new: the cursor holds.
+	n, last = r.Spans.CopySince(last, dst)
+	if n != 0 || last != 3 {
+		t.Fatalf("idle read: n=%d last=%d", n, last)
+	}
+
+	// Incremental read picks up only the new spans.
+	r.Spans.Push(&Span{NFID: 4})
+	n, last = r.Spans.CopySince(last, dst)
+	if n != 1 || last != 4 || dst[0].NFID != 4 {
+		t.Fatalf("incremental: n=%d last=%d dst[0]=%+v", n, last, dst[0])
+	}
+
+	// A cursor older than the retention window yields only the retained
+	// spans (5..8 after eight pushes into a cap-4 ring).
+	for i := 5; i <= 8; i++ {
+		r.Spans.Push(&Span{NFID: uint16(i)})
+	}
+	n, last = r.Spans.CopySince(1, dst)
+	if n != 4 || last != 8 || dst[0].NFID != 5 || dst[3].NFID != 8 {
+		t.Fatalf("overrun: n=%d last=%d dst=%v..%v", n, last, dst[0].NFID, dst[3].NFID)
+	}
+
+	// A short dst keeps the most recent spans, still oldest-first.
+	short := make([]Span, 2)
+	n, last = r.Spans.CopySince(0, short)
+	if n != 2 || last != 8 || short[0].NFID != 7 || short[1].NFID != 8 {
+		t.Fatalf("short dst: n=%d last=%d short=%+v", n, last, short)
+	}
+}
+
+func TestSpanRingCopySinceZeroAllocs(t *testing.T) {
+	r := New(64)
+	dst := make([]Span, 64)
+	var last uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Spans.Push(&Span{NFID: 1})
+		var n int
+		n, last = r.Spans.CopySince(last, dst)
+		if n != 1 {
+			t.Fatalf("n=%d", n)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CopySince allocates %.1f, want 0", allocs)
+	}
+}

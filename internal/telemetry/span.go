@@ -110,6 +110,38 @@ func (r *SpanRing) Count() uint64 {
 // Cap reports the ring's capacity.
 func (r *SpanRing) Cap() int { return len(r.buf) }
 
+// CopySince copies into dst the retained spans newer than sequence
+// number after, oldest first, and reports how many were copied plus the
+// newest sequence number observed. Spans older than the ring's retention
+// window (or beyond len(dst)) are silently skipped — callers sizing dst
+// at Cap() and polling faster than one full ring turnover see every
+// span. Unlike Snapshot this is allocation-free, so periodic readers
+// (the autotuner's sampling tick) can run inside the steady-state
+// zero-alloc budget:
+//
+//	n, last = ring.CopySince(last, buf)
+//	process(buf[:n])
+func (r *SpanRing) CopySince(after uint64, dst []Span) (n int, newest uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq <= after {
+		return 0, r.seq
+	}
+	avail := r.seq - after
+	cap64 := uint64(len(r.buf))
+	if avail > cap64 {
+		avail = cap64 // older spans were overwritten
+	}
+	if avail > uint64(len(dst)) {
+		avail = uint64(len(dst))
+	}
+	for i := uint64(0); i < avail; i++ {
+		seq := r.seq - avail + 1 + i
+		dst[i] = r.buf[(seq-1)%cap64]
+	}
+	return int(avail), r.seq
+}
+
 // Snapshot copies the retained spans, oldest first. Cold path: the
 // result is freshly allocated.
 func (r *SpanRing) Snapshot() []Span {

@@ -17,6 +17,9 @@ if [[ -n "$unformatted" ]]; then
     exit 1
 fi
 
+echo "==> docscheck (README/DESIGN/EXPERIMENTS cross-references)"
+./scripts/docscheck.sh
+
 echo "==> go vet"
 go vet ./...
 
@@ -57,6 +60,10 @@ go test -race -run 'MigrationZeroLeak|MigrateLive|ReplicaPromotion' -count=1 ./i
 echo "==> flow-table zero-alloc gate (hit path, churn, NAT translate: 0 allocs/op)"
 go test -run 'ZeroAlloc' -count=1 ./internal/flowtab ./internal/nf
 
+echo "==> autotuner smoke (control law, backpressure edges, zero-alloc with tuner armed)"
+go test -short -run 'Tuner|AutoTune|Pressure|CopySince' -count=1 \
+    ./internal/tuner ./internal/core ./internal/telemetry .
+
 echo "==> telemetry smoke (stage clock, zero-alloc budget, exporter golden)"
 go test -run 'Telemetry|ServeMetricsGolden|WritePrometheus' -count=1 \
     ./internal/core ./internal/telemetry .
@@ -94,6 +101,20 @@ if [[ -z "$up" ]]; then
 fi
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd acc.load -args loopback,0 >/dev/null
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd tune.batch -args 2048 >/dev/null
+# Autotuner round-trip: enable, confirm the status reports it running,
+# disable again so the fixed tune.batch target above stays in force.
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd tune.auto -args on > "$smoke_dir/tune.txt"
+grep -q '"enabled": true' "$smoke_dir/tune.txt" || {
+    echo "tune.auto on did not report an enabled controller" >&2
+    cat "$smoke_dir/tune.txt" >&2
+    exit 1
+}
+"$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd tune.auto -args off > "$smoke_dir/tune.txt"
+grep -q '"enabled": false' "$smoke_dir/tune.txt" || {
+    echo "tune.auto off left the controller enabled" >&2
+    cat "$smoke_dir/tune.txt" >&2
+    exit 1
+}
 # Fleet surface: replicate the live accelerator onto the second board and
 # confirm the placement table reports both endpoints.
 "$smoke_dir/dhl-inspect" -addr "127.0.0.1:$port" -cmd acc.replicate -args 1 >/dev/null
